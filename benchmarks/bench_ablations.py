@@ -1,0 +1,98 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+These go beyond the paper's own evaluation: speculation schedule, SSU count
+design space, SPU pipelining (Figure 3a vs 3b), the JT step-size rule, and
+float32 datapath precision.
+"""
+
+from repro.evaluation.ablations import (
+    alpha_mode_ablation,
+    morphology_ablation,
+    precision_ablation,
+    schedule_ablation,
+    spu_pipeline_ablation,
+    ssu_count_sweep,
+)
+
+
+def test_schedule_ablation(benchmark, suite, save_table):
+    """Linear (paper) vs geometric vs extended speculation schedules."""
+    table = benchmark.pedantic(
+        schedule_ablation, args=(suite,), rounds=1, iterations=1, warmup_rounds=0
+    )
+    save_table(table, "ablation_schedule")
+    assert len(table.rows) == len(suite.dofs)
+
+
+def test_ssu_count_sweep(benchmark, suite, save_table):
+    """SSU count vs per-iteration latency and silicon cost."""
+    dof = max(suite.dofs)
+    table = benchmark.pedantic(
+        ssu_count_sweep, kwargs={"dof": dof}, rounds=1, iterations=1, warmup_rounds=0
+    )
+    save_table(table, "ablation_ssu_sweep")
+    latencies = [row[2] for row in table.rows]
+    areas = [row[3] for row in table.rows]
+    assert latencies == sorted(latencies, reverse=True)
+    assert areas == sorted(areas)
+
+
+def test_spu_pipeline_ablation(benchmark, suite, save_table):
+    """Figure 3: the fused pipeline vs the original four-loop flow."""
+    table = benchmark.pedantic(
+        spu_pipeline_ablation,
+        args=(tuple(suite.dofs),),
+        rounds=1,
+        iterations=1,
+        warmup_rounds=0,
+    )
+    save_table(table, "ablation_spu_pipeline")
+    assert all(row[3] > 1.5 for row in table.rows), "pipelining must pay"
+
+
+def test_alpha_mode_ablation(benchmark, suite, save_table):
+    """Classic constant gain vs Buss Eq. 8 vs the full speculative search."""
+    table = benchmark.pedantic(
+        alpha_mode_ablation, args=(suite,), rounds=1, iterations=1, warmup_rounds=0
+    )
+    save_table(table, "ablation_alpha_mode")
+    for row in table.rows:
+        _, classic, buss, qik = row
+        assert classic > buss
+        assert classic > qik
+
+
+def test_precision_ablation(benchmark, suite, save_table):
+    """Float32 datapath FK round-off vs the 1e-2 m accuracy constraint."""
+    table = benchmark.pedantic(
+        precision_ablation,
+        args=(tuple(suite.dofs),),
+        rounds=1,
+        iterations=1,
+        warmup_rounds=0,
+    )
+    save_table(table, "ablation_precision")
+    assert all(row[2] > 100 for row in table.rows)
+
+
+def test_morphology_ablation(benchmark, save_table):
+    """The 97% claim across random / snake / planar morphologies."""
+    table = benchmark.pedantic(
+        morphology_ablation, rounds=1, iterations=1, warmup_rounds=0
+    )
+    save_table(table, "ablation_morphology")
+    for row in table.rows:
+        assert row[4] > 0.9, f"reduction too small on {row[0]}"
+
+
+def test_tolerance_sweep(benchmark, save_table):
+    """Iterations vs the accuracy constraint; JT-Serial pays linear-rate
+    prices for extra digits, Quick-IK a handful of iterations per decade."""
+    from repro.evaluation.ablations import tolerance_sweep
+
+    table = benchmark.pedantic(
+        tolerance_sweep, rounds=1, iterations=1, warmup_rounds=0
+    )
+    save_table(table, "ablation_tolerance")
+    jt = [row[1] for row in table.rows]
+    assert jt == sorted(jt), "JT-Serial cost must grow as tolerance tightens"

@@ -1,0 +1,23 @@
+"""Figure 4: Quick-IK iterations vs the number of speculations.
+
+Regenerates the 16/32/64/128-speculation sweep over the DOF configurations.
+The paper's qualitative claims: iterations decline as speculations grow, and
+128 adds little over 64 (the chosen design point).  See EXPERIMENTS.md for
+how our measurement compares (the 64 vs 128 flatness reproduces; the decline
+below 64 does not on our workload).
+"""
+
+
+def test_figure4(benchmark, experiments, save_table):
+    """Generate the Figure 4 table (timed once end-to-end)."""
+    table = benchmark.pedantic(
+        experiments.figure4, rounds=1, iterations=1, warmup_rounds=0
+    )
+    save_table(table, "figure4")
+    # Sanity: one row per speculation count, monotone speculation column.
+    counts = [row[0] for row in table.rows]
+    assert counts == sorted(counts)
+    # 64 vs 128: no significant difference (the paper's design-point claim).
+    mean64 = sum(float(v) for v in table.rows[-2][1:]) / (len(table.headers) - 1)
+    mean128 = sum(float(v) for v in table.rows[-1][1:]) / (len(table.headers) - 1)
+    assert abs(mean128 - mean64) < 0.25 * mean64

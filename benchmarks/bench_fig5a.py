@@ -1,0 +1,19 @@
+"""Figure 5(a): iterations of JT-Serial vs J-1-SVD vs JT-Speculation.
+
+The headline of the figure is the ~97% iteration reduction of Quick-IK over
+the original transpose method, with Quick-IK landing at the pseudoinverse
+method's level.
+"""
+
+
+def test_figure5a(benchmark, experiments, save_table):
+    """Generate the Figure 5(a) table (timed once end-to-end)."""
+    table = benchmark.pedantic(
+        experiments.figure5a, rounds=1, iterations=1, warmup_rounds=0
+    )
+    save_table(table, "figure5a")
+    for row in table.rows:
+        dof, jt, svd, qik, reduction = row
+        del dof, svd
+        assert qik < jt, "Quick-IK must beat JT-Serial everywhere"
+        assert reduction > 0.9, "the ~97% claim (we accept >90% per DOF)"

@@ -1,0 +1,22 @@
+"""Figure 5(b): computation load (speculations x iterations) per method.
+
+The paper's point: Quick-IK does *not* reduce total computation relative to
+JT-Serial (it may even add some) — it converts it into parallelisable work.
+"""
+
+
+def test_figure5b(benchmark, experiments, save_table):
+    """Generate the Figure 5(b) table (timed once end-to-end)."""
+    table = benchmark.pedantic(
+        experiments.figure5b, rounds=1, iterations=1, warmup_rounds=0
+    )
+    save_table(table, "figure5b")
+    for row in table.rows:
+        dof, jt_work, svd_work, qik_work = row
+        del dof
+        # Quick-IK's load is on the order of JT-Serial's (not orders below —
+        # at high DOF our Quick-IK converges relatively faster than the
+        # paper's, so allow down to ~1/20th), and far above the
+        # pseudoinverse method's.
+        assert qik_work > 0.05 * jt_work
+        assert qik_work > svd_work

@@ -1,0 +1,93 @@
+"""Microbenchmarks of the computational kernels (proper pytest-benchmark
+timing: many rounds, statistics).
+
+These measure the *Python substrate* itself — useful for regression tracking
+of this repository, not for paper claims (those use counted work + the
+platform models).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.quick_ik import QuickIKSolver
+from repro.core.result import SolverConfig
+from repro.ikacc.accelerator import IKAccSimulator
+from repro.kinematics.robots import paper_chain
+from repro.solvers.pseudoinverse import damped_pinv
+
+
+@pytest.fixture(scope="module")
+def chain100():
+    return paper_chain(100)
+
+
+@pytest.fixture(scope="module")
+def q100(chain100):
+    return chain100.random_configuration(np.random.default_rng(0))
+
+
+def test_fk_single_100dof(benchmark, chain100, q100):
+    """One forward-kinematics evaluation at 100 DOF."""
+    result = benchmark(chain100.end_position, q100)
+    assert result.shape == (3,)
+
+
+def test_fk_batch64_100dof(benchmark, chain100, q100):
+    """The Quick-IK inner loop: 64 speculative FKs in one batch."""
+    batch = np.tile(q100, (64, 1))
+    result = benchmark(chain100.end_positions_batch, batch)
+    assert result.shape == (64, 3)
+
+
+def test_jacobian_100dof(benchmark, chain100, q100):
+    """The serial block's Jacobian at 100 DOF."""
+    result = benchmark(chain100.jacobian_position, q100)
+    assert result.shape == (3, 100)
+
+
+def test_quick_ik_step_100dof(benchmark, chain100, q100):
+    """One full Quick-IK iteration (serial block + 64 speculations)."""
+    solver = QuickIKSolver(chain100, speculations=64)
+    target = chain100.end_position(
+        chain100.random_configuration(np.random.default_rng(1))
+    )
+    position = chain100.end_position(q100)
+    outcome = benchmark(solver._step, q100, position, target)
+    assert outcome.fk_evaluations == 64
+
+
+def test_svd_pinv_3x100(benchmark, chain100, q100):
+    """The pseudoinverse method's per-iteration SVD."""
+    jacobian = chain100.jacobian_position(q100)
+    result = benchmark(damped_pinv, jacobian)
+    assert result.shape == (100, 3)
+
+
+def test_quick_ik_full_solve_25dof(benchmark):
+    """A complete solve on a 25-DOF arm (fixed seed => fixed work)."""
+    chain = paper_chain(25)
+    target = chain.end_position(
+        chain.random_configuration(np.random.default_rng(2))
+    )
+    solver = QuickIKSolver(chain, config=SolverConfig(max_iterations=2000))
+
+    def solve():
+        return solver.solve(target, rng=np.random.default_rng(3))
+
+    result = benchmark(solve)
+    assert result.converged
+
+
+def test_ikacc_simulated_solve_25dof(benchmark):
+    """A complete cycle-level accelerator solve on a 25-DOF arm."""
+    chain = paper_chain(25)
+    sim = IKAccSimulator(chain)
+    target = chain.end_position(
+        chain.random_configuration(np.random.default_rng(2))
+    )
+
+    def solve():
+        return sim.solve(target, rng=np.random.default_rng(3))
+
+    result = benchmark(solve)
+    assert result.converged

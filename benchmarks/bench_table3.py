@@ -1,0 +1,31 @@
+"""Table 3: platform details (power/area) and energy per solve.
+
+The IKAcc power/area cells come from the component-level model (DESIGN.md);
+Atom/TX1 power ratings are the paper's.  The energy table backs Section
+6.3.2's prose (IKAcc ~mJ-scale solves vs joule-scale CPU/GPU solves).
+"""
+
+from repro.evaluation.paper_data import TABLE3_PLATFORMS
+
+
+def test_table3(benchmark, experiments, save_table):
+    """Generate Table 3 (timed once end-to-end)."""
+    table = benchmark.pedantic(
+        experiments.table3, rounds=1, iterations=1, warmup_rounds=0
+    )
+    save_table(table, "table3")
+    ikacc_row = table.rows[2]
+    paper = TABLE3_PLATFORMS["IKAcc"]
+    assert abs(float(ikacc_row[3]) - paper["avg_power_w"]) / paper["avg_power_w"] < 0.5
+    assert abs(float(ikacc_row[4]) - paper["area_mm2"]) / paper["area_mm2"] < 0.25
+
+
+def test_energy_per_solve(benchmark, experiments, save_table):
+    """Generate the energy-per-solve table."""
+    table = benchmark.pedantic(
+        experiments.energy_table, rounds=1, iterations=1, warmup_rounds=0
+    )
+    save_table(table, "energy")
+    for row in table.rows:
+        values = [float(v) for v in row[1:]]
+        assert values[-1] == min(values), "IKAcc must be the most frugal"

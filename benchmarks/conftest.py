@@ -1,0 +1,51 @@
+"""Shared fixtures for the benchmark harness.
+
+The harness regenerates every figure/table of the paper.  Workload size is
+controlled by environment variables so the same files serve both a quick
+smoke run and a paper-scale run:
+
+* ``REPRO_TARGETS`` — targets per DOF configuration (default 20; paper 1000);
+* ``REPRO_DOFS`` — comma-separated DOF sweep (default the paper's
+  12,25,50,75,100).
+
+Each bench saves its table under ``benchmarks/results/`` and prints it, so
+``pytest benchmarks/ --benchmark-only -s`` shows the tables live.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.evaluation.experiments import PaperExperiments
+from repro.workloads.suite import EvaluationSuite
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+@pytest.fixture(scope="session")
+def suite() -> EvaluationSuite:
+    """The benchmark workload (env-var controlled)."""
+    return EvaluationSuite()
+
+
+@pytest.fixture(scope="session")
+def experiments(suite) -> PaperExperiments:
+    """One shared harness so solver runs are cached across bench files."""
+    return PaperExperiments(suite=suite)
+
+
+@pytest.fixture(scope="session")
+def save_table():
+    """Persist a TableResult under benchmarks/results/ and echo it."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+
+    def _save(table, name: str) -> None:
+        text = table.to_ascii()
+        path = os.path.join(RESULTS_DIR, f"{name}.txt")
+        with open(path, "w") as handle:
+            handle.write(text + "\n")
+        print(f"\n{text}\n[saved to {path}]")
+
+    return _save

@@ -1,0 +1,35 @@
+"""Quickstart: solve inverse kinematics for a 100-DOF manipulator.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import QuickIKSolver, paper_chain
+
+
+def main() -> None:
+    # The paper's headline scenario: a 100-DOF manipulator.
+    chain = paper_chain(100)
+    print(f"manipulator: {chain.name} ({chain.dof} DOF, "
+          f"reach ~{chain.total_reach():.2f} m)")
+
+    # Pick a guaranteed-reachable target (FK of a random configuration).
+    rng = np.random.default_rng(42)
+    target = chain.end_position(chain.random_configuration(rng))
+    print(f"target position: {np.round(target, 4)}")
+
+    # Quick-IK with the paper's operating point: 64 speculations per
+    # iteration, 1e-2 m accuracy, 10k iteration cap.
+    solver = QuickIKSolver(chain, speculations=64)
+    result = solver.solve(target, rng=rng)
+
+    print(result.summary())
+    reached = chain.end_position(result.q)
+    print(f"reached position: {np.round(reached, 4)}")
+    print(f"final error: {np.linalg.norm(target - reached) * 1000:.2f} mm")
+    print(f"computation load (speculations x iterations): {result.work}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+"""Solver shootout: every IK method in the repository on one workload.
+
+Compares iterations, computation load, success rate and wall time for
+JT-Serial (classic gain), the Buss-step transpose, the SVD pseudoinverse,
+DLS, SDLS, CCD and Quick-IK on the paper's 25-DOF evaluation arm.
+
+Run:  python examples/solver_shootout.py [dof] [targets]
+"""
+
+import sys
+
+import numpy as np
+
+from repro import paper_chain
+from repro.core.result import SolverConfig
+from repro.evaluation.tables import TableResult
+from repro.solvers import (
+    CyclicCoordinateDescentSolver,
+    DampedLeastSquaresSolver,
+    JacobianTransposeSolver,
+    PseudoinverseSolver,
+    QuickIKSolver,
+    SelectivelyDampedSolver,
+)
+
+
+def main(dof: int = 25, n_targets: int = 15) -> None:
+    chain = paper_chain(dof)
+    config = SolverConfig(max_iterations=10_000)
+    rng = np.random.default_rng(7)
+    targets = [chain.end_position(chain.random_configuration(rng)) for _ in range(n_targets)]
+
+    contenders = [
+        ("JT-Serial (classic gain)", JacobianTransposeSolver(chain, config)),
+        ("JT (Buss alpha)", JacobianTransposeSolver(chain, config, alpha_mode="buss")),
+        ("J-1-SVD (pseudoinverse)", PseudoinverseSolver(chain, config, error_clamp=None)),
+        ("DLS (lambda=0.1)", DampedLeastSquaresSolver(chain, config)),
+        ("SDLS (Buss & Kim)", SelectivelyDampedSolver(chain, config)),
+        ("CCD", CyclicCoordinateDescentSolver(chain, config)),
+        ("Quick-IK (64 spec)", QuickIKSolver(chain, 64, config=config)),
+    ]
+
+    rows = []
+    for label, solver in contenders:
+        results = [solver.solve(t, rng=np.random.default_rng(11)) for t in targets]
+        iterations = np.array([r.iterations for r in results])
+        rows.append(
+            [
+                label,
+                float(iterations.mean()),
+                float(np.median(iterations)),
+                float(np.mean([r.work for r in results])),
+                float(np.mean([r.converged for r in results])),
+                float(np.mean([r.wall_time for r in results]) * 1e3),
+            ]
+        )
+
+    table = TableResult(
+        title=f"Solver shootout on {chain.name} ({n_targets} targets)",
+        headers=["solver", "mean iters", "median iters", "mean load",
+                 "success", "wall ms"],
+        rows=rows,
+        notes=[
+            "load = speculations x iterations (Figure 5b metric)",
+            "wall ms is this Python substrate, not the paper's platforms",
+        ],
+    )
+    print(table.to_ascii())
+
+
+if __name__ == "__main__":
+    dof = int(sys.argv[1]) if len(sys.argv) > 1 else 25
+    n_targets = int(sys.argv[2]) if len(sys.argv) > 2 else 15
+    main(dof, n_targets)

@@ -1,0 +1,69 @@
+"""Load a robot from URDF, solve IK on it, and trace IKAcc's pipeline.
+
+Demonstrates two extensions beyond the paper:
+
+* the URDF front end (arbitrary joint origins/axes via the generic chain),
+  here a 12-DOF gantry-mounted snake defined inline;
+* the cycle-level execution trace: where one Quick-IK iteration spends its
+  time inside the accelerator (SPU serial block vs SSU waves vs selector).
+
+Run:  python examples/urdf_and_trace.py
+"""
+
+import numpy as np
+
+from repro.core.quick_ik import QuickIKSolver
+from repro.core.result import SolverConfig
+from repro.ikacc import IKAccSimulator, render_gantt, trace_iteration
+from repro.kinematics import load_urdf
+
+
+def build_urdf() -> str:
+    """A gantry rail (prismatic) carrying a 10-joint snake arm."""
+    lines = ['<robot name="gantry-snake">', '  <link name="world"/>',
+             '  <link name="cart"/>']
+    lines.append(
+        '  <joint name="rail" type="prismatic">'
+        '<origin xyz="0 0 0.5"/><parent link="world"/><child link="cart"/>'
+        '<axis xyz="1 0 0"/><limit lower="-0.5" upper="0.5"/></joint>'
+    )
+    previous = "cart"
+    for i in range(10):
+        link = f"seg{i}"
+        axis = "0 0 1" if i % 2 == 0 else "0 1 0"
+        lines.append(f'  <link name="{link}"/>')
+        lines.append(
+            f'  <joint name="bend{i}" type="revolute">'
+            f'<origin xyz="0.09 0 0"/><parent link="{previous}"/>'
+            f'<child link="{link}"/><axis xyz="{axis}"/>'
+            f'<limit lower="-2.5" upper="2.5"/></joint>'
+        )
+        previous = link
+    lines.append("</robot>")
+    return "\n".join(lines)
+
+
+def main() -> None:
+    chain = load_urdf(build_urdf())
+    print(f"loaded {chain.name!r}: {chain.dof} DOF "
+          f"({chain.n_structural_joints} joints incl. fixed)\n")
+
+    rng = np.random.default_rng(11)
+    target = chain.end_position(chain.random_configuration(rng))
+    solver = QuickIKSolver(chain, config=SolverConfig(max_iterations=5000))
+    result = solver.solve(target, rng=rng)
+    print("software:", result.summary())
+
+    sim = IKAccSimulator(chain)
+    run = sim.solve(target, rng=np.random.default_rng(12))
+    print("hardware:", run.summary(), "\n")
+
+    print(render_gantt(trace_iteration(sim)))
+    trace = trace_iteration(sim)
+    spu_share = trace.utilisation("SPU")
+    print(f"\nthe serial block takes {spu_share:.0%} of an iteration at "
+          f"{chain.dof} DOF — the share the Figure-3 pipeline keeps small")
+
+
+if __name__ == "__main__":
+    main()

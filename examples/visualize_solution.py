@@ -1,0 +1,73 @@
+"""Visualise IK solutions and convergence as SVG (no plotting deps needed).
+
+Produces three files in the working directory:
+
+* ``ik_solution.svg``       — the 25-DOF arm's start pose, solved pose and target
+* ``ik_trajectory.svg``     — warm-started tracking of a straight-line path
+* ``ik_convergence.svg``    — error-vs-iteration curves for three solvers
+
+Run:  python examples/visualize_solution.py
+"""
+
+import numpy as np
+
+from repro import (
+    JacobianTransposeSolver,
+    PseudoinverseSolver,
+    QuickIKSolver,
+    TrajectoryFollower,
+    paper_chain,
+)
+from repro.control import interpolate_line
+from repro.core.result import SolverConfig
+from repro.kinematics.viz import render_chain_svg, render_history_svg, save_svg
+
+
+def main() -> None:
+    chain = paper_chain(25)
+    rng = np.random.default_rng(6)
+    config = SolverConfig(max_iterations=10_000)
+
+    # 1. One solve: start pose vs solution vs target.
+    q_start = chain.random_configuration(rng)
+    target = chain.end_position(chain.random_configuration(rng))
+    result = QuickIKSolver(chain, config=config).solve(target, q0=q_start)
+    svg = render_chain_svg(
+        chain, [q_start, result.q], targets=np.array([target]), plane="xy"
+    )
+    save_svg(svg, "ik_solution.svg")
+    print(f"ik_solution.svg      {result.summary()}")
+
+    # 2. A tracked straight line (every 25th pose drawn).
+    follower = TrajectoryFollower(
+        QuickIKSolver(chain, config=config), max_segment=0.02
+    )
+    goal = chain.end_position(chain.random_configuration(rng))
+    waypoints = interpolate_line(chain.end_position(result.q), goal, steps=12)
+    report = follower.follow(waypoints, q_start=result.q)
+    poses = report.joint_path[:: max(1, len(report.joint_path) // 6)]
+    svg = render_chain_svg(chain, poses, targets=report.waypoints, plane="xy")
+    save_svg(svg, "ik_trajectory.svg")
+    print(
+        f"ik_trajectory.svg    {len(report.results)} waypoints, "
+        f"{report.mean_iterations:.1f} iterations/waypoint, "
+        f"solved={report.solved}"
+    )
+
+    # 3. Convergence curves for three solvers from the same restart.
+    histories = {}
+    for solver in (
+        QuickIKSolver(chain, config=config),
+        JacobianTransposeSolver(chain, config=config),
+        PseudoinverseSolver(chain, config=config, error_clamp=None),
+    ):
+        histories[solver.name] = solver.solve(target, q0=q_start).error_history
+    svg = render_history_svg(histories, tolerance=config.tolerance)
+    save_svg(svg, "ik_convergence.svg")
+    print("ik_convergence.svg   " + ", ".join(
+        f"{k}: {len(v)} points" for k, v in histories.items()
+    ))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+"""repro — reproduction of "Dadu: Accelerating Inverse Kinematics for
+High-DOF Robots" (Lian et al., DAC 2017).
+
+The package provides:
+
+* a kinematics substrate (:mod:`repro.kinematics`);
+* the Quick-IK algorithm (:mod:`repro.core`) and the baseline solvers the
+  paper compares against (:mod:`repro.solvers`);
+* a cycle-level simulator of the IKAcc accelerator (:mod:`repro.ikacc`);
+* platform cost/energy models for Atom, TX1 and IKAcc
+  (:mod:`repro.platforms`);
+* workload generators and the paper's evaluation harness
+  (:mod:`repro.workloads`, :mod:`repro.evaluation`).
+
+Quickstart::
+
+    import numpy as np
+    from repro import QuickIKSolver, paper_chain
+
+    chain = paper_chain(100)                      # 100-DOF manipulator
+    rng = np.random.default_rng(0)
+    target = chain.end_position(chain.random_configuration(rng))
+    result = QuickIKSolver(chain, speculations=64).solve(target, rng=rng)
+    print(result.summary())
+"""
+
+from repro.core import IKResult, QuickIKSolver, SolverConfig
+from repro.kinematics import (
+    PAPER_DOFS,
+    KinematicChain,
+    Joint,
+    JointLimits,
+    hyper_redundant_chain,
+    named_robot,
+    paper_chain,
+    planar_chain,
+    puma560,
+    random_chain,
+    seven_dof_arm,
+    stanford_arm,
+)
+from repro.control import TrajectoryFollower
+from repro.solvers import (
+    CyclicCoordinateDescentSolver,
+    DampedLeastSquaresSolver,
+    JacobianTransposeSolver,
+    NullSpaceSolver,
+    PoseQuickIKSolver,
+    PseudoinverseSolver,
+    RandomRestartSolver,
+    SelectivelyDampedSolver,
+    make_solver,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "IKResult",
+    "QuickIKSolver",
+    "SolverConfig",
+    "PAPER_DOFS",
+    "KinematicChain",
+    "Joint",
+    "JointLimits",
+    "hyper_redundant_chain",
+    "named_robot",
+    "paper_chain",
+    "planar_chain",
+    "puma560",
+    "random_chain",
+    "seven_dof_arm",
+    "stanford_arm",
+    "CyclicCoordinateDescentSolver",
+    "DampedLeastSquaresSolver",
+    "JacobianTransposeSolver",
+    "NullSpaceSolver",
+    "PoseQuickIKSolver",
+    "PseudoinverseSolver",
+    "RandomRestartSolver",
+    "SelectivelyDampedSolver",
+    "TrajectoryFollower",
+    "make_solver",
+    "__version__",
+]

@@ -1,0 +1,178 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``solve``     solve one IK target with any solver
+``simulate``  run the IKAcc cycle-level simulator on one target
+``trace``     render the pipeline Gantt of one accelerator iteration
+``bench``     regenerate a paper experiment table
+``report``    write the full EXPERIMENTS.md
+``robots``    list the available robots
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.core.result import SolverConfig
+from repro.kinematics.robots import ROBOT_NAMES, named_robot
+from repro.solvers import SOLVER_REGISTRY, make_solver
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse tree for ``python -m repro``."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Dadu (DAC 2017) reproduction: Quick-IK and IKAcc",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--robot", default="dadu-25dof",
+                       help="robot name (see `repro robots`)")
+        p.add_argument("--target", type=float, nargs=3, metavar=("X", "Y", "Z"),
+                       help="target position in metres")
+        p.add_argument("--seed", type=int, default=0,
+                       help="seed for the random target/restart")
+        p.add_argument("--tolerance", type=float, default=1e-2,
+                       help="accuracy constraint (metres)")
+        p.add_argument("--max-iterations", type=int, default=10_000)
+
+    solve = sub.add_parser("solve", help="solve one IK target")
+    add_common(solve)
+    solve.add_argument("--solver", default="JT-Speculation",
+                       choices=sorted(SOLVER_REGISTRY))
+    solve.add_argument("--speculations", type=int, default=64)
+
+    simulate = sub.add_parser("simulate", help="cycle-level IKAcc run")
+    add_common(simulate)
+    simulate.add_argument("--ssus", type=int, default=32)
+    simulate.add_argument("--speculations", type=int, default=64)
+
+    trace = sub.add_parser("trace", help="Gantt chart of one IKAcc iteration")
+    trace.add_argument("--robot", default="dadu-100dof")
+    trace.add_argument("--ssus", type=int, default=32)
+    trace.add_argument("--speculations", type=int, default=64)
+    trace.add_argument("--width", type=int, default=72)
+
+    bench = sub.add_parser("bench", help="regenerate a paper experiment")
+    bench.add_argument("experiment",
+                       choices=["figure4", "figure5a", "figure5b", "table2",
+                                "table2_ratios", "table3", "energy",
+                                "headline", "all"])
+    bench.add_argument("--targets", type=int, default=None,
+                       help="targets per DOF (default: REPRO_TARGETS or 20)")
+    bench.add_argument("--dofs", default=None,
+                       help="comma list, e.g. 12,25 (default: REPRO_DOFS or paper sweep)")
+
+    report = sub.add_parser("report", help="write the EXPERIMENTS.md report")
+    report.add_argument("output", nargs="?", default="EXPERIMENTS.md")
+
+    sub.add_parser("robots", help="list available robots")
+    return parser
+
+
+def _resolve_target(chain, args) -> np.ndarray:
+    if args.target is not None:
+        return np.asarray(args.target, dtype=float)
+    rng = np.random.default_rng(args.seed)
+    target = chain.end_position(chain.random_configuration(rng))
+    print(f"random reachable target: {np.round(target, 4)}")
+    return target
+
+
+def _cmd_solve(args) -> int:
+    chain = named_robot(args.robot)
+    config = SolverConfig(tolerance=args.tolerance, max_iterations=args.max_iterations)
+    kwargs = {"speculations": args.speculations} if args.solver == "JT-Speculation" else {}
+    solver = make_solver(args.solver, chain, config=config, **kwargs)
+    target = _resolve_target(chain, args)
+    result = solver.solve(target, rng=np.random.default_rng(args.seed + 1))
+    print(result.summary())
+    print(f"wall time: {result.wall_time * 1e3:.2f} ms (this Python substrate)")
+    return 0 if result.converged else 1
+
+
+def _cmd_simulate(args) -> int:
+    from repro.ikacc import IKAccConfig, IKAccSimulator
+
+    chain = named_robot(args.robot)
+    sim = IKAccSimulator(
+        chain,
+        config=IKAccConfig(n_ssus=args.ssus, speculations=args.speculations),
+        solver_config=SolverConfig(
+            tolerance=args.tolerance, max_iterations=args.max_iterations
+        ),
+    )
+    target = _resolve_target(chain, args)
+    run = sim.solve(target, rng=np.random.default_rng(args.seed + 1))
+    print(run.summary())
+    print("cycle breakdown:", run.cycle_breakdown)
+    print(f"average power: {run.average_power_w * 1e3:.1f} mW")
+    return 0 if run.converged else 1
+
+
+def _cmd_trace(args) -> int:
+    from repro.ikacc import IKAccConfig, IKAccSimulator, render_gantt, trace_iteration
+
+    chain = named_robot(args.robot)
+    sim = IKAccSimulator(
+        chain, config=IKAccConfig(n_ssus=args.ssus, speculations=args.speculations)
+    )
+    print(render_gantt(trace_iteration(sim), width=args.width))
+    print(f"per-iteration latency: {sim.seconds_per_full_iteration() * 1e6:.2f} us")
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    from repro.evaluation.experiments import PaperExperiments
+    from repro.workloads.suite import EvaluationSuite
+
+    dofs = tuple(int(d) for d in args.dofs.split(",")) if args.dofs else None
+    suite = EvaluationSuite(dofs=dofs, targets_per_dof=args.targets)
+    experiments = PaperExperiments(suite=suite)
+    tables = experiments.all_tables()
+    selected = tables if args.experiment == "all" else {
+        args.experiment: tables[args.experiment]
+    }
+    for table in selected.values():
+        print(table.to_ascii())
+        print()
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from repro.evaluation.report import main as report_main
+
+    return report_main([args.output])
+
+
+def _cmd_robots(_args) -> int:
+    print("named robots:", ", ".join(ROBOT_NAMES))
+    print("generated:    dadu-<N>dof, snake-<N>dof, planar-<N>dof")
+    return 0
+
+
+_COMMANDS = {
+    "solve": _cmd_solve,
+    "simulate": _cmd_simulate,
+    "trace": _cmd_trace,
+    "bench": _cmd_bench,
+    "report": _cmd_report,
+    "robots": _cmd_robots,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point for ``python -m repro``."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

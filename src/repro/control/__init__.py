@@ -1,0 +1,15 @@
+"""Control-loop utilities: Cartesian trajectory following on the IK solvers."""
+
+from repro.control.trajectory import (
+    TrackingReport,
+    TrajectoryFollower,
+    interpolate_line,
+    interpolate_waypoints,
+)
+
+__all__ = [
+    "TrackingReport",
+    "TrajectoryFollower",
+    "interpolate_line",
+    "interpolate_waypoints",
+]

@@ -1,0 +1,131 @@
+"""Cartesian trajectory following on top of the IK solvers.
+
+The paper motivates real-time IK with robot control: a controller streams
+Cartesian waypoints and must solve each one inside the control period.  This
+module provides that loop — waypoint interpolation, warm-started solving, and
+honest per-waypoint accounting that the platform models can price against a
+control budget (see ``examples/high_dof_snake.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.result import IKResult
+from repro.kinematics.chain import KinematicChain
+
+__all__ = ["interpolate_line", "interpolate_waypoints", "TrackingReport", "TrajectoryFollower"]
+
+
+def interpolate_line(start: np.ndarray, end: np.ndarray, steps: int) -> np.ndarray:
+    """``steps`` points from ``start`` to ``end`` inclusive; ``(steps, 3)``."""
+    if steps < 2:
+        raise ValueError("steps must be >= 2")
+    ts = np.linspace(0.0, 1.0, steps)
+    start = np.asarray(start, dtype=float)
+    end = np.asarray(end, dtype=float)
+    return start[None, :] + ts[:, None] * (end - start)[None, :]
+
+
+def interpolate_waypoints(waypoints: np.ndarray, max_segment: float) -> np.ndarray:
+    """Densify a waypoint list so consecutive points are <= ``max_segment``
+    apart (keeps each IK solve in the warm-start basin)."""
+    if max_segment <= 0.0:
+        raise ValueError("max_segment must be positive")
+    waypoints = np.atleast_2d(np.asarray(waypoints, dtype=float))
+    if waypoints.shape[0] < 2:
+        return waypoints.copy()
+    dense = [waypoints[0]]
+    for nxt in waypoints[1:]:
+        prev = dense[-1]
+        distance = float(np.linalg.norm(nxt - prev))
+        segments = max(1, int(np.ceil(distance / max_segment)))
+        for i in range(1, segments + 1):
+            dense.append(prev + (i / segments) * (nxt - prev))
+    return np.stack(dense)
+
+
+@dataclass
+class TrackingReport:
+    """Outcome of following one trajectory."""
+
+    waypoints: np.ndarray
+    joint_path: np.ndarray
+    results: list[IKResult] = field(repr=False, default_factory=list)
+
+    @property
+    def solved(self) -> bool:
+        """True when every waypoint converged."""
+        return all(r.converged for r in self.results)
+
+    @property
+    def total_iterations(self) -> int:
+        """Iterations summed over all waypoints."""
+        return sum(r.iterations for r in self.results)
+
+    @property
+    def mean_iterations(self) -> float:
+        """Mean iterations per waypoint."""
+        if not self.results:
+            return 0.0
+        return self.total_iterations / len(self.results)
+
+    @property
+    def max_error(self) -> float:
+        """Worst waypoint error (metres)."""
+        return max((r.error for r in self.results), default=0.0)
+
+    def joint_velocity_proxy(self) -> np.ndarray:
+        """Per-step max |dq| along the joint path (smoothness diagnostic)."""
+        if self.joint_path.shape[0] < 2:
+            return np.zeros(0)
+        return np.max(np.abs(np.diff(self.joint_path, axis=0)), axis=1)
+
+
+class TrajectoryFollower:
+    """Warm-started IK along a Cartesian path.
+
+    Parameters
+    ----------
+    solver:
+        Any solver with a ``solve(target, q0=..., rng=...)`` method.
+    max_segment:
+        Waypoint densification threshold (metres); ``None`` disables.
+    """
+
+    def __init__(self, solver, max_segment: float | None = None) -> None:
+        self.solver = solver
+        self.max_segment = max_segment
+
+    @property
+    def chain(self) -> KinematicChain:
+        """The solver's chain."""
+        return self.solver.chain
+
+    def follow(
+        self,
+        waypoints: np.ndarray,
+        q_start: np.ndarray,
+        stop_on_failure: bool = True,
+    ) -> TrackingReport:
+        """Solve every waypoint, warm-starting from the previous solution."""
+        waypoints = np.atleast_2d(np.asarray(waypoints, dtype=float))
+        if self.max_segment is not None:
+            waypoints = interpolate_waypoints(waypoints, self.max_segment)
+        q = np.asarray(q_start, dtype=float).copy()
+        joint_path = [q.copy()]
+        results: list[IKResult] = []
+        for waypoint in waypoints:
+            result = self.solver.solve(waypoint, q0=q)
+            results.append(result)
+            if not result.converged and stop_on_failure:
+                break
+            q = result.q
+            joint_path.append(q.copy())
+        return TrackingReport(
+            waypoints=waypoints,
+            joint_path=np.stack(joint_path),
+            results=results,
+        )

@@ -1,0 +1,166 @@
+"""Driver loop shared by every iterative IK solver.
+
+Algorithm 1's outer structure (random initial configuration, iterate until the
+accuracy constraint or the iteration cap) is identical for the Jacobian
+transpose, pseudoinverse, DLS, SDLS, CCD and Quick-IK solvers; each solver
+only customises one iteration via :meth:`IterativeIKSolver._step`.
+"""
+
+from __future__ import annotations
+
+import time
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.core.result import IKResult, SolverConfig, StepOutcome
+from repro.kinematics.chain import KinematicChain
+
+__all__ = ["IterativeIKSolver"]
+
+
+class IterativeIKSolver(ABC):
+    """Base class for iterative task-space IK solvers.
+
+    Subclasses set :attr:`name` (used in every report/table) and
+    :attr:`speculations` (1 for serial methods; the Figure 5b load metric is
+    ``speculations x iterations``), and implement :meth:`_step`.
+    """
+
+    #: Solver label used in tables (overridden by subclasses).
+    name = "iterative-ik"
+
+    #: Candidate evaluations per iteration (1 for serial methods).
+    speculations = 1
+
+    def __init__(
+        self, chain: KinematicChain, config: SolverConfig | None = None
+    ) -> None:
+        self.chain = chain
+        self.config = config or SolverConfig()
+
+    @abstractmethod
+    def _step(
+        self, q: np.ndarray, position: np.ndarray, target: np.ndarray
+    ) -> StepOutcome:
+        """Run one iteration from configuration ``q``.
+
+        ``position`` is ``f(q)`` (already evaluated by the driver) and
+        ``target`` is ``X_t``.  Returns the new configuration, optionally with
+        its already-evaluated position/error, plus the number of FK
+        evaluations the step performed.
+        """
+
+    def initial_configuration(
+        self, q0: np.ndarray | None, rng: np.random.Generator | None
+    ) -> np.ndarray:
+        """Resolve the starting configuration.
+
+        Algorithm 1 line 1 sets theta randomly; callers may instead pass an
+        explicit ``q0`` (e.g. the previous trajectory waypoint's solution).
+        """
+        if q0 is not None:
+            q0 = np.asarray(q0, dtype=float)
+            if q0.shape != (self.chain.dof,):
+                raise ValueError(
+                    f"q0 must have shape ({self.chain.dof},), got {q0.shape}"
+                )
+            return q0.copy()
+        if rng is None:
+            rng = np.random.default_rng()
+        return self.chain.random_configuration(rng)
+
+    def solve(
+        self,
+        target: np.ndarray,
+        q0: np.ndarray | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> IKResult:
+        """Solve ``theta = f^-1(X_t)`` for a 3-D target position.
+
+        Parameters
+        ----------
+        target:
+            Target end-effector position ``X_t`` (3-vector).
+        q0:
+            Optional starting configuration; random when omitted.
+        rng:
+            Random generator used when ``q0`` is omitted.
+        """
+        target = np.asarray(target, dtype=float)
+        if target.shape != (3,):
+            raise ValueError(f"target must be a 3-vector, got shape {target.shape}")
+
+        config = self.config
+        start = time.perf_counter()
+        q = self.initial_configuration(q0, rng)
+        position = self.chain.end_position(q)
+        error = float(np.linalg.norm(target - position))
+        fk_evaluations = 1
+        history = [error] if config.record_history else None
+
+        iterations = 0
+        converged = error < config.tolerance
+        while not converged and iterations < config.max_iterations:
+            outcome = self._step(q, position, target)
+            iterations += 1
+            fk_evaluations += outcome.fk_evaluations
+            q = outcome.q
+            if config.respect_limits:
+                q = self.chain.clamp(q)
+                # Clamping may invalidate the step's reported position.
+                outcome.position = None
+                outcome.error = None
+            if outcome.position is None:
+                position = self.chain.end_position(q)
+                fk_evaluations += 1
+            else:
+                position = outcome.position
+            if outcome.error is None:
+                error = float(np.linalg.norm(target - position))
+            else:
+                error = float(outcome.error)
+            if history is not None:
+                history.append(error)
+            converged = error < config.tolerance or outcome.early_exit
+
+        return IKResult(
+            q=q,
+            converged=bool(error < config.tolerance),
+            iterations=iterations,
+            error=error,
+            target=target,
+            solver=self.name,
+            dof=self.chain.dof,
+            speculations=self.speculations,
+            fk_evaluations=fk_evaluations,
+            wall_time=time.perf_counter() - start,
+            error_history=(
+                np.asarray(history) if history is not None else np.empty(0)
+            ),
+        )
+
+    def solve_batch(
+        self,
+        targets: np.ndarray,
+        rng: np.random.Generator | None = None,
+        q0: np.ndarray | None = None,
+    ) -> list[IKResult]:
+        """Solve a batch of targets (one random restart each).
+
+        The paper's evaluation solves 1K target positions per DOF
+        configuration; this is the entry point the harness uses.
+        """
+        targets = np.atleast_2d(np.asarray(targets, dtype=float))
+        if targets.shape[1] != 3:
+            raise ValueError("targets must have shape (M, 3)")
+        if rng is None:
+            rng = np.random.default_rng()
+        return [self.solve(t, q0=q0, rng=rng) for t in targets]
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(chain={self.chain.name!r}, "
+            f"tolerance={self.config.tolerance}, "
+            f"max_iterations={self.config.max_iterations})"
+        )

@@ -1,0 +1,106 @@
+"""Hybrid speculation: search step sizes *and* directions in parallel.
+
+An extension of Quick-IK beyond the paper.  Algorithm 1 speculates only over
+the scalar step size along the single transpose direction ``J^T e``.  Nothing
+in the hardware requires that: each SSU evaluates *a candidate configuration*
+— so the candidate set can mix direction families.  This solver speculates
+over
+
+* the paper's Eq. 9 grid along ``J^T e`` (a fraction of the budget), and
+* damped-least-squares directions ``J^T (JJ^T + lambda^2 I)^-1 e`` for a
+  log-spaced grid of damping values (the rest of the budget).
+
+DLS directions dominate near singular poses where the raw transpose
+direction stalls, while the cheap transpose candidates dominate far from
+them — the argmin picks per-iteration whichever family is winning.  The cost
+model is unchanged from the hardware's perspective (same number of FK
+evaluations per iteration) except for the small serial add-on of the 3x3
+solves, which the SPU's epilogue can absorb.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.alpha import buss_alpha
+from repro.core.base import IterativeIKSolver
+from repro.core.result import SolverConfig, StepOutcome
+from repro.kinematics.chain import KinematicChain
+
+__all__ = ["HybridSpeculativeSolver"]
+
+
+class HybridSpeculativeSolver(IterativeIKSolver):
+    """Quick-IK with a mixed transpose/DLS candidate set.
+
+    Parameters
+    ----------
+    speculations:
+        Total candidate budget per iteration (FK evaluations).
+    dls_fraction:
+        Share of the budget spent on DLS-direction candidates.
+    damping_range:
+        ``(lambda_min, lambda_max)`` of the log-spaced damping grid.
+    """
+
+    name = "JT-Hybrid"
+
+    def __init__(
+        self,
+        chain: KinematicChain,
+        speculations: int = 64,
+        config: SolverConfig | None = None,
+        dls_fraction: float = 0.25,
+        damping_range: tuple[float, float] = (1e-3, 1.0),
+    ) -> None:
+        super().__init__(chain, config)
+        if speculations < 2:
+            raise ValueError("hybrid speculation needs at least 2 candidates")
+        if not 0.0 <= dls_fraction < 1.0:
+            raise ValueError("dls_fraction must be in [0, 1)")
+        if not 0.0 < damping_range[0] <= damping_range[1]:
+            raise ValueError("damping_range must be positive and ordered")
+        self.speculations = int(speculations)
+        self.n_dls = int(round(dls_fraction * speculations))
+        self.n_jt = self.speculations - self.n_dls
+        if self.n_dls > 0:
+            self.dampings = np.geomspace(
+                damping_range[0], damping_range[1], self.n_dls
+            )
+        else:
+            self.dampings = np.empty(0)
+
+    def _step(
+        self, q: np.ndarray, position: np.ndarray, target: np.ndarray
+    ) -> StepOutcome:
+        error_vec = target - position
+        jacobian = self.chain.jacobian_position(q)
+        dq_base = jacobian.T @ error_vec
+        alpha_base = buss_alpha(error_vec, jacobian @ dq_base)
+
+        candidates = []
+        # Family 1: the paper's Eq. 9 grid along the transpose direction.
+        ks = np.arange(1, self.n_jt + 1) / self.n_jt
+        candidates.append(q[None, :] + (ks * alpha_base)[:, None] * dq_base[None, :])
+        # Family 2: DLS directions over the damping grid (full steps).
+        if self.n_dls:
+            jjt = jacobian @ jacobian.T
+            eye = np.eye(jjt.shape[0])
+            dls_steps = []
+            for lam in self.dampings:
+                rhs = np.linalg.solve(jjt + (lam * lam) * eye, error_vec)
+                dls_steps.append(q + jacobian.T @ rhs)
+            candidates.append(np.stack(dls_steps))
+        stacked = np.concatenate(candidates, axis=0)
+
+        positions = self.chain.end_positions_batch(stacked)
+        errors = np.linalg.norm(target[None, :] - positions, axis=1)
+        below = np.flatnonzero(errors < self.config.tolerance)
+        chosen = int(below[0]) if below.size else int(np.argmin(errors))
+        return StepOutcome(
+            q=stacked[chosen],
+            position=positions[chosen],
+            error=float(errors[chosen]),
+            fk_evaluations=stacked.shape[0],
+            early_exit=bool(below.size),
+        )

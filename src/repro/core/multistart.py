@@ -1,0 +1,79 @@
+"""Speculative restarts: use the SSU array for parallel seeding.
+
+Algorithm 1 starts from *one* random configuration.  The same hardware that
+evaluates 64 speculative step sizes per iteration can, in iteration zero,
+evaluate 64 random *configurations* instead — and start the solve from the
+one already closest to the target.  This costs exactly one extra wave pass
+and reliably removes the worst-case restarts (the long tail that dominates
+mean iteration counts).
+
+Wraps any solver with the standard ``solve`` API.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.result import IKResult
+
+__all__ = ["SpeculativeRestartSolver", "best_seed"]
+
+
+def best_seed(
+    chain,
+    target: np.ndarray,
+    candidates: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """The random configuration (of ``candidates`` drawn) whose FK lands
+    closest to ``target`` — one batched FK evaluation."""
+    if candidates < 1:
+        raise ValueError("candidates must be >= 1")
+    qs = np.stack([chain.random_configuration(rng) for _ in range(candidates)])
+    positions = chain.end_positions_batch(qs)
+    errors = np.linalg.norm(positions - np.asarray(target, dtype=float), axis=1)
+    return qs[int(np.argmin(errors))]
+
+
+class SpeculativeRestartSolver:
+    """Seed the inner solver with the best of ``seed_candidates`` restarts.
+
+    The seeding pass is charged to the result's ``fk_evaluations`` so cost
+    comparisons stay honest (it corresponds to one extra scheduler pass over
+    the SSU array in hardware).
+    """
+
+    def __init__(self, inner, seed_candidates: int = 64) -> None:
+        if seed_candidates < 1:
+            raise ValueError("seed_candidates must be >= 1")
+        self.inner = inner
+        self.seed_candidates = int(seed_candidates)
+
+    @property
+    def name(self) -> str:
+        """Label derived from the inner solver."""
+        return f"{self.inner.name}+seeded"
+
+    @property
+    def chain(self):
+        """The inner solver's chain."""
+        return self.inner.chain
+
+    def solve(
+        self,
+        target: np.ndarray,
+        q0: np.ndarray | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> IKResult:
+        """Solve from the best speculative seed (``q0`` overrides seeding)."""
+        if rng is None:
+            rng = np.random.default_rng()
+        if q0 is None:
+            q0 = best_seed(self.chain, target, self.seed_candidates, rng)
+            extra_fk = self.seed_candidates
+        else:
+            extra_fk = 0
+        result = self.inner.solve(target, q0=q0, rng=rng)
+        result.fk_evaluations += extra_fk
+        result.solver = self.name
+        return result

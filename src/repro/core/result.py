@@ -1,0 +1,101 @@
+"""Shared result/configuration types for every IK solver in the repository.
+
+The fields mirror the quantities the paper reports:
+
+* ``iterations`` — outer-loop count (Figures 4 and 5a).
+* ``work`` — ``speculations x iterations``, the computation-load metric of
+  Figure 5(b) ("For JT-serial and J-1-SVD, the speculation is one").
+* ``fk_evaluations`` — exact forward-kinematics call count, used by the
+  platform cost models to price a solve on Atom / TX1 / IKAcc (Table 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["SolverConfig", "StepOutcome", "IKResult"]
+
+#: Paper accuracy constraint: 1e-2 metre (Section 6.1).
+DEFAULT_TOLERANCE = 1e-2
+
+#: Paper iteration cap: 10k (Section 6.1).
+DEFAULT_MAX_ITERATIONS = 10_000
+
+
+@dataclass(frozen=True)
+class SolverConfig:
+    """Convergence policy shared by all solvers.
+
+    Parameters
+    ----------
+    tolerance:
+        Accuracy constraint on ``||X_t - f(theta)||`` in metres.
+    max_iterations:
+        Hard cap on outer iterations; a run that hits it is *not converged*.
+    record_history:
+        When true, the per-iteration error norms are kept on the result.
+    respect_limits:
+        When true, every candidate configuration is clamped into the joint
+        limits before evaluation (an extension; the paper ignores limits).
+    """
+
+    tolerance: float = DEFAULT_TOLERANCE
+    max_iterations: int = DEFAULT_MAX_ITERATIONS
+    record_history: bool = True
+    respect_limits: bool = False
+
+    def __post_init__(self) -> None:
+        if self.tolerance <= 0.0:
+            raise ValueError("tolerance must be positive")
+        if self.max_iterations < 1:
+            raise ValueError("max_iterations must be >= 1")
+
+
+@dataclass
+class StepOutcome:
+    """What one solver iteration produced.
+
+    ``position``/``error`` are optional: a solver that already evaluated the
+    FK of its new configuration (Quick-IK evaluates every speculation) reports
+    them so the driver loop does not recompute; a solver that did not leaves
+    them ``None``.
+    """
+
+    q: np.ndarray
+    position: np.ndarray | None = None
+    error: float | None = None
+    fk_evaluations: int = 0
+    early_exit: bool = False
+
+
+@dataclass
+class IKResult:
+    """Outcome of one IK solve."""
+
+    q: np.ndarray
+    converged: bool
+    iterations: int
+    error: float
+    target: np.ndarray
+    solver: str
+    dof: int
+    speculations: int = 1
+    fk_evaluations: int = 0
+    wall_time: float = 0.0
+    error_history: np.ndarray = field(default_factory=lambda: np.empty(0))
+
+    @property
+    def work(self) -> int:
+        """Computation load ``speculations x iterations`` (Figure 5b)."""
+        return self.speculations * self.iterations
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        status = "converged" if self.converged else "FAILED"
+        return (
+            f"{self.solver}: {status} in {self.iterations} iterations, "
+            f"error {self.error:.3e} m ({self.dof} DOF, "
+            f"{self.fk_evaluations} FK evals)"
+        )

@@ -1,0 +1,49 @@
+"""Evaluation harness: experiments, ablations, tables, paper data."""
+
+from repro.evaluation.ablations import (
+    all_ablations,
+    alpha_mode_ablation,
+    hybrid_direction_ablation,
+    morphology_ablation,
+    precision_ablation,
+    schedule_ablation,
+    spu_pipeline_ablation,
+    ssu_count_sweep,
+)
+from repro.evaluation.diagnostics import (
+    analyze_history,
+    chosen_index_stats,
+    figure4_investigation,
+)
+from repro.evaluation.experiments import PaperExperiments
+from repro.evaluation.report import generate_report
+from repro.evaluation.stats import (
+    BootstrapCI,
+    bootstrap_mean_ci,
+    bootstrap_ratio_ci,
+    means_differ,
+)
+from repro.evaluation.tables import TableResult, render_ascii, render_markdown
+
+__all__ = [
+    "all_ablations",
+    "alpha_mode_ablation",
+    "hybrid_direction_ablation",
+    "morphology_ablation",
+    "precision_ablation",
+    "schedule_ablation",
+    "spu_pipeline_ablation",
+    "ssu_count_sweep",
+    "PaperExperiments",
+    "analyze_history",
+    "chosen_index_stats",
+    "figure4_investigation",
+    "generate_report",
+    "BootstrapCI",
+    "bootstrap_mean_ci",
+    "bootstrap_ratio_ci",
+    "means_differ",
+    "TableResult",
+    "render_ascii",
+    "render_markdown",
+]

@@ -1,0 +1,114 @@
+"""The paper's published numbers, transcribed for side-by-side comparison.
+
+Everything the evaluation section reports numerically lives here so that the
+benchmark harness can print "paper vs reproduced" columns and EXPERIMENTS.md
+can be generated mechanically.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "PAPER_DOFS",
+    "METHODS",
+    "TABLE2_MS",
+    "TABLE3_PLATFORMS",
+    "HEADLINE_CLAIMS",
+    "FIGURE4_SPECULATIONS",
+    "FIGURE5_CLAIMS",
+    "ACCURACY_M",
+    "MAX_ITERATIONS",
+    "TARGETS_PER_DOF",
+]
+
+#: DOF sweep of the evaluation (Section 6.2).
+PAPER_DOFS = (12, 25, 50, 75, 100)
+
+#: Table 1 — the method/platform matrix.
+METHODS = {
+    "JT-Serial": "Original transpose method on Intel Atom",
+    "J-1-SVD": "SVD pseudoinverse method (KDL) on Intel Atom",
+    "JT-Speculation": "Quick-IK on Intel Atom",
+    "JT-TX1": "Quick-IK on NVIDIA TX1 (GPU + A57 serial part)",
+    "JT-IKAcc": "Quick-IK on the IKAcc accelerator",
+}
+
+#: Table 2 — average solve time in milliseconds over 1K solutions.
+#: Rows keyed by DOF; columns in Table 1 order.
+TABLE2_MS = {
+    12: {
+        "JT-Serial": 622.05,
+        "J-1-SVD": 96.76,
+        "JT-Speculation": 288.06,
+        "JT-TX1": 38.30,
+        "JT-IKAcc": 0.3042,
+    },
+    25: {
+        "JT-Serial": 2330.53,
+        "J-1-SVD": 144.57,
+        "JT-Speculation": 656.15,
+        "JT-TX1": 47.91,
+        "JT-IKAcc": 0.8243,
+    },
+    50: {
+        "JT-Serial": 6010.24,
+        "J-1-SVD": 469.87,
+        "JT-Speculation": 5285.14,
+        "JT-TX1": 185.18,
+        "JT-IKAcc": 4.5373,
+    },
+    75: {
+        "JT-Serial": 9570.49,
+        "J-1-SVD": 637.57,
+        "JT-Speculation": 7704.93,
+        "JT-TX1": 217.91,
+        "JT-IKAcc": 7.6572,
+    },
+    100: {
+        "JT-Serial": 12990.81,
+        "J-1-SVD": 1382.35,
+        "JT-Speculation": 12383.25,
+        "JT-TX1": 311.74,
+        "JT-IKAcc": 12.1125,
+    },
+}
+
+#: Table 3 — platform details.
+TABLE3_PLATFORMS = {
+    "Atom": {"technology": "32nm", "frequency": "1.86GHz", "avg_power_w": 10.0},
+    "TX1": {"technology": "20nm", "frequency": "up to 1.9GHz", "avg_power_w": 4.8},
+    "IKAcc": {
+        "technology": "65nm 1.1V",
+        "frequency": "1GHz",
+        "avg_power_w": 0.1586,
+        "area_mm2": 2.27,
+    },
+}
+
+#: Abstract / Section 6 headline claims.
+HEADLINE_CLAIMS = {
+    "iteration_reduction": 0.97,  # Quick-IK vs the original transpose method
+    "speedup_vs_jt_serial_atom": 1700.0,  # IKAcc vs CPU JT-Serial
+    "speedup_vs_tx1": 30.0,  # IKAcc vs GPU Quick-IK
+    "energy_efficiency_vs_tx1": 776.0,  # IKAcc vs GPU Quick-IK
+    "energy_efficiency_vs_atom_svd": 5200.0,  # IKAcc vs Atom pseudoinverse
+    "ms_at_100_dof": 12.0,  # "solve IK problem in 12 milliseconds for 100 DOF"
+    "ikacc_energy_100dof_mj": 1.92,  # "just consumes about 1.92 mJ"
+}
+
+#: Figure 4 sweep ("the results show that 64 speculations may be a great
+#: choice"); the paper plots iteration counts but prints no numbers.
+FIGURE4_SPECULATIONS = (16, 32, 64, 128)
+
+#: Figure 5 qualitative claims (the charts are log-scale without gridline
+#: values; these are the statements the text makes about them).
+FIGURE5_CLAIMS = (
+    "Quick-IK reduces iterations by ~97% vs the original transpose method",
+    "Quick-IK reaches the iteration level of the pseudoinverse method",
+    "Quick-IK's computation load (speculations x iterations) is similar to "
+    "the original transpose method's",
+)
+
+#: Evaluation constants (Section 6.1/6.2).
+ACCURACY_M = 1e-2
+MAX_ITERATIONS = 10_000
+TARGETS_PER_DOF = 1000

@@ -1,0 +1,83 @@
+"""Plain-text / markdown table rendering for the experiment harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["TableResult", "format_cell", "render_ascii", "render_markdown"]
+
+
+@dataclass
+class TableResult:
+    """One regenerated figure/table: headers, rows, provenance notes."""
+
+    title: str
+    headers: list[str]
+    rows: list[list[object]]
+    notes: list[str] = field(default_factory=list)
+
+    def column(self, name: str) -> list[object]:
+        """Extract one column by header name."""
+        try:
+            index = self.headers.index(name)
+        except ValueError:
+            raise KeyError(
+                f"no column {name!r}; have {self.headers}"
+            ) from None
+        return [row[index] for row in self.rows]
+
+    def to_ascii(self) -> str:
+        """Render as an aligned plain-text table."""
+        return render_ascii(self)
+
+    def to_markdown(self) -> str:
+        """Render as a GitHub-flavoured markdown table."""
+        return render_markdown(self)
+
+
+def format_cell(value: object) -> str:
+    """Human-friendly scalar formatting (4 significant digits for floats)."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0.0:
+            return "0"
+        magnitude = abs(value)
+        if magnitude >= 1e5 or magnitude < 1e-3:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def render_ascii(table: TableResult) -> str:
+    """Aligned fixed-width rendering with title and footnotes."""
+    cells = [[format_cell(v) for v in row] for row in table.rows]
+    widths = [
+        max(len(table.headers[i]), *(len(row[i]) for row in cells))
+        if cells
+        else len(table.headers[i])
+        for i in range(len(table.headers))
+    ]
+    lines = [table.title, "=" * len(table.title)]
+    header = "  ".join(h.ljust(widths[i]) for i, h in enumerate(table.headers))
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in cells:
+        lines.append("  ".join(row[i].ljust(widths[i]) for i in range(len(row))))
+    for note in table.notes:
+        lines.append(f"  note: {note}")
+    return "\n".join(lines)
+
+
+def render_markdown(table: TableResult) -> str:
+    """GitHub-flavoured markdown rendering."""
+    lines = [f"### {table.title}", ""]
+    lines.append("| " + " | ".join(table.headers) + " |")
+    lines.append("|" + "|".join("---" for _ in table.headers) + "|")
+    for row in table.rows:
+        lines.append("| " + " | ".join(format_cell(v) for v in row) + " |")
+    if table.notes:
+        lines.append("")
+        for note in table.notes:
+            lines.append(f"*{note}*")
+    return "\n".join(lines)

@@ -1,0 +1,208 @@
+"""IKAcc top level: the cycle-level accelerator simulator.
+
+Ties together the four modules of Figure 2 — Serial Process Unit, the SSU
+array, the Parallel Search Scheduler and the Parameter Selector — into a
+functional simulator that *actually solves* the IK problem (float32 datapath)
+while accounting cycles, operations, energy and power.
+
+Timing of one iteration::
+
+    SPU (pipelined serial block)
+    for each wave:                         # ceil(Max / MaxSSUs) waves
+        broadcast theta/dtheta/alpha       # scheduler
+        SSU array latency (lock-step)      # one speculative search
+        selector tree merge
+    (early exit: a wave whose best candidate met the threshold ends both the
+     wave loop and the solve, exactly like Algorithm 1 lines 12-13)
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.result import SolverConfig
+from repro.ikacc.config import IKAccConfig
+from repro.ikacc.opcounts import OpCounts
+from repro.ikacc.power import IKAccPowerModel
+from repro.ikacc.scheduler import ParallelSearchScheduler
+from repro.ikacc.selector import ParameterSelector, SelectionState
+from repro.ikacc.spu import SerialProcessUnit
+from repro.ikacc.ssu import SpeculativeSearchUnit
+from repro.kinematics.chain import KinematicChain
+
+__all__ = ["IKAccRunResult", "IKAccSimulator"]
+
+
+@dataclass
+class IKAccRunResult:
+    """Outcome of one IK solve on the simulated accelerator."""
+
+    q: np.ndarray
+    converged: bool
+    iterations: int
+    error: float
+    cycles: int
+    seconds: float
+    ops: OpCounts
+    energy_j: float
+    average_power_w: float
+    waves_executed: int
+    cycle_breakdown: dict[str, int] = field(default_factory=dict)
+    wall_time: float = 0.0
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        status = "converged" if self.converged else "FAILED"
+        return (
+            f"IKAcc: {status} in {self.iterations} iterations / "
+            f"{self.cycles} cycles = {self.seconds * 1e3:.4f} ms, "
+            f"energy {self.energy_j * 1e3:.4f} mJ"
+        )
+
+
+class IKAccSimulator:
+    """Cycle-level functional simulator of the IKAcc accelerator.
+
+    Parameters
+    ----------
+    chain:
+        Manipulator (converted internally to the float32 datapath).
+    config:
+        Hardware configuration (default: the paper's 32-SSU / 64-speculation
+        design at 1 GHz).
+    solver_config:
+        Convergence policy (paper defaults: 1e-2 m, 10k iterations).
+    power_model:
+        Area/energy model; a default one is built from ``config``.
+    """
+
+    def __init__(
+        self,
+        chain: KinematicChain,
+        config: IKAccConfig | None = None,
+        solver_config: SolverConfig | None = None,
+        power_model: IKAccPowerModel | None = None,
+    ) -> None:
+        self.chain = chain
+        self.config = config or IKAccConfig()
+        self.solver_config = solver_config or SolverConfig()
+        self.spu = SerialProcessUnit(chain, self.config)
+        self.ssu = SpeculativeSearchUnit(chain, self.config)
+        self.scheduler = ParallelSearchScheduler(self.config)
+        self.selector = ParameterSelector(self.config)
+        self.power_model = power_model or IKAccPowerModel(self.config)
+        self.scheduler.validate()
+
+    # ------------------------------------------------------------------
+    # Static timing queries (used by Table 2 and the design-space example)
+    # ------------------------------------------------------------------
+
+    def cycles_per_full_iteration(self) -> int:
+        """Latency of one iteration when no wave exits early."""
+        cycles = self.spu.cycles_per_iteration()
+        for wave in self.scheduler.waves():
+            cycles += self.scheduler.broadcast_cycles()
+            cycles += self.ssu.cycles_per_speculation()
+            cycles += self.selector.cycles_per_wave(wave.occupancy)
+        return cycles
+
+    def seconds_per_full_iteration(self) -> float:
+        """:meth:`cycles_per_full_iteration` at the configured clock."""
+        return self.config.cycles_to_seconds(self.cycles_per_full_iteration())
+
+    # ------------------------------------------------------------------
+    # Solve
+    # ------------------------------------------------------------------
+
+    def solve(
+        self,
+        target: np.ndarray,
+        q0: np.ndarray | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> IKAccRunResult:
+        """Run the accelerator on one target position."""
+        target = np.asarray(target, dtype=float)
+        if target.shape != (3,):
+            raise ValueError(f"target must be a 3-vector, got shape {target.shape}")
+        if rng is None:
+            rng = np.random.default_rng()
+        if q0 is None:
+            q = self.chain.random_configuration(rng)
+        else:
+            q = np.asarray(q0, dtype=float).copy()
+        q = q.astype(self.ssu.fku.chain32.dtype)
+
+        wall_start = time.perf_counter()
+        tolerance = self.solver_config.tolerance
+        breakdown = {"spu": 0, "ssu": 0, "scheduler": 0, "selector": 0, "init": 0}
+        ops = OpCounts()
+
+        # Initial FK to seed the error check (one FKU evaluation).
+        position, fk_report = self.ssu.fku.run(q)
+        breakdown["init"] += fk_report.cycles
+        ops = ops + fk_report.ops
+        error = float(np.linalg.norm(target - position.astype(float)))
+
+        iterations = 0
+        waves_executed = 0
+        while error >= tolerance and iterations < self.solver_config.max_iterations:
+            spu_result = self.spu.run(q, target)
+            breakdown["spu"] += spu_result.cycles
+            ops = ops + spu_result.ops
+
+            state = SelectionState()
+            for wave in self.scheduler.waves():
+                breakdown["scheduler"] += self.scheduler.broadcast_cycles()
+                results = self.ssu.run_wave(
+                    np.array(wave.speculation_indices),
+                    q,
+                    spu_result.dtheta_base,
+                    spu_result.alpha_base,
+                    target,
+                    tolerance,
+                )
+                breakdown["ssu"] += self.ssu.cycles_per_speculation()
+                for result in results:
+                    ops = ops + result.ops
+                self.selector.merge_wave(state, results)
+                waves_executed += 1
+                if state.hit is not None:
+                    break  # threshold met: skip the remaining waves
+            breakdown["selector"] += state.cycles
+
+            winner = self.selector.outcome(state)
+            q = winner.q
+            error = winner.error
+            iterations += 1
+
+        cycles = sum(breakdown.values())
+        seconds = self.config.cycles_to_seconds(cycles)
+        energy = self.power_model.energy_j(ops, seconds)
+        return IKAccRunResult(
+            q=q.astype(float),
+            converged=bool(error < tolerance),
+            iterations=iterations,
+            error=error,
+            cycles=cycles,
+            seconds=seconds,
+            ops=ops,
+            energy_j=energy,
+            average_power_w=energy / seconds if seconds > 0.0 else 0.0,
+            waves_executed=waves_executed,
+            cycle_breakdown=breakdown,
+            wall_time=time.perf_counter() - wall_start,
+        )
+
+    def solve_batch(
+        self,
+        targets: np.ndarray,
+        rng: np.random.Generator | None = None,
+    ) -> list[IKAccRunResult]:
+        """Solve several targets (fresh random restart each)."""
+        targets = np.atleast_2d(np.asarray(targets, dtype=float))
+        if rng is None:
+            rng = np.random.default_rng()
+        return [self.solve(t, rng=rng) for t in targets]

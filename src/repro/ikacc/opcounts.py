@@ -1,0 +1,183 @@
+"""Arithmetic operation counts for the kernels in Quick-IK.
+
+Every platform model (Atom, TX1, IKAcc) prices a solve from the *same*
+counted work, so the cross-platform ratios in Table 2 come from machine
+structure (serialisation, offload overhead, datapath width) rather than from
+per-platform guesses about the algorithm.
+
+Counts assume the DH factorisation used throughout the repository: one joint
+contributes one sine/cosine pair, the assembly of a screw matrix, and one
+4x4 matrix multiply.  A 4x4 matmul is 64 multiplies + 48 adds; only the
+position column is needed for the final tool transform but we charge the full
+product, as the hardware does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "OpCounts",
+    "matmul4_ops",
+    "screw_build_ops",
+    "fk_ops",
+    "jacobian_serial_ops",
+    "error_ops",
+    "speculation_update_ops",
+    "quick_ik_iteration_ops",
+    "jt_serial_iteration_ops",
+    "svd_ops",
+    "pseudoinverse_iteration_ops",
+]
+
+
+@dataclass(frozen=True)
+class OpCounts:
+    """Operation tallies by functional-unit class."""
+
+    mul: int = 0
+    add: int = 0
+    div: int = 0
+    sqrt: int = 0
+    sincos: int = 0
+    compare: int = 0
+
+    def __add__(self, other: "OpCounts") -> "OpCounts":
+        return OpCounts(
+            mul=self.mul + other.mul,
+            add=self.add + other.add,
+            div=self.div + other.div,
+            sqrt=self.sqrt + other.sqrt,
+            sincos=self.sincos + other.sincos,
+            compare=self.compare + other.compare,
+        )
+
+    def scaled(self, factor: int) -> "OpCounts":
+        """Counts repeated ``factor`` times."""
+        return OpCounts(
+            mul=self.mul * factor,
+            add=self.add * factor,
+            div=self.div * factor,
+            sqrt=self.sqrt * factor,
+            sincos=self.sincos * factor,
+            compare=self.compare * factor,
+        )
+
+    @property
+    def flops(self) -> int:
+        """Total scalar floating-point operations.
+
+        A sincos is charged as 20 FLOP-equivalents (CORDIC iterations) and
+        div/sqrt as 4 each; comparisons count as 1.
+        """
+        return (
+            self.mul
+            + self.add
+            + 4 * self.div
+            + 4 * self.sqrt
+            + 20 * self.sincos
+            + self.compare
+        )
+
+
+def matmul4_ops() -> OpCounts:
+    """One dense 4x4 matrix multiply."""
+    return OpCounts(mul=64, add=48)
+
+
+def screw_build_ops() -> OpCounts:
+    """Building one joint screw matrix ``Rz(theta) Tz(d)`` from the variable."""
+    return OpCounts(add=2, sincos=1)  # theta/d offset adds + one sin/cos pair
+
+
+def fk_ops(dof: int) -> OpCounts:
+    """One full forward-kinematics evaluation (Eq. 10): N screws + N matmuls.
+
+    The tool/base composition is charged as one extra matmul.
+    """
+    per_joint = screw_build_ops() + matmul4_ops()
+    return per_joint.scaled(dof) + matmul4_ops()
+
+
+def jacobian_serial_ops(dof: int) -> OpCounts:
+    """The serial block of one iteration (Figure 3b): ``1Ti``, ``Ji``, ``JJTE``.
+
+    Per joint: screw build + one matmul (cumulative transform), one cross
+    product (6 mul + 3 add), the ``p_ee - p_i`` subtraction (3 adds), the
+    ``Ji^T e`` dot product (3 mul + 2 add) and the ``JJTE`` accumulation
+    (3 mul + 3 add).  The epilogue computes ``alpha_base`` (Eq. 8): two 3-D
+    dot products and one divide.
+    """
+    per_joint = (
+        screw_build_ops()
+        + matmul4_ops()
+        + OpCounts(mul=6, add=3)  # cross product
+        + OpCounts(add=3)  # p_ee - p_i
+        + OpCounts(mul=3, add=2)  # Ji . e  (dtheta_base component)
+        + OpCounts(mul=3, add=3)  # JJTE accumulation
+    )
+    epilogue = OpCounts(mul=6, add=4, div=1)  # Eq. 8
+    return per_joint.scaled(dof) + epilogue
+
+
+def error_ops() -> OpCounts:
+    """One error-norm evaluation ``||X_t - X_k||`` plus threshold compare."""
+    return OpCounts(mul=3, add=5, sqrt=1, compare=1)
+
+
+def speculation_update_ops(dof: int) -> OpCounts:
+    """One speculative candidate: ``alpha_k`` + ``theta_k = theta + alpha_k
+    dtheta_base`` (Algorithm 1 lines 7-9)."""
+    return OpCounts(mul=dof + 1, add=dof)
+
+
+def quick_ik_iteration_ops(dof: int, speculations: int) -> OpCounts:
+    """Total arithmetic of one Quick-IK iteration (Algorithm 1 lines 3-17)."""
+    serial = jacobian_serial_ops(dof)
+    per_speculation = speculation_update_ops(dof) + fk_ops(dof) + error_ops()
+    select = OpCounts(compare=speculations)
+    return serial + per_speculation.scaled(speculations) + select
+
+
+def jt_serial_iteration_ops(dof: int) -> OpCounts:
+    """One iteration of the serial transpose method: serial block + update +
+    one FK + error check."""
+    return (
+        jacobian_serial_ops(dof)
+        + OpCounts(mul=dof, add=dof)  # theta += alpha * dtheta
+        + fk_ops(dof)
+        + error_ops()
+    )
+
+
+def svd_ops(dof: int, sweeps: int = 6) -> OpCounts:
+    """One SVD of the 3xN position Jacobian (one-sided Jacobi, KDL-style).
+
+    KDL's ``svd_HH``/Jacobi routines iterate over column pairs; per sweep a
+    3xN problem touches ``N*(N-1)/2`` pairs... for the transposed Nx3 form it
+    is 3 column pairs of length-N rotations.  We charge the standard
+    Golub-Kahan cost for an m x n matrix with m = 3: ``~4 n m^2 + 8 m^3``
+    per sweep plus the back-substitution, which keeps the O(N) scaling that a
+    3xN decomposition actually has while retaining the large constant factor
+    the paper attributes to SVD ("incredibly time-consuming").
+    """
+    m = 3
+    per_sweep_mul = 4 * dof * m * m + 8 * m * m * m
+    per_sweep_add = per_sweep_mul
+    return OpCounts(
+        mul=per_sweep_mul * sweeps,
+        add=per_sweep_add * sweeps,
+        div=m * sweeps,
+        sqrt=m * sweeps,
+    )
+
+
+def pseudoinverse_iteration_ops(dof: int) -> OpCounts:
+    """One iteration of the SVD pseudoinverse method.
+
+    Serial Jacobian build (reusing the Figure 3 accounting minus the JT
+    epilogue) + the SVD + applying ``V S^-1 U^T e`` (two small GEMVs) + one FK
+    + error check.
+    """
+    apply = OpCounts(mul=6 * dof + 9, add=6 * dof + 6, div=3)
+    return jacobian_serial_ops(dof) + svd_ops(dof) + apply + fk_ops(dof) + error_ops()

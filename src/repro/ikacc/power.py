@@ -1,0 +1,200 @@
+"""Area and power model of IKAcc (Table 3 substitute).
+
+The paper reports silicon numbers from Design Compiler + PrimeTime-PX on the
+Nangate 65 nm library: 2.27 mm^2 and 158.6 mW average at 1 V / 1 GHz.  We
+substitute a component-level spreadsheet model:
+
+* **Area** — a unit inventory (multipliers, adders, CORDIC, divider, sqrt,
+  comparators, SRAM) per block (SSU array, SPU, scheduler, selector), with
+  per-component area constants of 65 nm-class single-precision FP units.
+* **Dynamic energy** — per-operation energies (pJ/op) multiplied by the
+  *actual* operation counts of a run (:class:`~repro.ikacc.opcounts.OpCounts`
+  accumulated by the simulator).
+* **Leakage** — a per-mm^2 density times area times runtime.
+
+The constants below were calibrated once so that the default 32-SSU
+configuration lands near the paper's area and, at the paper's utilisation,
+near its average power; they are *not* fitted per experiment.  See DESIGN.md
+("Calibrated constants").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ikacc.config import IKAccConfig
+from repro.ikacc.opcounts import OpCounts
+
+__all__ = [
+    "ComponentParams",
+    "COMPONENT_LIBRARY",
+    "BlockInventory",
+    "IKAccPowerModel",
+    "PAPER_AREA_MM2",
+    "PAPER_AVG_POWER_W",
+]
+
+#: Table 3 reference values.
+PAPER_AREA_MM2 = 2.27
+PAPER_AVG_POWER_W = 0.1586
+
+
+@dataclass(frozen=True)
+class ComponentParams:
+    """Area and switching energy of one hardware component class."""
+
+    area_mm2: float
+    energy_pj: float  # per operation (per KB-access for SRAM)
+
+
+#: 65 nm-class single-precision FP component constants.
+COMPONENT_LIBRARY: dict[str, ComponentParams] = {
+    "mul": ComponentParams(area_mm2=0.0058, energy_pj=1.9),
+    "add": ComponentParams(area_mm2=0.0022, energy_pj=0.75),
+    "div": ComponentParams(area_mm2=0.0110, energy_pj=5.0),
+    "sqrt": ComponentParams(area_mm2=0.0090, energy_pj=4.5),
+    "sincos": ComponentParams(area_mm2=0.0100, energy_pj=5.5),
+    "compare": ComponentParams(area_mm2=0.0007, energy_pj=0.18),
+    # Area per KB; energy per 32-bit access.
+    "sram_kb": ComponentParams(area_mm2=0.0180, energy_pj=0.60),
+}
+
+#: Static (leakage) power density, W per mm^2, 65 nm at 1.1 V.
+LEAKAGE_W_PER_MM2 = 0.010
+
+
+@dataclass(frozen=True)
+class BlockInventory:
+    """Unit counts of one block of the accelerator."""
+
+    name: str
+    mul: int = 0
+    add: int = 0
+    div: int = 0
+    sqrt: int = 0
+    sincos: int = 0
+    compare: int = 0
+    sram_kb: float = 0.0
+
+    def area_mm2(self, library: dict[str, ComponentParams]) -> float:
+        """Block area from the component library."""
+        return (
+            self.mul * library["mul"].area_mm2
+            + self.add * library["add"].area_mm2
+            + self.div * library["div"].area_mm2
+            + self.sqrt * library["sqrt"].area_mm2
+            + self.sincos * library["sincos"].area_mm2
+            + self.compare * library["compare"].area_mm2
+            + self.sram_kb * library["sram_kb"].area_mm2
+        )
+
+
+class IKAccPowerModel:
+    """Area/energy/power model for a given :class:`IKAccConfig`."""
+
+    def __init__(
+        self,
+        config: IKAccConfig,
+        library: dict[str, ComponentParams] | None = None,
+        leakage_w_per_mm2: float = LEAKAGE_W_PER_MM2,
+    ) -> None:
+        self.config = config
+        self.library = dict(library or COMPONENT_LIBRARY)
+        self.leakage_w_per_mm2 = leakage_w_per_mm2
+
+    # ------------------------------------------------------------------
+    # Inventory / area
+    # ------------------------------------------------------------------
+
+    def ssu_inventory(self) -> BlockInventory:
+        """One SSU: its FKU (3 MACs sized for the 24-cycle 4x4 block + one
+        sin/cos unit) plus the speculation datapath (alpha multiply, theta
+        MAC, error norm with sqrt and threshold comparator) and local
+        registers/buffers for two 4x4 matrices and the theta vector."""
+        return BlockInventory(
+            name="ssu",
+            mul=3 + 2,  # FKU MAC multipliers + alpha/theta multipliers
+            add=3 + 2,  # FKU MAC adders + theta/error adders
+            sqrt=1,
+            sincos=1,
+            compare=1,
+            sram_kb=0.5,
+        )
+
+    def spu_inventory(self) -> BlockInventory:
+        """The four-stage pipeline of Figure 3: screw stage (sincos), matmul
+        stage (3 MACs), Jacobian-column stage (cross product), JJTE stage
+        (dot/MAC group), plus the Eq.-8 epilogue divider."""
+        return BlockInventory(
+            name="spu",
+            mul=3 + 3 + 3,
+            add=3 + 2 + 3,
+            div=1,
+            sincos=1,
+            sram_kb=1.0,
+        )
+
+    def selector_inventory(self) -> BlockInventory:
+        """Comparator tree over the SSU array plus the stored-best compare."""
+        return BlockInventory(
+            name="selector", compare=self.config.n_ssus, sram_kb=0.05
+        )
+
+    def scheduler_inventory(self) -> BlockInventory:
+        """Broadcast buffers for theta / dtheta_base / alpha_base."""
+        return BlockInventory(name="scheduler", sram_kb=0.5)
+
+    def inventories(self) -> list[tuple[BlockInventory, int]]:
+        """All blocks with their replication counts."""
+        return [
+            (self.ssu_inventory(), self.config.n_ssus),
+            (self.spu_inventory(), 1),
+            (self.selector_inventory(), 1),
+            (self.scheduler_inventory(), 1),
+        ]
+
+    def area_mm2(self) -> float:
+        """Total accelerator area."""
+        return sum(
+            inv.area_mm2(self.library) * count for inv, count in self.inventories()
+        )
+
+    def area_breakdown(self) -> dict[str, float]:
+        """Per-block area in mm^2."""
+        return {
+            inv.name: inv.area_mm2(self.library) * count
+            for inv, count in self.inventories()
+        }
+
+    # ------------------------------------------------------------------
+    # Energy / power
+    # ------------------------------------------------------------------
+
+    def dynamic_energy_j(self, ops: OpCounts) -> float:
+        """Switching energy (joules) for a tally of operations."""
+        lib = self.library
+        pj = (
+            ops.mul * lib["mul"].energy_pj
+            + ops.add * lib["add"].energy_pj
+            + ops.div * lib["div"].energy_pj
+            + ops.sqrt * lib["sqrt"].energy_pj
+            + ops.sincos * lib["sincos"].energy_pj
+            + ops.compare * lib["compare"].energy_pj
+        )
+        return pj * 1e-12
+
+    def leakage_power_w(self) -> float:
+        """Static power of the whole accelerator."""
+        return self.leakage_w_per_mm2 * self.area_mm2()
+
+    def energy_j(self, ops: OpCounts, seconds: float) -> float:
+        """Total energy of a run: dynamic + leakage over its duration."""
+        if seconds < 0.0:
+            raise ValueError("seconds must be >= 0")
+        return self.dynamic_energy_j(ops) + self.leakage_power_w() * seconds
+
+    def average_power_w(self, ops: OpCounts, seconds: float) -> float:
+        """Average power of a run."""
+        if seconds <= 0.0:
+            raise ValueError("seconds must be positive")
+        return self.energy_j(ops, seconds) / seconds

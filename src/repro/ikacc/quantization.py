@@ -1,0 +1,70 @@
+"""Datapath precision analysis: float32 silicon vs float64 reference.
+
+IKAcc computes in single precision.  The paper's accuracy constraint is
+1e-2 m, about six orders of magnitude above float32 round-off for metre-scale
+chains, so precision never limits convergence — this module quantifies that
+claim (and provides the ablation data for ``bench_ablations.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.kinematics.chain import KinematicChain
+
+__all__ = ["PrecisionReport", "fk_precision_report", "precision_margin"]
+
+
+@dataclass(frozen=True)
+class PrecisionReport:
+    """Statistics of the float32 FK error against the float64 reference."""
+
+    dof: int
+    samples: int
+    max_error_m: float
+    mean_error_m: float
+    p99_error_m: float
+
+    def margin_vs(self, tolerance: float) -> float:
+        """How many times smaller the worst FK round-off is than a solver
+        tolerance (large is good)."""
+        if self.max_error_m <= 0.0:
+            return float("inf")
+        return tolerance / self.max_error_m
+
+
+def fk_precision_report(
+    chain: KinematicChain,
+    samples: int = 256,
+    rng: np.random.Generator | None = None,
+) -> PrecisionReport:
+    """Sample random configurations and compare float32 vs float64 FK."""
+    if samples < 1:
+        raise ValueError("samples must be >= 1")
+    if rng is None:
+        rng = np.random.default_rng(0)
+    chain64 = chain if chain.dtype == np.float64 else chain.astype(np.float64)
+    chain32 = chain.astype(np.float32)
+    qs = np.stack([chain64.random_configuration(rng) for _ in range(samples)])
+    positions64 = chain64.end_positions_batch(qs)
+    positions32 = chain32.end_positions_batch(qs.astype(np.float32)).astype(np.float64)
+    errors = np.linalg.norm(positions64 - positions32, axis=1)
+    return PrecisionReport(
+        dof=chain.dof,
+        samples=samples,
+        max_error_m=float(errors.max()),
+        mean_error_m=float(errors.mean()),
+        p99_error_m=float(np.percentile(errors, 99)),
+    )
+
+
+def precision_margin(
+    chain: KinematicChain,
+    tolerance: float = 1e-2,
+    samples: int = 256,
+    rng: np.random.Generator | None = None,
+) -> float:
+    """Safety factor between the solver tolerance and float32 FK round-off."""
+    return fk_precision_report(chain, samples=samples, rng=rng).margin_vs(tolerance)

@@ -1,0 +1,138 @@
+"""Cycle-level execution traces of the accelerator (Gantt-style timelines).
+
+Renders how one Quick-IK iteration flows through IKAcc's units — the SPU's
+serial block, the scheduler broadcasts, the SSU-array waves and the selector
+merges — as a structured event list, an ASCII Gantt chart, or SVG.  Useful to
+*see* the Figure-2/Figure-3 microarchitecture at work (and to debug timing
+changes: the total of a trace always equals the simulator's
+``cycles_per_full_iteration``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ikacc.accelerator import IKAccSimulator
+
+__all__ = ["TraceEvent", "IterationTrace", "trace_iteration", "render_gantt"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One busy interval of one unit; cycles are iteration-relative."""
+
+    unit: str
+    start: int
+    end: int
+    label: str
+
+    @property
+    def duration(self) -> int:
+        """Busy cycles."""
+        return self.end - self.start
+
+
+@dataclass
+class IterationTrace:
+    """Timeline of one full (no-early-exit) iteration."""
+
+    dof: int
+    events: list[TraceEvent]
+    total_cycles: int
+
+    def unit_names(self) -> list[str]:
+        """Distinct units in first-appearance order."""
+        seen: list[str] = []
+        for event in self.events:
+            if event.unit not in seen:
+                seen.append(event.unit)
+        return seen
+
+    def busy_cycles(self, unit: str) -> int:
+        """Total busy cycles of one unit."""
+        return sum(e.duration for e in self.events if e.unit == unit)
+
+    def utilisation(self, unit: str) -> float:
+        """Busy fraction of one unit over the iteration."""
+        if self.total_cycles == 0:
+            return 0.0
+        return self.busy_cycles(unit) / self.total_cycles
+
+
+def trace_iteration(sim: IKAccSimulator) -> IterationTrace:
+    """Build the unit-level timeline of one full iteration of ``sim``.
+
+    The schedule is the same serial composition the simulator charges:
+    SPU -> per wave (broadcast -> SSU array -> selector merge).
+    """
+    events: list[TraceEvent] = []
+    cursor = 0
+
+    spu_cycles = sim.spu.cycles_per_iteration()
+    events.append(TraceEvent("SPU", cursor, cursor + spu_cycles, "serial block"))
+    cursor += spu_cycles
+
+    ssu_cycles = sim.ssu.cycles_per_speculation()
+    for wave in sim.scheduler.waves():
+        broadcast = sim.scheduler.broadcast_cycles()
+        if broadcast:
+            events.append(
+                TraceEvent(
+                    "scheduler",
+                    cursor,
+                    cursor + broadcast,
+                    f"broadcast wave {wave.index}",
+                )
+            )
+            cursor += broadcast
+        events.append(
+            TraceEvent(
+                "SSU array",
+                cursor,
+                cursor + ssu_cycles,
+                f"wave {wave.index}: k={wave.speculation_indices[0]}"
+                f"..{wave.speculation_indices[-1]}",
+            )
+        )
+        cursor += ssu_cycles
+        select = sim.selector.cycles_per_wave(wave.occupancy)
+        events.append(
+            TraceEvent(
+                "selector", cursor, cursor + select, f"merge wave {wave.index}"
+            )
+        )
+        cursor += select
+
+    return IterationTrace(dof=sim.chain.dof, events=events, total_cycles=cursor)
+
+
+def render_gantt(trace: IterationTrace, width: int = 72) -> str:
+    """ASCII Gantt chart of an iteration trace.
+
+    One row per unit, ``#`` for busy cycles, with the cycle scale on top.
+    """
+    if width < 20:
+        raise ValueError("width must be >= 20")
+    scale = trace.total_cycles / width if trace.total_cycles else 1.0
+    units = trace.unit_names()
+    label_width = max(len(u) for u in units) + 2
+    lines = [
+        f"one Quick-IK iteration on IKAcc ({trace.dof} DOF): "
+        f"{trace.total_cycles} cycles",
+        " " * label_width
+        + "0"
+        + " " * (width - len(str(trace.total_cycles)) - 1)
+        + str(trace.total_cycles),
+    ]
+    for unit in units:
+        row = [" "] * width
+        for event in trace.events:
+            if event.unit != unit:
+                continue
+            start = int(event.start / scale)
+            end = max(start + 1, int(event.end / scale))
+            for i in range(start, min(end, width)):
+                row[i] = "#"
+        busy = trace.utilisation(unit)
+        lines.append(f"{unit.ljust(label_width)}{''.join(row)}  {busy:5.1%}")
+    return "\n".join(lines)

@@ -1,0 +1,117 @@
+"""Denavit-Hartenberg link parameterisation.
+
+The paper's transformation matrices ``i-1Ti`` (Eq. 10) are standard DH link
+transforms.  A standard DH link is
+
+    ``T = Rz(theta) Tz(d) Tx(a) Rx(alpha)``
+
+and a *modified* (Craig) DH link is
+
+    ``T = Rx(alpha) Tx(a) Rz(theta) Tz(d)``.
+
+For a revolute joint ``theta`` varies; for a prismatic joint ``d`` varies.  In
+both conventions the variable part is a screw about/along z, so the transform
+factors into a constant part and a cheap variable part:
+
+    standard:  ``T(q) = Rz(theta) @ C``         with ``C = Tz(d) Tx(a) Rx(alpha)``
+    modified:  ``T(q) = C @ Rz(theta) Tz(d)``   with ``C = Rx(alpha) Tx(a)``
+
+The constant part is precomputed once per chain; forward kinematics then only
+builds the variable z-screws (vectorised over joints and over speculation
+batches) and multiplies.  This is exactly the structure the IKAcc FKU exploits
+in hardware.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.kinematics import transforms
+
+__all__ = ["DHConvention", "DHLink", "dh_transform"]
+
+
+class DHConvention:
+    """DH convention tags (plain constants; no enum magic needed)."""
+
+    STANDARD = "standard"
+    MODIFIED = "modified"
+
+    ALL = (STANDARD, MODIFIED)
+
+
+@dataclass(frozen=True)
+class DHLink:
+    """One Denavit-Hartenberg link.
+
+    Parameters
+    ----------
+    a:
+        Link length (metres).
+    alpha:
+        Link twist (radians).
+    d:
+        Link offset (metres).  For a prismatic joint this is the variable's
+        zero-offset value.
+    theta:
+        Joint angle (radians).  For a revolute joint this is the variable's
+        zero-offset value.
+    """
+
+    a: float = 0.0
+    alpha: float = 0.0
+    d: float = 0.0
+    theta: float = 0.0
+
+    def constant_part(self, convention: str = DHConvention.STANDARD) -> np.ndarray:
+        """The joint-variable-independent factor of the link transform.
+
+        For the standard convention this is ``Tz(d) Tx(a) Rx(alpha)`` (valid
+        for revolute joints, whose variable is theta).  For prismatic joints
+        the caller composes the variable ``Tz`` explicitly.
+        """
+        if convention == DHConvention.STANDARD:
+            return (
+                transforms.trans_z(self.d)
+                @ transforms.trans_x(self.a)
+                @ transforms.rot_x(self.alpha)
+            )
+        if convention == DHConvention.MODIFIED:
+            return transforms.rot_x(self.alpha) @ transforms.trans_x(self.a)
+        raise ValueError(f"unknown DH convention: {convention!r}")
+
+
+def dh_transform(
+    a: float,
+    alpha: float,
+    d: float,
+    theta: float,
+    convention: str = DHConvention.STANDARD,
+) -> np.ndarray:
+    """Full 4x4 DH link transform for given numeric parameters.
+
+    This is the reference (unfactored) form used for testing the optimised
+    constant-part/variable-part factorisation.
+    """
+    if convention == DHConvention.STANDARD:
+        ct, st = math.cos(theta), math.sin(theta)
+        ca, sa = math.cos(alpha), math.sin(alpha)
+        return np.array(
+            [
+                [ct, -st * ca, st * sa, a * ct],
+                [st, ct * ca, -ct * sa, a * st],
+                [0.0, sa, ca, d],
+                [0.0, 0.0, 0.0, 1.0],
+            ]
+        )
+    if convention == DHConvention.MODIFIED:
+        return (
+            transforms.rot_x(alpha)
+            @ transforms.trans_x(a)
+            @ transforms.rot_z(theta)
+            @ transforms.trans_z(d)
+        )
+    raise ValueError(f"unknown DH convention: {convention!r}")

@@ -1,0 +1,151 @@
+"""Chain serialisation: save/load robot definitions as JSON.
+
+Both chain flavours round-trip exactly: DH chains
+(:class:`~repro.kinematics.chain.KinematicChain`) keep their DH parameters
+and convention, generic chains (:class:`~repro.kinematics.generic.
+GenericChain`) their origin transforms and axes.  URDF is the interchange
+format for the outside world (:mod:`repro.kinematics.urdf`); this JSON format
+is the *native* one — lossless, including tool/base transforms and exact
+limits.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+
+from repro.kinematics.chain import KinematicChain
+from repro.kinematics.generic import GenericChain, GenericJoint
+from repro.kinematics.joint import Joint, JointLimits
+
+__all__ = ["chain_to_dict", "chain_from_dict", "save_chain", "load_chain"]
+
+_FORMAT_VERSION = 1
+
+
+def _limits_to_list(limits: JointLimits) -> list[float]:
+    return [limits.lower, limits.upper]
+
+
+def chain_to_dict(chain) -> dict:
+    """Serialise a chain to a JSON-compatible dict."""
+    if not isinstance(chain, (KinematicChain, GenericChain)):
+        raise TypeError(f"cannot serialise {type(chain).__name__}")
+    base = np.asarray(chain.base, dtype=float).tolist()
+    tool = np.asarray(chain.tool, dtype=float).tolist()
+    if isinstance(chain, KinematicChain):
+        joints = [
+            {
+                "type": joint.joint_type,
+                "a": joint.link.a,
+                "alpha": joint.link.alpha,
+                "d": joint.link.d,
+                "theta": joint.link.theta,
+                "limits": _limits_to_list(joint.limits),
+                "name": joint.name,
+            }
+            for joint in chain.joints
+        ]
+        return {
+            "format": _FORMAT_VERSION,
+            "kind": "dh",
+            "name": chain.name,
+            "convention": chain.convention,
+            "base": base,
+            "tool": tool,
+            "joints": joints,
+        }
+    if isinstance(chain, GenericChain):
+        joints = [
+            {
+                "type": joint.joint_type,
+                "origin": np.asarray(joint.origin, dtype=float).tolist(),
+                "axis": np.asarray(joint.axis, dtype=float).tolist(),
+                "limits": _limits_to_list(joint.limits),
+                "name": joint.name,
+            }
+            for joint in chain.joints
+        ]
+        return {
+            "format": _FORMAT_VERSION,
+            "kind": "generic",
+            "name": chain.name,
+            "base": base,
+            "tool": tool,
+            "joints": joints,
+        }
+    raise TypeError(f"cannot serialise {type(chain).__name__}")
+
+
+def chain_from_dict(data: dict):
+    """Rebuild a chain from :func:`chain_to_dict` output."""
+    if data.get("format") != _FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported chain format {data.get('format')!r} "
+            f"(expected {_FORMAT_VERSION})"
+        )
+    kind = data.get("kind")
+    base = np.array(data["base"], dtype=float)
+    tool = np.array(data["tool"], dtype=float)
+    name = data.get("name", "")
+    if kind == "dh":
+        joints = []
+        for spec in data["joints"]:
+            limits = JointLimits(*spec["limits"])
+            if spec["type"] == "revolute":
+                joints.append(
+                    Joint.revolute(
+                        a=spec["a"],
+                        alpha=spec["alpha"],
+                        d=spec["d"],
+                        theta_offset=spec["theta"],
+                        limits=limits,
+                        name=spec.get("name", ""),
+                    )
+                )
+            elif spec["type"] == "prismatic":
+                joints.append(
+                    Joint.prismatic(
+                        a=spec["a"],
+                        alpha=spec["alpha"],
+                        d_offset=spec["d"],
+                        theta=spec["theta"],
+                        limits=limits,
+                        name=spec.get("name", ""),
+                    )
+                )
+            else:
+                raise ValueError(f"unknown DH joint type {spec['type']!r}")
+        return KinematicChain(
+            joints,
+            base=base,
+            tool=tool,
+            convention=data.get("convention", "standard"),
+            name=name,
+        )
+    if kind == "generic":
+        joints = [
+            GenericJoint(
+                origin=np.array(spec["origin"], dtype=float),
+                axis=np.array(spec["axis"], dtype=float),
+                joint_type=spec["type"],
+                limits=JointLimits(*spec["limits"]),
+                name=spec.get("name", ""),
+            )
+            for spec in data["joints"]
+        ]
+        return GenericChain(joints, base=base, tool=tool, name=name)
+    raise ValueError(f"unknown chain kind {kind!r}")
+
+
+def save_chain(chain, path: str) -> None:
+    """Write a chain definition to a JSON file."""
+    with open(path, "w") as handle:
+        json.dump(chain_to_dict(chain), handle, indent=2)
+
+
+def load_chain(path: str):
+    """Load a chain definition from a JSON file."""
+    with open(path) as handle:
+        return chain_from_dict(json.load(handle))

@@ -1,0 +1,96 @@
+"""Jacobian utilities: finite-difference references and conditioning metrics.
+
+The analytic geometric Jacobian lives on :class:`~repro.kinematics.chain.
+KinematicChain`; this module provides the independent finite-difference
+reference used to validate it, plus the singularity/conditioning diagnostics
+that explain *why* the Buss step size ``alpha_base`` misbehaves near singular
+poses (the situation Quick-IK's speculation rescues).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kinematics.chain import KinematicChain
+from repro.kinematics.transforms import rotation_to_axis_angle
+
+__all__ = [
+    "numerical_jacobian_position",
+    "numerical_jacobian",
+    "manipulability",
+    "condition_number",
+    "min_singular_value",
+    "is_near_singular",
+]
+
+
+def numerical_jacobian_position(
+    chain: KinematicChain, q: np.ndarray, eps: float = 1e-7
+) -> np.ndarray:
+    """Central-difference position Jacobian; shape ``(3, N)``.
+
+    Slow — test/reference use only.
+    """
+    q = np.asarray(q, dtype=float)
+    jac = np.empty((3, chain.dof))
+    for i in range(chain.dof):
+        dq = np.zeros(chain.dof)
+        dq[i] = eps
+        plus = chain.end_position(q + dq)
+        minus = chain.end_position(q - dq)
+        jac[:, i] = (plus - minus) / (2.0 * eps)
+    return jac
+
+
+def numerical_jacobian(
+    chain: KinematicChain, q: np.ndarray, eps: float = 1e-6
+) -> np.ndarray:
+    """Central-difference full geometric Jacobian; shape ``(6, N)``.
+
+    The angular rows are recovered from the relative rotation between the
+    perturbed poses via the axis-angle logarithm.  Slow — reference use only.
+    """
+    q = np.asarray(q, dtype=float)
+    jac = np.empty((6, chain.dof))
+    for i in range(chain.dof):
+        dq = np.zeros(chain.dof)
+        dq[i] = eps
+        pose_plus = chain.fk(q + dq)
+        pose_minus = chain.fk(q - dq)
+        jac[:3, i] = (pose_plus[:3, 3] - pose_minus[:3, 3]) / (2.0 * eps)
+        relative = pose_plus[:3, :3] @ pose_minus[:3, :3].T
+        axis, angle = rotation_to_axis_angle(relative)
+        jac[3:, i] = axis * (angle / (2.0 * eps))
+    return jac
+
+
+def manipulability(jacobian: np.ndarray) -> float:
+    """Yoshikawa manipulability measure ``sqrt(det(J J^T))``.
+
+    Zero exactly at singular poses.
+    """
+    jjt = jacobian @ jacobian.T
+    det = float(np.linalg.det(jjt))
+    return float(np.sqrt(max(det, 0.0)))
+
+
+def condition_number(jacobian: np.ndarray) -> float:
+    """Ratio of the largest to the smallest singular value of ``J``.
+
+    ``inf`` at singular poses.
+    """
+    singular_values = np.linalg.svd(jacobian, compute_uv=False)
+    smallest = float(singular_values[-1])
+    if smallest <= 0.0:
+        return float("inf")
+    return float(singular_values[0]) / smallest
+
+
+def min_singular_value(jacobian: np.ndarray) -> float:
+    """Smallest singular value of ``J`` (distance to singularity proxy)."""
+    return float(np.linalg.svd(jacobian, compute_uv=False)[-1])
+
+
+def is_near_singular(jacobian: np.ndarray, threshold: float = 1e-6) -> bool:
+    """True when the smallest singular value falls below ``threshold``."""
+    return min_singular_value(jacobian) < threshold

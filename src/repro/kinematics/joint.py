@@ -1,0 +1,131 @@
+"""Joint model: revolute and prismatic joints with optional limits."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.kinematics.dh import DHLink
+
+__all__ = ["JointType", "JointLimits", "Joint"]
+
+
+class JointType:
+    """Joint kind tags."""
+
+    REVOLUTE = "revolute"
+    PRISMATIC = "prismatic"
+
+    ALL = (REVOLUTE, PRISMATIC)
+
+
+@dataclass(frozen=True)
+class JointLimits:
+    """Closed interval of admissible joint values.
+
+    Angles in radians for revolute joints, metres for prismatic joints.
+    """
+
+    lower: float = -math.pi
+    upper: float = math.pi
+
+    def __post_init__(self) -> None:
+        if not self.lower <= self.upper:
+            raise ValueError(
+                f"lower limit {self.lower} exceeds upper limit {self.upper}"
+            )
+
+    @property
+    def span(self) -> float:
+        """Width of the admissible interval."""
+        return self.upper - self.lower
+
+    def clamp(self, value: float) -> float:
+        """Clamp a scalar joint value into the admissible interval."""
+        return min(self.upper, max(self.lower, value))
+
+    def clamp_array(self, values: np.ndarray) -> np.ndarray:
+        """Clamp an array of joint values into the admissible interval."""
+        return np.clip(values, self.lower, self.upper)
+
+    def contains(self, value: float, tol: float = 0.0) -> bool:
+        """True when ``value`` lies inside the interval (within ``tol``)."""
+        return self.lower - tol <= value <= self.upper + tol
+
+    def sample(self, rng: np.random.Generator) -> float:
+        """Draw a uniform sample from the interval."""
+        return float(rng.uniform(self.lower, self.upper))
+
+
+# Default limits: unlimited-ish revolute joints, as in the paper's generic
+# high-DOF manipulators.
+_UNLIMITED_REVOLUTE = JointLimits(-math.pi, math.pi)
+
+
+@dataclass(frozen=True)
+class Joint:
+    """One joint of a serial chain: a DH link plus the joint kind and limits.
+
+    The joint *variable* is theta for revolute joints and d for prismatic
+    joints; the corresponding :class:`DHLink` field acts as a constant offset
+    added to the variable.
+    """
+
+    link: DHLink
+    joint_type: str = JointType.REVOLUTE
+    limits: JointLimits = field(default_factory=lambda: _UNLIMITED_REVOLUTE)
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.joint_type not in JointType.ALL:
+            raise ValueError(f"unknown joint type: {self.joint_type!r}")
+
+    @property
+    def is_revolute(self) -> bool:
+        """True for revolute joints."""
+        return self.joint_type == JointType.REVOLUTE
+
+    @property
+    def is_prismatic(self) -> bool:
+        """True for prismatic joints."""
+        return self.joint_type == JointType.PRISMATIC
+
+    def variable_offset(self) -> float:
+        """Constant offset added to the joint variable (theta0 or d0)."""
+        return self.link.theta if self.is_revolute else self.link.d
+
+    @staticmethod
+    def revolute(
+        a: float = 0.0,
+        alpha: float = 0.0,
+        d: float = 0.0,
+        theta_offset: float = 0.0,
+        limits: JointLimits | None = None,
+        name: str = "",
+    ) -> "Joint":
+        """Convenience constructor for a revolute joint."""
+        return Joint(
+            link=DHLink(a=a, alpha=alpha, d=d, theta=theta_offset),
+            joint_type=JointType.REVOLUTE,
+            limits=limits or _UNLIMITED_REVOLUTE,
+            name=name,
+        )
+
+    @staticmethod
+    def prismatic(
+        a: float = 0.0,
+        alpha: float = 0.0,
+        d_offset: float = 0.0,
+        theta: float = 0.0,
+        limits: JointLimits | None = None,
+        name: str = "",
+    ) -> "Joint":
+        """Convenience constructor for a prismatic joint."""
+        return Joint(
+            link=DHLink(a=a, alpha=alpha, d=d_offset, theta=theta),
+            joint_type=JointType.PRISMATIC,
+            limits=limits or JointLimits(0.0, 1.0),
+            name=name,
+        )

@@ -1,0 +1,234 @@
+"""Robot zoo: the chains used by the paper's evaluation plus test fixtures.
+
+The paper evaluates "multiple manipulators with various degrees of freedom"
+(12/25/50/75/100 DOF) but never publishes their geometry.  We substitute
+*seeded random spatial chains* (:func:`paper_chain`) — random link
+lengths/twists, deterministic per DOF — which reproduce the Figure-5
+iteration trends (see DESIGN.md substitution table, and the morphology
+ablation for how the conclusions hold across geometry classes).
+
+Also included: hyper-redundant snake arms (alternating +/-90 degree twists),
+a planar chain (easy to reason about in tests), fully random chains
+(property tests), and classic arms (PUMA-560, Stanford arm with a prismatic
+joint, UR5, and a 7-DOF iiwa-like arm) for the examples.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.kinematics.chain import KinematicChain
+from repro.kinematics.joint import Joint, JointLimits
+
+__all__ = [
+    "PAPER_DOFS",
+    "DEFAULT_REACH",
+    "planar_chain",
+    "hyper_redundant_chain",
+    "paper_chain",
+    "random_chain",
+    "puma560",
+    "stanford_arm",
+    "ur5",
+    "seven_dof_arm",
+    "named_robot",
+    "ROBOT_NAMES",
+]
+
+#: Degrees of freedom evaluated in the paper (Section 6.2).
+PAPER_DOFS = (12, 25, 50, 75, 100)
+
+#: Default total reach (metres) of the generated evaluation chains.
+DEFAULT_REACH = 1.2
+
+
+def planar_chain(
+    dof: int, total_reach: float = DEFAULT_REACH, name: str = ""
+) -> KinematicChain:
+    """Planar revolute chain: all joints rotate about the same z axis.
+
+    The end effector moves in the ``z = 0`` plane, which makes expected
+    positions easy to compute by hand in tests.
+    """
+    if dof < 1:
+        raise ValueError("dof must be >= 1")
+    link_length = total_reach / dof
+    joints = [
+        Joint.revolute(a=link_length, name=f"planar{i}") for i in range(dof)
+    ]
+    return KinematicChain(joints, name=name or f"planar-{dof}dof")
+
+
+def hyper_redundant_chain(
+    dof: int, total_reach: float = DEFAULT_REACH, name: str = ""
+) -> KinematicChain:
+    """Spatial snake arm: equal links with alternating +/-90 degree twists.
+
+    This is the standard construction for high-DOF manipulators (each pair of
+    joints forms a 2-DOF universal-joint-like segment) and is our stand-in for
+    the paper's unspecified N-DOF manipulators.
+    """
+    if dof < 1:
+        raise ValueError("dof must be >= 1")
+    link_length = total_reach / dof
+    joints = []
+    for i in range(dof):
+        twist = math.pi / 2.0 if i % 2 == 0 else -math.pi / 2.0
+        joints.append(Joint.revolute(a=link_length, alpha=twist, name=f"snake{i}"))
+    return KinematicChain(joints, name=name or f"snake-{dof}dof")
+
+
+#: Seed base for the deterministic evaluation chains.
+_PAPER_SEED = 0xDADA
+
+
+def paper_chain(dof: int, total_reach: float = DEFAULT_REACH) -> KinematicChain:
+    """The evaluation manipulator for a given DOF count.
+
+    A *seeded* random spatial chain (random link lengths/twists, reach
+    ~``total_reach``): the geometry is deterministic per DOF, so every
+    experiment in the repository sees the same manipulators.  Accepts any
+    positive DOF; the paper's sweep uses :data:`PAPER_DOFS`.
+    """
+    rng = np.random.default_rng(_PAPER_SEED + dof)
+    chain = random_chain(dof, rng, total_reach=total_reach, name=f"dadu-{dof}dof")
+    return chain
+
+
+def random_chain(
+    dof: int,
+    rng: np.random.Generator,
+    total_reach: float = DEFAULT_REACH,
+    prismatic_probability: float = 0.0,
+    name: str = "",
+) -> KinematicChain:
+    """Random serial chain for property-based tests.
+
+    Link lengths are random but sum to roughly ``total_reach``; twists are
+    uniform in ``[-pi, pi]``.  With ``prismatic_probability > 0`` some joints
+    become prismatic (travel limited to one link length).
+    """
+    if dof < 1:
+        raise ValueError("dof must be >= 1")
+    lengths = rng.uniform(0.3, 1.0, size=dof)
+    lengths *= total_reach / lengths.sum()
+    joints = []
+    for i in range(dof):
+        twist = float(rng.uniform(-math.pi, math.pi))
+        offset = float(rng.uniform(-0.05, 0.05))
+        if rng.uniform() < prismatic_probability:
+            joints.append(
+                Joint.prismatic(
+                    a=float(lengths[i]),
+                    alpha=twist,
+                    theta=float(rng.uniform(-math.pi, math.pi)),
+                    limits=JointLimits(0.0, float(lengths[i])),
+                    name=f"rand{i}",
+                )
+            )
+        else:
+            joints.append(
+                Joint.revolute(
+                    a=float(lengths[i]), alpha=twist, d=offset, name=f"rand{i}"
+                )
+            )
+    return KinematicChain(joints, name=name or f"random-{dof}dof")
+
+
+def puma560() -> KinematicChain:
+    """PUMA-560, the classic 6-DOF test arm (standard DH, metres)."""
+    half_pi = math.pi / 2.0
+    joints = [
+        Joint.revolute(a=0.0, alpha=half_pi, d=0.0, name="waist"),
+        Joint.revolute(a=0.4318, alpha=0.0, d=0.0, name="shoulder"),
+        Joint.revolute(a=0.0203, alpha=-half_pi, d=0.15005, name="elbow"),
+        Joint.revolute(a=0.0, alpha=half_pi, d=0.4318, name="wrist-roll"),
+        Joint.revolute(a=0.0, alpha=-half_pi, d=0.0, name="wrist-pitch"),
+        Joint.revolute(a=0.0, alpha=0.0, d=0.0, name="wrist-yaw"),
+    ]
+    return KinematicChain(joints, name="puma560")
+
+
+def stanford_arm() -> KinematicChain:
+    """Stanford arm: 6 DOF with one prismatic joint (joint 3)."""
+    half_pi = math.pi / 2.0
+    joints = [
+        Joint.revolute(a=0.0, alpha=-half_pi, d=0.412, name="base"),
+        Joint.revolute(a=0.0, alpha=half_pi, d=0.154, name="shoulder"),
+        Joint.prismatic(
+            a=0.0,
+            alpha=0.0,
+            d_offset=0.2,
+            limits=JointLimits(0.0, 0.6),
+            name="boom",
+        ),
+        Joint.revolute(a=0.0, alpha=-half_pi, d=0.0, name="wrist-roll"),
+        Joint.revolute(a=0.0, alpha=half_pi, d=0.0, name="wrist-pitch"),
+        Joint.revolute(a=0.0, alpha=0.0, d=0.263, name="wrist-yaw"),
+    ]
+    return KinematicChain(joints, name="stanford")
+
+
+def ur5() -> KinematicChain:
+    """UR5 collaborative arm (standard DH, metres)."""
+    half_pi = math.pi / 2.0
+    joints = [
+        Joint.revolute(a=0.0, alpha=half_pi, d=0.1625, name="shoulder-pan"),
+        Joint.revolute(a=-0.425, alpha=0.0, d=0.0, name="shoulder-lift"),
+        Joint.revolute(a=-0.3922, alpha=0.0, d=0.0, name="elbow"),
+        Joint.revolute(a=0.0, alpha=half_pi, d=0.1333, name="wrist1"),
+        Joint.revolute(a=0.0, alpha=-half_pi, d=0.0997, name="wrist2"),
+        Joint.revolute(a=0.0, alpha=0.0, d=0.0996, name="wrist3"),
+    ]
+    return KinematicChain(joints, name="ur5")
+
+
+def seven_dof_arm() -> KinematicChain:
+    """A 7-DOF redundant arm with iiwa-like geometry (standard DH)."""
+    half_pi = math.pi / 2.0
+    joints = [
+        Joint.revolute(a=0.0, alpha=-half_pi, d=0.34, name="j1"),
+        Joint.revolute(a=0.0, alpha=half_pi, d=0.0, name="j2"),
+        Joint.revolute(a=0.0, alpha=half_pi, d=0.40, name="j3"),
+        Joint.revolute(a=0.0, alpha=-half_pi, d=0.0, name="j4"),
+        Joint.revolute(a=0.0, alpha=-half_pi, d=0.40, name="j5"),
+        Joint.revolute(a=0.0, alpha=half_pi, d=0.0, name="j6"),
+        Joint.revolute(a=0.0, alpha=0.0, d=0.126, name="j7"),
+    ]
+    return KinematicChain(joints, name="7dof-arm")
+
+
+_NAMED_ROBOTS = {
+    "puma560": puma560,
+    "stanford": stanford_arm,
+    "ur5": ur5,
+    "7dof-arm": seven_dof_arm,
+}
+
+#: Names accepted by :func:`named_robot`.
+ROBOT_NAMES = tuple(sorted(_NAMED_ROBOTS))
+
+
+def named_robot(name: str) -> KinematicChain:
+    """Build one of the predefined robots by name.
+
+    Also accepts ``"dadu-<N>dof"`` / ``"snake-<N>dof"`` / ``"planar-<N>dof"``
+    for the generated evaluation chains.
+    """
+    if name in _NAMED_ROBOTS:
+        return _NAMED_ROBOTS[name]()
+    for prefix, factory in (
+        ("dadu-", paper_chain),
+        ("snake-", hyper_redundant_chain),
+        ("planar-", planar_chain),
+    ):
+        if name.startswith(prefix) and name.endswith("dof"):
+            dof_text = name[len(prefix) : -len("dof")]
+            if dof_text.isdigit() and int(dof_text) >= 1:
+                return factory(int(dof_text))
+    raise KeyError(
+        f"unknown robot {name!r}; known names: {', '.join(ROBOT_NAMES)} "
+        "or dadu-<N>dof / snake-<N>dof / planar-<N>dof"
+    )

@@ -1,0 +1,283 @@
+"""SE(3) and SO(3) primitives used throughout the reproduction.
+
+Everything in this module works on plain numpy arrays: rotations are ``(3, 3)``
+matrices, homogeneous transforms are ``(4, 4)`` matrices, points are ``(3,)``
+vectors.  Batched variants accept a leading batch dimension and are used by the
+speculative search (one forward-kinematics evaluation per speculation).
+
+The conventions follow the standard robotics textbook treatment that the paper
+relies on (Buss, "Introduction to inverse kinematics with Jacobian transpose,
+pseudoinverse and damped least squares methods").
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = [
+    "identity",
+    "rot_x",
+    "rot_y",
+    "rot_z",
+    "trans",
+    "trans_x",
+    "trans_y",
+    "trans_z",
+    "rpy_to_rotation",
+    "rotation_to_rpy",
+    "axis_angle_to_rotation",
+    "rotation_to_axis_angle",
+    "homogeneous",
+    "rotation_of",
+    "translation_of",
+    "transform_point",
+    "transform_points",
+    "invert_transform",
+    "is_rotation",
+    "is_transform",
+    "orientation_error",
+    "random_rotation",
+    "batch_rot_z",
+    "batch_matmul_chain",
+]
+
+
+def identity() -> np.ndarray:
+    """Return the 4x4 identity transform."""
+    return np.eye(4)
+
+
+def _rotation_to_transform(rotation: np.ndarray) -> np.ndarray:
+    transform = np.eye(4)
+    transform[:3, :3] = rotation
+    return transform
+
+
+def rot_x(angle: float) -> np.ndarray:
+    """Homogeneous rotation about the x axis by ``angle`` radians."""
+    c, s = math.cos(angle), math.sin(angle)
+    return _rotation_to_transform(
+        np.array([[1.0, 0.0, 0.0], [0.0, c, -s], [0.0, s, c]])
+    )
+
+
+def rot_y(angle: float) -> np.ndarray:
+    """Homogeneous rotation about the y axis by ``angle`` radians."""
+    c, s = math.cos(angle), math.sin(angle)
+    return _rotation_to_transform(
+        np.array([[c, 0.0, s], [0.0, 1.0, 0.0], [-s, 0.0, c]])
+    )
+
+
+def rot_z(angle: float) -> np.ndarray:
+    """Homogeneous rotation about the z axis by ``angle`` radians."""
+    c, s = math.cos(angle), math.sin(angle)
+    return _rotation_to_transform(
+        np.array([[c, -s, 0.0], [s, c, 0.0], [0.0, 0.0, 1.0]])
+    )
+
+
+def trans(x: float, y: float, z: float) -> np.ndarray:
+    """Homogeneous translation by ``(x, y, z)``."""
+    transform = np.eye(4)
+    transform[:3, 3] = (x, y, z)
+    return transform
+
+
+def trans_x(d: float) -> np.ndarray:
+    """Homogeneous translation along x."""
+    return trans(d, 0.0, 0.0)
+
+
+def trans_y(d: float) -> np.ndarray:
+    """Homogeneous translation along y."""
+    return trans(0.0, d, 0.0)
+
+
+def trans_z(d: float) -> np.ndarray:
+    """Homogeneous translation along z."""
+    return trans(0.0, 0.0, d)
+
+
+def rpy_to_rotation(roll: float, pitch: float, yaw: float) -> np.ndarray:
+    """Rotation matrix from roll/pitch/yaw (ZYX convention, intrinsic)."""
+    return (rot_z(yaw) @ rot_y(pitch) @ rot_x(roll))[:3, :3]
+
+
+def rotation_to_rpy(rotation: np.ndarray) -> tuple[float, float, float]:
+    """Inverse of :func:`rpy_to_rotation`; returns ``(roll, pitch, yaw)``.
+
+    At the pitch singularity (``|pitch| = pi/2``) the roll/yaw split is not
+    unique; roll is then reported as 0 by convention.
+    """
+    pitch = math.asin(max(-1.0, min(1.0, -rotation[2, 0])))
+    if abs(abs(rotation[2, 0]) - 1.0) < 1e-12:
+        roll = 0.0
+        yaw = math.atan2(-rotation[0, 1], rotation[1, 1])
+    else:
+        roll = math.atan2(rotation[2, 1], rotation[2, 2])
+        yaw = math.atan2(rotation[1, 0], rotation[0, 0])
+    return roll, pitch, yaw
+
+
+def axis_angle_to_rotation(axis: np.ndarray, angle: float) -> np.ndarray:
+    """Rodrigues' formula: rotation by ``angle`` about the unit vector ``axis``."""
+    axis = np.asarray(axis, dtype=float)
+    norm = np.linalg.norm(axis)
+    if norm == 0.0:
+        raise ValueError("rotation axis must be non-zero")
+    x, y, z = axis / norm
+    skew = np.array([[0.0, -z, y], [z, 0.0, -x], [-y, x, 0.0]])
+    return np.eye(3) + math.sin(angle) * skew + (1.0 - math.cos(angle)) * skew @ skew
+
+
+def rotation_to_axis_angle(rotation: np.ndarray) -> tuple[np.ndarray, float]:
+    """Inverse of :func:`axis_angle_to_rotation`.
+
+    Returns ``(axis, angle)`` with ``angle`` in ``[0, pi]``.  For the identity
+    rotation the axis defaults to ``+z``.
+    """
+    trace = float(np.trace(rotation))
+    angle = math.acos(max(-1.0, min(1.0, (trace - 1.0) / 2.0)))
+    if angle < 1e-12:
+        return np.array([0.0, 0.0, 1.0]), 0.0
+    if abs(angle - math.pi) < 1e-6:
+        # Near pi the off-diagonal formula degenerates; recover the axis from
+        # the symmetric part: R = 2 a a^T - I.
+        diag = np.clip((np.diag(rotation) + 1.0) / 2.0, 0.0, None)
+        axis = np.sqrt(diag)
+        # Fix signs using the largest component.
+        k = int(np.argmax(axis))
+        if axis[k] > 0.0:
+            for j in range(3):
+                if j != k:
+                    axis[j] = math.copysign(
+                        axis[j], rotation[k, j] + rotation[j, k]
+                    )
+        return axis / np.linalg.norm(axis), angle
+    axis = np.array(
+        [
+            rotation[2, 1] - rotation[1, 2],
+            rotation[0, 2] - rotation[2, 0],
+            rotation[1, 0] - rotation[0, 1],
+        ]
+    ) / (2.0 * math.sin(angle))
+    return axis, angle
+
+
+def homogeneous(rotation: np.ndarray, translation: np.ndarray) -> np.ndarray:
+    """Assemble a 4x4 transform from a rotation and a translation."""
+    transform = np.eye(4)
+    transform[:3, :3] = rotation
+    transform[:3, 3] = translation
+    return transform
+
+
+def rotation_of(transform: np.ndarray) -> np.ndarray:
+    """The 3x3 rotation block of a transform (or batch of transforms)."""
+    return transform[..., :3, :3]
+
+
+def translation_of(transform: np.ndarray) -> np.ndarray:
+    """The translation column of a transform (or batch of transforms)."""
+    return transform[..., :3, 3]
+
+
+def transform_point(transform: np.ndarray, point: np.ndarray) -> np.ndarray:
+    """Apply a 4x4 transform to a single 3-vector."""
+    return transform[:3, :3] @ np.asarray(point, dtype=float) + transform[:3, 3]
+
+
+def transform_points(transform: np.ndarray, points: np.ndarray) -> np.ndarray:
+    """Apply a 4x4 transform to an ``(N, 3)`` array of points."""
+    points = np.asarray(points, dtype=float)
+    return points @ transform[:3, :3].T + transform[:3, 3]
+
+
+def invert_transform(transform: np.ndarray) -> np.ndarray:
+    """Closed-form inverse of a rigid transform (no matrix inversion)."""
+    rotation = transform[:3, :3]
+    inverse = np.eye(4)
+    inverse[:3, :3] = rotation.T
+    inverse[:3, 3] = -rotation.T @ transform[:3, 3]
+    return inverse
+
+
+def is_rotation(matrix: np.ndarray, tol: float = 1e-8) -> bool:
+    """True when ``matrix`` is a proper rotation (orthogonal, det +1)."""
+    matrix = np.asarray(matrix)
+    if matrix.shape != (3, 3):
+        return False
+    if not np.allclose(matrix @ matrix.T, np.eye(3), atol=tol):
+        return False
+    return bool(abs(np.linalg.det(matrix) - 1.0) < max(tol, 1e-8) * 10.0)
+
+
+def is_transform(matrix: np.ndarray, tol: float = 1e-8) -> bool:
+    """True when ``matrix`` is a rigid homogeneous transform."""
+    matrix = np.asarray(matrix)
+    if matrix.shape != (4, 4):
+        return False
+    if not np.allclose(matrix[3], (0.0, 0.0, 0.0, 1.0), atol=tol):
+        return False
+    return is_rotation(matrix[:3, :3], tol=tol)
+
+
+def orientation_error(current: np.ndarray, target: np.ndarray) -> np.ndarray:
+    """Orientation error 3-vector between two rotation matrices.
+
+    Classic resolved-rate form: ``0.5 * (n x n_d + s x s_d + a x a_d)`` where
+    the columns of the rotations are ``(n, s, a)``.  Used by the full-pose IK
+    extension; the paper itself only tracks position.
+    """
+    return 0.5 * (
+        np.cross(current[:, 0], target[:, 0])
+        + np.cross(current[:, 1], target[:, 1])
+        + np.cross(current[:, 2], target[:, 2])
+    )
+
+
+def random_rotation(rng: np.random.Generator) -> np.ndarray:
+    """Uniformly random rotation matrix (via QR of a Gaussian matrix)."""
+    q, r = np.linalg.qr(rng.normal(size=(3, 3)))
+    q *= np.sign(np.diag(r))
+    if np.linalg.det(q) < 0.0:
+        q[:, 2] = -q[:, 2]
+    return q
+
+
+def batch_rot_z(angles: np.ndarray) -> np.ndarray:
+    """Batched homogeneous z-rotations; ``angles`` of shape ``(..., )``.
+
+    Returns an array of shape ``angles.shape + (4, 4)``.  This is the hot path
+    of forward kinematics (every revolute DH joint contributes one z-rotation)
+    so it is fully vectorised.
+    """
+    angles = np.asarray(angles, dtype=float)
+    c = np.cos(angles)
+    s = np.sin(angles)
+    out = np.zeros(angles.shape + (4, 4))
+    out[..., 0, 0] = c
+    out[..., 0, 1] = -s
+    out[..., 1, 0] = s
+    out[..., 1, 1] = c
+    out[..., 2, 2] = 1.0
+    out[..., 3, 3] = 1.0
+    return out
+
+
+def batch_matmul_chain(locals_: np.ndarray) -> np.ndarray:
+    """Cumulative products of a chain of local transforms.
+
+    ``locals_`` has shape ``(N, 4, 4)`` (or ``(B, N, 4, 4)`` batched).  Returns
+    the cumulative transforms ``T_0i`` for i = 1..N with the same shape.  This
+    mirrors the ``1Ti = 1Ti-1 @ i-1Ti`` recurrence of the SPU pipeline.
+    """
+    locals_ = np.asarray(locals_)
+    out = np.empty_like(locals_)
+    out[..., 0, :, :] = locals_[..., 0, :, :]
+    for i in range(1, locals_.shape[-3]):
+        out[..., i, :, :] = out[..., i - 1, :, :] @ locals_[..., i, :, :]
+    return out

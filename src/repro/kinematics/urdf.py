@@ -1,0 +1,249 @@
+"""Minimal URDF loader: build a :class:`GenericChain` from a robot description.
+
+Supports the subset of URDF that defines serial-arm kinematics:
+
+* ``<joint type="revolute|continuous|prismatic|fixed">`` with ``<origin xyz
+  rpy>``, ``<axis xyz>`` and ``<limit lower upper>``;
+* link/joint tree traversal from a base link to a tip link (auto-detected
+  when the robot is a single unbranched chain).
+
+Inertial, visual, collision, mimic and transmission elements are ignored —
+they do not affect kinematics.  ``continuous`` joints map to revolute joints
+with ±pi limits (enough for IK; wrap-around is not modelled).
+"""
+
+from __future__ import annotations
+
+import math
+import xml.etree.ElementTree as ET
+
+import numpy as np
+
+from repro.kinematics import transforms
+from repro.kinematics.generic import GenericChain, GenericJoint, GenericJointType
+from repro.kinematics.joint import JointLimits
+
+__all__ = ["UrdfError", "load_urdf", "load_urdf_file", "chain_to_urdf"]
+
+
+class UrdfError(ValueError):
+    """Raised for malformed or unsupported robot descriptions."""
+
+
+def _parse_floats(text: str | None, count: int, default: float = 0.0) -> np.ndarray:
+    if text is None:
+        return np.full(count, default)
+    parts = text.split()
+    if len(parts) != count:
+        raise UrdfError(f"expected {count} numbers, got {text!r}")
+    return np.array([float(p) for p in parts])
+
+
+def _origin_transform(joint_el: ET.Element) -> np.ndarray:
+    origin_el = joint_el.find("origin")
+    if origin_el is None:
+        return np.eye(4)
+    xyz = _parse_floats(origin_el.get("xyz"), 3)
+    rpy = _parse_floats(origin_el.get("rpy"), 3)
+    return transforms.homogeneous(
+        transforms.rpy_to_rotation(*rpy), xyz
+    )
+
+
+def _joint_limits(joint_el: ET.Element, joint_type: str) -> JointLimits:
+    limit_el = joint_el.find("limit")
+    if limit_el is None or joint_type == "continuous":
+        if joint_type == "prismatic":
+            raise UrdfError(
+                f"prismatic joint {joint_el.get('name')!r} needs a <limit>"
+            )
+        return JointLimits(-math.pi, math.pi)
+    lower = float(limit_el.get("lower", -math.pi))
+    upper = float(limit_el.get("upper", math.pi))
+    return JointLimits(lower, upper)
+
+
+def _convert_joint(joint_el: ET.Element) -> GenericJoint:
+    urdf_type = joint_el.get("type", "")
+    name = joint_el.get("name", "")
+    if urdf_type in ("revolute", "continuous"):
+        joint_type = GenericJointType.REVOLUTE
+    elif urdf_type == "prismatic":
+        joint_type = GenericJointType.PRISMATIC
+    elif urdf_type == "fixed":
+        joint_type = GenericJointType.FIXED
+    else:
+        raise UrdfError(f"unsupported joint type {urdf_type!r} on {name!r}")
+    axis_el = joint_el.find("axis")
+    axis = (
+        _parse_floats(axis_el.get("xyz"), 3)
+        if axis_el is not None
+        else np.array([1.0, 0.0, 0.0])  # URDF default axis
+    )
+    return GenericJoint(
+        origin=_origin_transform(joint_el),
+        axis=axis if joint_type != GenericJointType.FIXED else np.array([0, 0, 1.0]),
+        joint_type=joint_type,
+        limits=_joint_limits(joint_el, urdf_type),
+        name=name,
+    )
+
+
+def load_urdf(
+    text: str,
+    base_link: str | None = None,
+    tip_link: str | None = None,
+) -> GenericChain:
+    """Parse a URDF document into a :class:`GenericChain`.
+
+    Parameters
+    ----------
+    text:
+        The URDF XML source.
+    base_link / tip_link:
+        End points of the kinematic chain.  When omitted, the base is the
+        unique link that is never a child and the tip the unique link that is
+        never a parent — which requires an unbranched robot; branched robots
+        must name both.
+    """
+    try:
+        root = ET.fromstring(text)
+    except ET.ParseError as exc:
+        raise UrdfError(f"invalid XML: {exc}") from exc
+    if root.tag != "robot":
+        raise UrdfError(f"expected <robot> root, got <{root.tag}>")
+
+    links = {el.get("name") for el in root.findall("link")}
+    if not links:
+        raise UrdfError("robot has no links")
+    joints = list(root.findall("joint"))
+    if not joints:
+        raise UrdfError("robot has no joints")
+
+    by_parent: dict[str, list[ET.Element]] = {}
+    children = set()
+    for joint_el in joints:
+        parent_el = joint_el.find("parent")
+        child_el = joint_el.find("child")
+        if parent_el is None or child_el is None:
+            raise UrdfError(
+                f"joint {joint_el.get('name')!r} lacks <parent>/<child>"
+            )
+        parent = parent_el.get("link")
+        child = child_el.get("link")
+        if parent not in links or child not in links:
+            raise UrdfError(
+                f"joint {joint_el.get('name')!r} references unknown links"
+            )
+        by_parent.setdefault(parent, []).append(joint_el)
+        children.add(child)
+
+    if base_link is None:
+        roots = sorted(links - children)
+        if len(roots) != 1:
+            raise UrdfError(f"cannot auto-detect base link; candidates: {roots}")
+        base_link = roots[0]
+    elif base_link not in links:
+        raise UrdfError(f"unknown base link {base_link!r}")
+    if tip_link is not None and tip_link not in links:
+        raise UrdfError(f"unknown tip link {tip_link!r}")
+
+    # Walk from base toward the tip.
+    chain_joints: list[GenericJoint] = []
+    current = base_link
+    visited = {current}
+    while True:
+        if tip_link is not None and current == tip_link:
+            break
+        outgoing = by_parent.get(current, [])
+        if not outgoing:
+            if tip_link is not None:
+                raise UrdfError(
+                    f"no path from {base_link!r} to {tip_link!r}"
+                )
+            break
+        if len(outgoing) > 1:
+            if tip_link is None:
+                raise UrdfError(
+                    f"link {current!r} branches; specify tip_link explicitly"
+                )
+            # Choose the branch that can still reach the tip.
+            outgoing = [
+                j for j in outgoing
+                if _reaches(by_parent, j.find("child").get("link"), tip_link)
+            ]
+            if len(outgoing) != 1:
+                raise UrdfError(
+                    f"cannot find a unique path through {current!r} to {tip_link!r}"
+                )
+        joint_el = outgoing[0]
+        chain_joints.append(_convert_joint(joint_el))
+        current = joint_el.find("child").get("link")
+        if current in visited:
+            raise UrdfError(f"kinematic loop detected at link {current!r}")
+        visited.add(current)
+
+    if not chain_joints:
+        raise UrdfError("selected chain contains no joints")
+    name = root.get("name", "urdf-robot")
+    return GenericChain(chain_joints, name=name)
+
+
+def _reaches(by_parent, start: str, goal: str) -> bool:
+    stack = [start]
+    seen = set()
+    while stack:
+        link = stack.pop()
+        if link == goal:
+            return True
+        if link in seen:
+            continue
+        seen.add(link)
+        for joint_el in by_parent.get(link, []):
+            stack.append(joint_el.find("child").get("link"))
+    return False
+
+
+def load_urdf_file(
+    path: str, base_link: str | None = None, tip_link: str | None = None
+) -> GenericChain:
+    """:func:`load_urdf` from a file path."""
+    with open(path) as handle:
+        return load_urdf(handle.read(), base_link=base_link, tip_link=tip_link)
+
+
+def chain_to_urdf(chain: GenericChain) -> str:
+    """Serialise a :class:`GenericChain` back to URDF (round-trip support).
+
+    Link geometry is synthesised (URDF needs named links); joint kinematics
+    are preserved exactly.
+    """
+    lines = [f'<robot name="{chain.name}">']
+    lines.append('  <link name="link0"/>')
+    for i, joint in enumerate(chain.joints):
+        urdf_type = {
+            GenericJointType.REVOLUTE: "revolute",
+            GenericJointType.PRISMATIC: "prismatic",
+            GenericJointType.FIXED: "fixed",
+        }[joint.joint_type]
+        name = joint.name or f"joint{i}"
+        origin = np.asarray(joint.origin, dtype=float)
+        xyz = " ".join(f"{v:.12g}" for v in origin[:3, 3])
+        rpy = " ".join(
+            f"{v:.12g}" for v in transforms.rotation_to_rpy(origin[:3, :3])
+        )
+        lines.append(f'  <joint name="{name}" type="{urdf_type}">')
+        lines.append(f'    <origin xyz="{xyz}" rpy="{rpy}"/>')
+        lines.append(f'    <parent link="link{i}"/>')
+        lines.append(f'    <child link="link{i + 1}"/>')
+        if joint.is_movable:
+            axis = " ".join(f"{v:.12g}" for v in joint.axis)
+            lines.append(f'    <axis xyz="{axis}"/>')
+            lines.append(
+                f'    <limit lower="{joint.limits.lower:.12g}" '
+                f'upper="{joint.limits.upper:.12g}"/>'
+            )
+        lines.append("  </joint>")
+        lines.append(f'  <link name="link{i + 1}"/>')
+    lines.append("</robot>")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,173 @@
+"""Dependency-free SVG visualisation of chains and solver convergence.
+
+Matplotlib is not available in the reproduction environment, so this module
+emits plain SVG — enough to eyeball a manipulator pose, an IK solution next
+to its target, or a convergence curve.  Used by
+``examples/visualize_solution.py``; kept deliberately small.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.kinematics.chain import KinematicChain
+
+__all__ = [
+    "project_orthographic",
+    "chain_skeleton",
+    "render_chain_svg",
+    "render_history_svg",
+    "save_svg",
+]
+
+_PLANES = {"xy": (0, 1), "xz": (0, 2), "yz": (1, 2)}
+
+#: Default stroke colours cycled across poses.
+_COLOURS = ("#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#8c564b", "#e377c2")
+
+
+def project_orthographic(points: np.ndarray, plane: str = "xy") -> np.ndarray:
+    """Orthographic projection of ``(N, 3)`` points onto a principal plane."""
+    try:
+        i, j = _PLANES[plane]
+    except KeyError:
+        raise ValueError(f"plane must be one of {sorted(_PLANES)}") from None
+    points = np.atleast_2d(np.asarray(points, dtype=float))
+    return points[:, (i, j)]
+
+
+def chain_skeleton(chain: KinematicChain, q: np.ndarray) -> np.ndarray:
+    """Joint origins from base to end effector; ``(N + 2, 3)``."""
+    frames = chain.link_frames(q)
+    origins = frames[:, :3, 3]
+    tip = (frames[-1] @ chain.tool)[:3, 3]
+    return np.vstack([origins, tip])
+
+
+class _SVGCanvas:
+    """Tiny SVG builder with a data-driven viewBox."""
+
+    def __init__(self, width: int, height: int) -> None:
+        self.width = width
+        self.height = height
+        self._elements: list[str] = []
+        self._min = np.array([np.inf, np.inf])
+        self._max = np.array([-np.inf, -np.inf])
+
+    def _track(self, xy: np.ndarray) -> None:
+        self._min = np.minimum(self._min, xy.min(axis=0))
+        self._max = np.maximum(self._max, xy.max(axis=0))
+
+    def polyline(self, xy: np.ndarray, colour: str, width: float = 0.01) -> None:
+        self._track(xy)
+        points = " ".join(f"{x:.4f},{-y:.4f}" for x, y in xy)
+        self._elements.append(
+            f'<polyline points="{points}" fill="none" stroke="{colour}" '
+            f'stroke-width="{width}" stroke-linecap="round" '
+            f'stroke-linejoin="round"/>'
+        )
+
+    def circle(self, xy: np.ndarray, radius: float, colour: str) -> None:
+        self._track(np.atleast_2d(xy))
+        x, y = xy
+        self._elements.append(
+            f'<circle cx="{x:.4f}" cy="{-y:.4f}" r="{radius}" fill="{colour}"/>'
+        )
+
+    def cross(self, xy: np.ndarray, size: float, colour: str) -> None:
+        x, y = xy
+        self.polyline(
+            np.array([[x - size, y - size], [x + size, y + size]]), colour, size / 3
+        )
+        self.polyline(
+            np.array([[x - size, y + size], [x + size, y - size]]), colour, size / 3
+        )
+
+    def text(self, xy: np.ndarray, content: str, size: float) -> None:
+        x, y = xy
+        self._elements.append(
+            f'<text x="{x:.4f}" y="{-y:.4f}" font-size="{size:.4f}" '
+            f'font-family="sans-serif">{content}</text>'
+        )
+
+    def render(self) -> str:
+        if not np.all(np.isfinite(self._min)):
+            self._min = np.array([0.0, 0.0])
+            self._max = np.array([1.0, 1.0])
+        span = np.maximum(self._max - self._min, 1e-6)
+        pad = 0.08 * float(span.max())
+        x0 = self._min[0] - pad
+        y0 = -(self._max[1] + pad)
+        w = span[0] + 2 * pad
+        h = span[1] + 2 * pad
+        body = "\n  ".join(self._elements)
+        return (
+            f'<svg xmlns="http://www.w3.org/2000/svg" width="{self.width}" '
+            f'height="{self.height}" viewBox="{x0:.4f} {y0:.4f} {w:.4f} {h:.4f}">\n'
+            f"  {body}\n</svg>\n"
+        )
+
+
+def render_chain_svg(
+    chain: KinematicChain,
+    configurations: Iterable[np.ndarray],
+    targets: np.ndarray | None = None,
+    plane: str = "xy",
+    width: int = 640,
+    height: int = 640,
+) -> str:
+    """Render one or more chain poses (and optional targets) as SVG.
+
+    Each configuration is drawn as a polyline skeleton with joint dots; the
+    end effector gets a larger dot and targets are drawn as crosses.
+    """
+    canvas = _SVGCanvas(width, height)
+    link_width = max(chain.total_reach() / 150.0, 1e-4)
+    for index, q in enumerate(configurations):
+        colour = _COLOURS[index % len(_COLOURS)]
+        skeleton = project_orthographic(chain_skeleton(chain, q), plane)
+        canvas.polyline(skeleton, colour, link_width)
+        for joint_xy in skeleton[:-1]:
+            canvas.circle(joint_xy, link_width * 1.2, colour)
+        canvas.circle(skeleton[-1], link_width * 2.0, colour)
+    if targets is not None:
+        targets_2d = project_orthographic(np.atleast_2d(targets), plane)
+        for target_xy in targets_2d:
+            canvas.cross(target_xy, link_width * 3.0, "#000000")
+    return canvas.render()
+
+
+def render_history_svg(
+    histories: Mapping[str, Sequence[float]],
+    tolerance: float | None = None,
+    width: int = 720,
+    height: int = 420,
+) -> str:
+    """Render error-vs-iteration curves (log10 error) for several solvers."""
+    if not histories:
+        raise ValueError("histories must be non-empty")
+    canvas = _SVGCanvas(width, height)
+    longest = max(len(h) for h in histories.values())
+    for index, (label, history) in enumerate(histories.items()):
+        colour = _COLOURS[index % len(_COLOURS)]
+        values = np.asarray(history, dtype=float)
+        values = np.maximum(values, 1e-12)
+        xs = np.arange(values.size) / max(longest - 1, 1)
+        ys = np.log10(values) / 10.0
+        curve = np.stack([xs, ys], axis=1)
+        canvas.polyline(curve, colour, 0.004)
+        canvas.text(curve[-1] + [0.01, 0.0], label, 0.02)
+    if tolerance is not None and tolerance > 0.0:
+        level = math.log10(tolerance) / 10.0
+        canvas.polyline(np.array([[0.0, level], [1.0, level]]), "#999999", 0.002)
+        canvas.text(np.array([0.0, level + 0.005]), "tolerance", 0.018)
+    return canvas.render()
+
+
+def save_svg(svg_text: str, path: str) -> None:
+    """Write an SVG document to disk."""
+    with open(path, "w") as handle:
+        handle.write(svg_text)

@@ -1,0 +1,97 @@
+"""Monte-Carlo workspace analysis for serial chains.
+
+Answers the questions the target generators and the evaluation depend on:
+how far does the arm actually reach (vs the conservative
+``total_reach`` bound), how are reachable radii distributed, and what shell
+fractions are safe to sample targets from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["WorkspaceReport", "sample_workspace", "safe_shell_fraction"]
+
+
+@dataclass(frozen=True)
+class WorkspaceReport:
+    """Radius statistics of FK samples from uniform random configurations."""
+
+    dof: int
+    samples: int
+    nominal_reach: float
+    max_radius: float
+    mean_radius: float
+    percentiles: dict[int, float]
+    centroid: np.ndarray
+
+    @property
+    def effective_reach_fraction(self) -> float:
+        """Observed max radius over the conservative ``total_reach`` bound.
+
+        Well below 1 for random-geometry chains (they cannot straighten),
+        close to 1 for snakes/planar arms.
+        """
+        if self.nominal_reach <= 0.0:
+            return 0.0
+        return self.max_radius / self.nominal_reach
+
+    def radius_at(self, percentile: int) -> float:
+        """Radius below which ``percentile`` % of samples fall."""
+        try:
+            return self.percentiles[percentile]
+        except KeyError:
+            raise KeyError(
+                f"percentile {percentile} not sampled; have "
+                f"{sorted(self.percentiles)}"
+            ) from None
+
+
+_PERCENTILES = (10, 25, 50, 75, 90, 95, 99)
+
+
+def sample_workspace(
+    chain,
+    samples: int = 2000,
+    rng: np.random.Generator | None = None,
+) -> WorkspaceReport:
+    """Monte-Carlo sample the reachable workspace of ``chain``."""
+    if samples < 1:
+        raise ValueError("samples must be >= 1")
+    if rng is None:
+        rng = np.random.default_rng(0)
+    qs = np.stack([chain.random_configuration(rng) for _ in range(samples)])
+    positions = chain.end_positions_batch(qs)
+    base_origin = np.asarray(chain.base[:3, 3], dtype=float)
+    radii = np.linalg.norm(positions - base_origin[None, :], axis=1)
+    return WorkspaceReport(
+        dof=chain.dof,
+        samples=samples,
+        nominal_reach=float(chain.total_reach()),
+        max_radius=float(radii.max()),
+        mean_radius=float(radii.mean()),
+        percentiles={p: float(np.percentile(radii, p)) for p in _PERCENTILES},
+        centroid=positions.mean(axis=0),
+    )
+
+
+def safe_shell_fraction(
+    chain,
+    coverage: float = 0.95,
+    samples: int = 2000,
+    rng: np.random.Generator | None = None,
+) -> float:
+    """Fraction of ``total_reach`` below which ``coverage`` of random-pose
+    radii fall — a data-driven ``max_fraction`` for
+    :func:`repro.workloads.targets.shell_targets`."""
+    if not 0.0 < coverage < 1.0:
+        raise ValueError("coverage must be in (0, 1)")
+    report = sample_workspace(chain, samples=samples, rng=rng)
+    percentile = int(round(coverage * 100))
+    available = sorted(report.percentiles)
+    closest = min(available, key=lambda p: abs(p - percentile))
+    if report.nominal_reach <= 0.0:
+        return 0.0
+    return report.percentiles[closest] / report.nominal_reach

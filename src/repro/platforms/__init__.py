@@ -1,0 +1,25 @@
+"""Platform cost/energy models: Atom CPU, TX1 GPU, IKAcc accelerator."""
+
+from repro.platforms.atom import AtomModel
+from repro.platforms.base import (
+    METHOD_NAMES,
+    PlatformEstimate,
+    PlatformModel,
+    iteration_ops,
+)
+from repro.platforms.energy import EnergyReport, efficiency_ratio, energy_report
+from repro.platforms.ikacc_platform import IKAccPlatform
+from repro.platforms.tx1 import TX1Model
+
+__all__ = [
+    "AtomModel",
+    "METHOD_NAMES",
+    "PlatformEstimate",
+    "PlatformModel",
+    "iteration_ops",
+    "EnergyReport",
+    "efficiency_ratio",
+    "energy_report",
+    "IKAccPlatform",
+    "TX1Model",
+]

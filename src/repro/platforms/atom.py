@@ -1,0 +1,52 @@
+"""Intel Atom D2500 cost model: everything serial at an effective FLOP rate.
+
+The Atom runs all three methods as plain single-threaded C++ (paper Section
+6.1), so each iteration costs its full operation tally at the calibrated
+effective rate.  SVD inner loops (the pseudoinverse method) run at a further
+reduced rate — dependent divides/sqrts and column rotations defeat what
+little ILP the in-order core has (this is the "incredibly time-consuming"
+part the paper leans on).
+"""
+
+from __future__ import annotations
+
+from repro.ikacc.opcounts import svd_ops
+from repro.platforms import calibration
+from repro.platforms.base import PlatformModel, iteration_ops
+
+__all__ = ["AtomModel"]
+
+
+class AtomModel(PlatformModel):
+    """Serial mobile-CPU cost model."""
+
+    name = "Atom"
+    technology = calibration.ATOM_TECHNOLOGY
+    avg_power_w = calibration.ATOM_AVG_POWER_W
+    frequency_hz = calibration.ATOM_FREQUENCY_HZ
+
+    def __init__(
+        self,
+        effective_flops: float = calibration.ATOM_EFFECTIVE_FLOPS,
+        svd_efficiency: float = calibration.ATOM_SVD_EFFICIENCY,
+    ) -> None:
+        if effective_flops <= 0.0:
+            raise ValueError("effective_flops must be positive")
+        if not 0.0 < svd_efficiency <= 1.0:
+            raise ValueError("svd_efficiency must be in (0, 1]")
+        self.effective_flops = effective_flops
+        self.svd_efficiency = svd_efficiency
+
+    def seconds_per_iteration(
+        self, method: str, dof: int, speculations: int = 1
+    ) -> float:
+        ops = iteration_ops(method, dof, speculations)
+        seconds = ops.flops / self.effective_flops
+        if method == "J-1-SVD":
+            # The SVD share of the iteration runs at reduced efficiency; the
+            # surrounding Jacobian/FK work keeps the nominal rate.
+            svd_flops = svd_ops(dof).flops
+            seconds += (svd_flops / self.effective_flops) * (
+                1.0 / self.svd_efficiency - 1.0
+            )
+        return seconds

@@ -1,0 +1,102 @@
+"""Platform-model interface: price counted IK work in seconds and joules.
+
+A platform model answers one question: *how long does one iteration of a
+given method take on this machine, and at what power?*  Solve-level times are
+then ``iterations x seconds_per_iteration`` — with the iteration counts taken
+from real solver runs, so every platform prices the *same* algorithmic work.
+
+Method names follow the paper's Table 1: ``"JT-Serial"``, ``"J-1-SVD"``,
+``"JT-Speculation"``.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from repro.ikacc.opcounts import (
+    OpCounts,
+    jt_serial_iteration_ops,
+    pseudoinverse_iteration_ops,
+    quick_ik_iteration_ops,
+)
+
+__all__ = ["METHOD_NAMES", "iteration_ops", "PlatformEstimate", "PlatformModel"]
+
+#: Methods the platform models know how to price.
+METHOD_NAMES = ("JT-Serial", "J-1-SVD", "JT-Speculation")
+
+
+def iteration_ops(method: str, dof: int, speculations: int = 1) -> OpCounts:
+    """Per-iteration operation tally for a Table-1 method."""
+    if method == "JT-Serial":
+        return jt_serial_iteration_ops(dof)
+    if method == "J-1-SVD":
+        return pseudoinverse_iteration_ops(dof)
+    if method == "JT-Speculation":
+        return quick_ik_iteration_ops(dof, speculations)
+    raise KeyError(f"unknown method {method!r}; known: {', '.join(METHOD_NAMES)}")
+
+
+@dataclass(frozen=True)
+class PlatformEstimate:
+    """Time/energy estimate of one solve on one platform."""
+
+    platform: str
+    method: str
+    dof: int
+    iterations: float
+    seconds: float
+    energy_j: float
+
+    @property
+    def milliseconds(self) -> float:
+        """Solve time in ms (the unit of Table 2)."""
+        return self.seconds * 1e3
+
+
+class PlatformModel(ABC):
+    """Base class for the Atom / TX1 / IKAcc cost models."""
+
+    #: Platform label used in Table 2/3 headers.
+    name = "platform"
+
+    #: Process technology string (Table 3).
+    technology = "-"
+
+    #: Average power while solving, watts (Table 3).
+    avg_power_w = 0.0
+
+    @abstractmethod
+    def seconds_per_iteration(
+        self, method: str, dof: int, speculations: int = 1
+    ) -> float:
+        """Latency of one iteration of ``method`` on this platform."""
+
+    def estimate(
+        self,
+        method: str,
+        dof: int,
+        iterations: float,
+        speculations: int = 1,
+    ) -> PlatformEstimate:
+        """Price a solve of ``iterations`` iterations."""
+        if iterations < 0:
+            raise ValueError("iterations must be >= 0")
+        seconds = iterations * self.seconds_per_iteration(method, dof, speculations)
+        return PlatformEstimate(
+            platform=self.name,
+            method=method,
+            dof=dof,
+            iterations=iterations,
+            seconds=seconds,
+            energy_j=self.energy_j(seconds),
+        )
+
+    def energy_j(self, seconds: float) -> float:
+        """Energy of a run: average power times duration (overridden by
+        IKAcc, which has a component-level energy model)."""
+        return self.avg_power_w * seconds
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"

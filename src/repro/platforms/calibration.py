@@ -1,0 +1,81 @@
+"""Calibrated constants of the platform cost models (see DESIGN.md §5).
+
+The paper measured wall-clock on physical hardware (Intel Atom D2500, NVIDIA
+Jetson TX1) and synthesized RTL; none of that exists here, so Table 2/3 are
+regenerated from **counted work** (exact per-iteration operation tallies from
+:mod:`repro.ikacc.opcounts` and iteration counts from real solver runs)
+priced with the per-platform constants below.
+
+Calibration procedure (performed once, against the paper's own tables):
+
+* ``ATOM_EFFECTIVE_FLOPS`` — chosen so that the *architectural* ratio
+  "Quick-IK on Atom vs Quick-IK on IKAcc" matches Table 2 column 3 / column 5
+  (~800-1200x across the DOF sweep).  Iteration counts cancel in that ratio,
+  so it pins the single Atom constant independently of our workload.  The
+  resulting ~130 MFLOP/s effective is consistent with scalar, cache-missing
+  C++ on an in-order 1.86 GHz Atom.
+* ``ATOM_SVD_EFFICIENCY`` — SVD inner loops (column rotations, dependent
+  divides/sqrts) run several times below even that effective rate; factor fit
+  against Table 2 column 2 vs column 1.
+* ``TX1_*`` — the paper attributes TX1's limit to the per-iteration CPU<->GPU
+  exchange; the model is ``serial-on-A57 + fixed offload overhead + depth-N
+  sequential 4x4-matmul levels on the GPU``.  Overhead and per-level time fit
+  Table 2 column 4 / column 5 (~25-125x vs IKAcc).
+* IKAcc needs no constants here — its time comes from the cycle-level
+  simulator and its energy from the component-level power model.
+* Power ratings (Table 3): Atom 10 W, TX1 4.8 W, taken directly from the
+  paper.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ATOM_EFFECTIVE_FLOPS",
+    "ATOM_SVD_EFFICIENCY",
+    "ATOM_AVG_POWER_W",
+    "ATOM_FREQUENCY_HZ",
+    "ATOM_TECHNOLOGY",
+    "TX1_OFFLOAD_OVERHEAD_S",
+    "TX1_JOINT_LEVEL_S",
+    "TX1_SERIAL_EFFECTIVE_FLOPS",
+    "TX1_AVG_POWER_W",
+    "TX1_TECHNOLOGY",
+]
+
+# ----------------------------------------------------------------------
+# Intel Atom D2500 (Table 3 row: 32 nm, 1.86 GHz, ~10 W)
+# ----------------------------------------------------------------------
+
+#: Effective sustained scalar throughput of the solver inner loops.
+ATOM_EFFECTIVE_FLOPS = 130.0e6
+
+#: Extra slowdown of SVD inner loops relative to the effective rate.
+ATOM_SVD_EFFICIENCY = 0.25
+
+#: Average package power while solving (paper Table 3).
+ATOM_AVG_POWER_W = 10.0
+
+ATOM_FREQUENCY_HZ = 1.86e9
+ATOM_TECHNOLOGY = "32nm"
+
+# ----------------------------------------------------------------------
+# NVIDIA Jetson TX1 (Table 3 row: 20 nm, up to 1.9 GHz, ~4.8 W)
+# ----------------------------------------------------------------------
+
+#: Per-iteration kernel-launch + unified-memory synchronisation cost of
+#: shipping the serial block's results to the GPU and the argmin back
+#: ("GPU needs to exchange data with CPU at each iteration").
+TX1_OFFLOAD_OVERHEAD_S = 140.0e-6
+
+#: Time per joint *level* of the speculative FK on the GPU: all speculations
+#: advance one joint in lock-step (64 tiny 4x4 matmuls in parallel), but the
+#: chain of N levels is sequential.
+TX1_JOINT_LEVEL_S = 0.8e-6
+
+#: Effective rate of the serial block on the TX1's A57 core.
+TX1_SERIAL_EFFECTIVE_FLOPS = 400.0e6
+
+#: Average module power while solving (paper Table 3).
+TX1_AVG_POWER_W = 4.8
+
+TX1_TECHNOLOGY = "20nm"

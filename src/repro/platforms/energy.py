@@ -1,0 +1,60 @@
+"""Energy accounting across platforms (Table 3 and the 776x headline).
+
+Energy per solve is average power times solve time for the CPU/GPU platforms
+(the paper's methodology: package power ratings from Table 3), and the
+integrated component-model energy for IKAcc.  Energy *efficiency* is reported
+as solves per joule; the paper's "776x higher energy efficiency than the GPU"
+is the ratio of those.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.platforms.base import PlatformEstimate
+
+__all__ = ["EnergyReport", "energy_report", "efficiency_ratio"]
+
+
+@dataclass(frozen=True)
+class EnergyReport:
+    """Energy of one (platform, method, dof) cell."""
+
+    platform: str
+    method: str
+    dof: int
+    seconds_per_solve: float
+    energy_j_per_solve: float
+
+    @property
+    def solves_per_joule(self) -> float:
+        """Energy efficiency."""
+        if self.energy_j_per_solve <= 0.0:
+            return float("inf")
+        return 1.0 / self.energy_j_per_solve
+
+    @property
+    def millijoules(self) -> float:
+        """Energy per solve in mJ."""
+        return self.energy_j_per_solve * 1e3
+
+
+def energy_report(estimate: PlatformEstimate) -> EnergyReport:
+    """Wrap a platform estimate as an energy report."""
+    return EnergyReport(
+        platform=estimate.platform,
+        method=estimate.method,
+        dof=estimate.dof,
+        seconds_per_solve=estimate.seconds,
+        energy_j_per_solve=estimate.energy_j,
+    )
+
+
+def efficiency_ratio(reference: EnergyReport, other: EnergyReport) -> float:
+    """How many times more energy-efficient ``reference`` is than ``other``.
+
+    ``efficiency_ratio(ikacc, tx1)`` reproduces the paper's 776x claim shape.
+    """
+    if reference.energy_j_per_solve <= 0.0:
+        return float("inf")
+    return other.energy_j_per_solve / reference.energy_j_per_solve

@@ -1,0 +1,61 @@
+"""NVIDIA Jetson TX1 cost model for the GPU Quick-IK implementation.
+
+The paper's JT-TX1 splits one iteration as: the serial block (Jacobian,
+``dtheta_base``, ``alpha_base``) on the A57 CPU, the speculative searches on
+the GPU, and a CPU<->GPU exchange in between — which is exactly what the
+paper blames for the limited GPU speedup ("GPU needs to exchange data with
+CPU at each iteration").  The model prices one iteration as
+
+    ``serial_flops / serial_rate  +  offload_overhead  +  N * joint_level``
+
+where the GPU term reflects that all speculations advance through the N
+joints in lock-step (64 concurrent 4x4 matmuls per level, the levels strictly
+sequential — the available parallelism per level is far below what saturates
+the GPU, so adding speculations is nearly free but adding joints is not).
+
+JT-Serial and J-1-SVD were not run on the TX1 in the paper (Table 1); asking
+this model to price them raises ``KeyError``.
+"""
+
+from __future__ import annotations
+
+from repro.ikacc.opcounts import jacobian_serial_ops
+from repro.platforms import calibration
+from repro.platforms.base import PlatformModel
+
+__all__ = ["TX1Model"]
+
+
+class TX1Model(PlatformModel):
+    """Mobile-GPU (CPU+GPU split) cost model for Quick-IK."""
+
+    name = "TX1"
+    technology = calibration.TX1_TECHNOLOGY
+    avg_power_w = calibration.TX1_AVG_POWER_W
+
+    def __init__(
+        self,
+        offload_overhead_s: float = calibration.TX1_OFFLOAD_OVERHEAD_S,
+        joint_level_s: float = calibration.TX1_JOINT_LEVEL_S,
+        serial_flops: float = calibration.TX1_SERIAL_EFFECTIVE_FLOPS,
+    ) -> None:
+        if offload_overhead_s < 0.0:
+            raise ValueError("offload_overhead_s must be >= 0")
+        if joint_level_s <= 0.0:
+            raise ValueError("joint_level_s must be positive")
+        if serial_flops <= 0.0:
+            raise ValueError("serial_flops must be positive")
+        self.offload_overhead_s = offload_overhead_s
+        self.joint_level_s = joint_level_s
+        self.serial_flops = serial_flops
+
+    def seconds_per_iteration(
+        self, method: str, dof: int, speculations: int = 1
+    ) -> float:
+        if method != "JT-Speculation":
+            raise KeyError(
+                f"the paper runs only JT-Speculation on the TX1, not {method!r}"
+            )
+        serial = jacobian_serial_ops(dof).flops / self.serial_flops
+        gpu = dof * self.joint_level_s
+        return serial + self.offload_overhead_s + gpu

@@ -1,0 +1,68 @@
+"""Baseline IK solvers the paper compares against, plus extensions.
+
+The Quick-IK solver itself lives in :mod:`repro.core.quick_ik`; it is
+re-exported here so ``repro.solvers`` is the one-stop module for every solver.
+"""
+
+from repro.core.base import IterativeIKSolver
+from repro.core.hybrid import HybridSpeculativeSolver
+from repro.core.quick_ik import QuickIKSolver
+from repro.solvers.analytic import PlanarTwoLinkSolver, planar_two_link_ik
+from repro.solvers.batched import BatchedJacobianTranspose, BatchedQuickIK
+from repro.solvers.ccd import CyclicCoordinateDescentSolver
+from repro.solvers.dls import DampedLeastSquaresSolver
+from repro.solvers.jacobian_transpose import JacobianTransposeSolver
+from repro.solvers.nullspace import NullSpaceSolver, limit_centering_gradient
+from repro.solvers.pose_ik import PoseQuickIKSolver
+from repro.solvers.pseudoinverse import PseudoinverseSolver, damped_pinv
+from repro.solvers.restarts import RandomRestartSolver
+from repro.solvers.sdls import SelectivelyDampedSolver
+
+__all__ = [
+    "IterativeIKSolver",
+    "QuickIKSolver",
+    "HybridSpeculativeSolver",
+    "PlanarTwoLinkSolver",
+    "planar_two_link_ik",
+    "BatchedJacobianTranspose",
+    "BatchedQuickIK",
+    "CyclicCoordinateDescentSolver",
+    "DampedLeastSquaresSolver",
+    "JacobianTransposeSolver",
+    "NullSpaceSolver",
+    "limit_centering_gradient",
+    "PoseQuickIKSolver",
+    "PseudoinverseSolver",
+    "damped_pinv",
+    "RandomRestartSolver",
+    "SelectivelyDampedSolver",
+    "SOLVER_REGISTRY",
+    "make_solver",
+]
+
+#: Solver factories keyed by the names used in the paper's Table 1 (plus
+#: extensions).  Each factory takes ``(chain, config=None, **kwargs)``.
+SOLVER_REGISTRY = {
+    "JT-Serial": JacobianTransposeSolver,
+    "J-1-SVD": PseudoinverseSolver,
+    "JT-Speculation": QuickIKSolver,
+    "JT-DLS": DampedLeastSquaresSolver,
+    "JT-SDLS": SelectivelyDampedSolver,
+    "CCD": CyclicCoordinateDescentSolver,
+    "J-1-SVD+nullspace": NullSpaceSolver,
+    "JT-Hybrid": HybridSpeculativeSolver,
+}
+
+
+def make_solver(name, chain, config=None, **kwargs):
+    """Instantiate a solver by its Table 1 name.
+
+    Extra keyword arguments are forwarded to the solver constructor (e.g.
+    ``speculations=64`` for ``"JT-Speculation"``).
+    """
+    try:
+        factory = SOLVER_REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(SOLVER_REGISTRY))
+        raise KeyError(f"unknown solver {name!r}; known: {known}") from None
+    return factory(chain, config=config, **kwargs)

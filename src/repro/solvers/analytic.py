@@ -1,0 +1,140 @@
+"""Closed-form (algebraic/geometric) IK — the related-work family [4].
+
+The paper's related work notes that algebraic and geometric methods "are just
+used in special manipulators, with finite and fixed solutions".  We implement
+the textbook instance — the planar 2R arm — both to cover that solver family
+and as an oracle in tests: on a 2-DOF planar chain the iterative solvers must
+agree with the closed form.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.kinematics.chain import KinematicChain
+
+__all__ = ["AnalyticSolution", "planar_two_link_ik", "PlanarTwoLinkSolver"]
+
+
+@dataclass(frozen=True)
+class AnalyticSolution:
+    """All closed-form solutions of one planar 2R problem."""
+
+    solutions: tuple[np.ndarray, ...]  # 0, 1 or 2 joint-angle pairs
+    reachable: bool
+
+    def closest_to(self, q_reference: np.ndarray) -> np.ndarray:
+        """The solution nearest (in joint space) to a reference posture."""
+        if not self.solutions:
+            raise ValueError("target is unreachable; no solutions")
+        q_reference = np.asarray(q_reference, dtype=float)
+        return min(
+            self.solutions,
+            key=lambda q: float(np.linalg.norm(q - q_reference)),
+        )
+
+
+def planar_two_link_ik(
+    l1: float, l2: float, target_xy: np.ndarray
+) -> AnalyticSolution:
+    """Closed-form IK of a planar 2R arm with link lengths ``l1``, ``l2``.
+
+    Returns the elbow-up and elbow-down solutions (identical at the
+    workspace boundary, none when the target is out of the annulus
+    ``[|l1 - l2|, l1 + l2]``).
+    """
+    if l1 <= 0.0 or l2 <= 0.0:
+        raise ValueError("link lengths must be positive")
+    x, y = float(target_xy[0]), float(target_xy[1])
+    r_sq = x * x + y * y
+    r = math.sqrt(r_sq)
+    if r > l1 + l2 + 1e-12 or r < abs(l1 - l2) - 1e-12:
+        return AnalyticSolution(solutions=(), reachable=False)
+    cos_elbow = (r_sq - l1 * l1 - l2 * l2) / (2.0 * l1 * l2)
+    cos_elbow = max(-1.0, min(1.0, cos_elbow))
+    elbow = math.acos(cos_elbow)
+    solutions = []
+    for sign in (1.0, -1.0):
+        q2 = sign * elbow
+        q1 = math.atan2(y, x) - math.atan2(
+            l2 * math.sin(q2), l1 + l2 * math.cos(q2)
+        )
+        solutions.append(np.array([_wrap(q1), _wrap(q2)]))
+    if abs(elbow) < 1e-12 or abs(elbow - math.pi) < 1e-12:
+        solutions = solutions[:1]  # boundary: both branches coincide
+    return AnalyticSolution(solutions=tuple(solutions), reachable=True)
+
+
+def _wrap(angle: float) -> float:
+    """Wrap to (-pi, pi]."""
+    wrapped = math.fmod(angle + math.pi, 2.0 * math.pi)
+    if wrapped <= 0.0:
+        wrapped += 2.0 * math.pi
+    return wrapped - math.pi
+
+
+class PlanarTwoLinkSolver:
+    """Closed-form solver for 2-DOF planar chains (drop-in ``solve`` API)."""
+
+    name = "analytic-2R"
+
+    def __init__(self, chain: KinematicChain) -> None:
+        if chain.dof != 2:
+            raise ValueError("analytic 2R solver needs exactly 2 joints")
+        links = [j.link for j in chain.joints]
+        if any(j.is_prismatic for j in chain.joints) or any(
+            abs(link.alpha) > 1e-12 or abs(link.d) > 1e-12 for link in links
+        ):
+            raise ValueError("chain is not a planar 2R arm")
+        self.chain = chain
+        self.l1 = links[0].a
+        self.l2 = links[1].a + float(np.linalg.norm(chain.tool[:3, 3]))
+
+    def solve_all(self, target: np.ndarray) -> AnalyticSolution:
+        """Every closed-form solution for a 3-D target (z must be ~0)."""
+        target = np.asarray(target, dtype=float)
+        if abs(target[2]) > 1e-9:
+            return AnalyticSolution(solutions=(), reachable=False)
+        return planar_two_link_ik(self.l1, self.l2, target[:2])
+
+    def solve(
+        self,
+        target: np.ndarray,
+        q0: np.ndarray | None = None,
+        rng: np.random.Generator | None = None,
+    ):
+        """Drop-in ``solve``: returns an :class:`~repro.core.result.IKResult`
+        with 0 iterations (closed form) or a non-converged result."""
+        from repro.core.result import IKResult
+
+        del rng
+        analytic = self.solve_all(target)
+        reference = (
+            np.asarray(q0, dtype=float) if q0 is not None else np.zeros(2)
+        )
+        if analytic.solutions:
+            q = analytic.closest_to(reference)
+            error = float(
+                np.linalg.norm(self.chain.end_position(q) - np.asarray(target))
+            )
+            converged = True
+        else:
+            q = reference
+            error = float(
+                np.linalg.norm(self.chain.end_position(q) - np.asarray(target))
+            )
+            converged = False
+        return IKResult(
+            q=q,
+            converged=converged,
+            iterations=0,
+            error=error,
+            target=np.asarray(target, dtype=float),
+            solver=self.name,
+            dof=2,
+            speculations=1,
+            fk_evaluations=1,
+        )

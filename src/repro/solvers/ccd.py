@@ -1,0 +1,77 @@
+"""Cyclic coordinate descent IK (paper reference [4], related work).
+
+CCD optimises one joint at a time: for each joint (tip to base) it applies the
+closed-form update that moves the end effector as close as possible to the
+target, keeping every other joint fixed.  One *iteration* in our accounting is
+one full sweep over all joints (so its per-iteration cost is O(N) FK-like
+work, comparable to one Jacobian-method iteration).
+
+Included because the paper's related-work section positions Quick-IK against
+it ("the Cyclic Coordinate Descent methods are just used in the manipulators
+with one end-effector") and because it is a useful non-Jacobian baseline in
+the solver-shootout example.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.base import IterativeIKSolver
+from repro.core.result import SolverConfig, StepOutcome
+from repro.kinematics.chain import KinematicChain
+
+__all__ = ["CyclicCoordinateDescentSolver"]
+
+
+class CyclicCoordinateDescentSolver(IterativeIKSolver):
+    """CCD for serial chains with revolute and prismatic joints."""
+
+    name = "CCD"
+    speculations = 1
+
+    def __init__(
+        self, chain: KinematicChain, config: SolverConfig | None = None
+    ) -> None:
+        super().__init__(chain, config)
+
+    def _step(
+        self, q: np.ndarray, position: np.ndarray, target: np.ndarray
+    ) -> StepOutcome:
+        q = q.copy()
+        fk_evaluations = 0
+        # Sweep tip -> base (the classic CCD order: distal joints first).
+        for index in range(self.chain.dof - 1, -1, -1):
+            axes, origins, end = self.chain.joint_screws(q)
+            fk_evaluations += 1
+            axis = axes[index]
+            origin = origins[index]
+            joint = self.chain.joints[index]
+            if joint.is_prismatic:
+                # Slide along the axis to cancel the error component on it.
+                delta = float(axis @ (target - end))
+                q[index] = joint.limits.clamp(q[index] + delta)
+                continue
+            # Revolute: rotate about `axis` so that the projection of the
+            # end effector onto the plane normal to the axis aligns with the
+            # projection of the target.
+            to_end = end - origin
+            to_target = target - origin
+            end_axial = float(axis @ to_end)
+            target_axial = float(axis @ to_target)
+            end_planar = to_end - end_axial * axis
+            target_planar = to_target - target_axial * axis
+            if (
+                np.linalg.norm(end_planar) < 1e-12
+                or np.linalg.norm(target_planar) < 1e-12
+            ):
+                continue  # end effector (or target) on the axis: no leverage
+            sin_term = float(axis @ np.cross(end_planar, target_planar))
+            cos_term = float(end_planar @ target_planar)
+            angle = math.atan2(sin_term, cos_term)
+            new_value = q[index] + angle
+            if self.config.respect_limits:
+                new_value = joint.limits.clamp(new_value)
+            q[index] = new_value
+        return StepOutcome(q=q, fk_evaluations=fk_evaluations)

@@ -1,0 +1,91 @@
+"""Redundancy resolution: pseudoinverse IK with null-space optimisation.
+
+High-DOF manipulators (the paper's whole motivation) are massively redundant:
+a 3-D position task on a 100-DOF arm leaves a 97-dimensional self-motion
+manifold.  The classic gradient-projection scheme (Liegeois, and the dual
+neural-network line of the paper's refs [9, 10]) exploits it:
+
+    ``dtheta = J^+ e + k (I - J^+ J) grad H(theta)``
+
+where ``H`` is a secondary objective maximised in the null space of the task.
+We ship the standard objective — distance from the joint-limit centres — plus
+a hook for arbitrary objectives.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.core.base import IterativeIKSolver
+from repro.core.result import SolverConfig, StepOutcome
+from repro.kinematics.chain import KinematicChain
+from repro.solvers.pseudoinverse import damped_pinv
+
+__all__ = ["NullSpaceSolver", "limit_centering_gradient"]
+
+
+def limit_centering_gradient(chain: KinematicChain) -> Callable[[np.ndarray], np.ndarray]:
+    """Gradient of ``H(theta) = -1/2 ||(theta - mid) / span||^2``.
+
+    Ascending this objective pulls every joint toward the middle of its
+    limit interval — the textbook joint-limit-avoidance criterion.
+    """
+    mid = 0.5 * (chain.lower_limits + chain.upper_limits)
+    span = np.maximum(chain.upper_limits - chain.lower_limits, 1e-9)
+
+    def gradient(q: np.ndarray) -> np.ndarray:
+        return -(q - mid) / span**2
+
+    return gradient
+
+
+class NullSpaceSolver(IterativeIKSolver):
+    """Pseudoinverse IK with gradient projection in the task null space.
+
+    Parameters
+    ----------
+    objective_gradient:
+        ``grad H(theta)``; defaults to joint-limit centering.
+    nullspace_gain:
+        Scale ``k`` applied to the projected gradient per iteration.
+    error_clamp / damping:
+        As in :class:`~repro.solvers.pseudoinverse.PseudoinverseSolver`.
+    """
+
+    name = "J-1-SVD+nullspace"
+    speculations = 1
+
+    def __init__(
+        self,
+        chain: KinematicChain,
+        config: SolverConfig | None = None,
+        objective_gradient: Callable[[np.ndarray], np.ndarray] | None = None,
+        nullspace_gain: float = 0.1,
+        error_clamp: float | None = 0.1,
+        damping: float = 0.0,
+    ) -> None:
+        super().__init__(chain, config)
+        if nullspace_gain < 0.0:
+            raise ValueError("nullspace_gain must be >= 0")
+        self.objective_gradient = objective_gradient or limit_centering_gradient(chain)
+        self.nullspace_gain = nullspace_gain
+        self.error_clamp = error_clamp
+        self.damping = damping
+
+    def _step(
+        self, q: np.ndarray, position: np.ndarray, target: np.ndarray
+    ) -> StepOutcome:
+        error_vec = target - position
+        if self.error_clamp is not None:
+            magnitude = float(np.linalg.norm(error_vec))
+            if magnitude > self.error_clamp:
+                error_vec = error_vec * (self.error_clamp / magnitude)
+        jacobian = self.chain.jacobian_position(q)
+        pinv = damped_pinv(jacobian, damping=self.damping)
+        task_step = pinv @ error_vec
+        # Project the secondary objective into the null space of the task.
+        gradient = self.objective_gradient(q)
+        nullspace_step = gradient - pinv @ (jacobian @ gradient)
+        return StepOutcome(q=q + task_step + self.nullspace_gain * nullspace_step)

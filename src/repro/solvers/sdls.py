@@ -1,0 +1,88 @@
+"""Selectively damped least squares (Buss & Kim 2005; paper reference [20]).
+
+The paper cites SDLS as the state-of-the-art serial accelerator of the
+pseudoinverse method ("Buss adopted a selectively damped least squares to
+accelerate the convergence of the pseudoinverse method, but the improvement is
+limited").  We implement the single-end-effector, position-only form:
+
+for each singular triple ``(sigma_i, u_i, v_i)`` of ``J``:
+
+* ``phi_i = sigma_i^-1 (u_i . e) v_i`` — the undamped contribution;
+* ``M_i = sigma_i^-1 sum_j |v_ij| rho_j`` with ``rho_j = ||J_:,j||`` — a bound
+  on how much the end effector moves per radian along this direction;
+* the contribution is clamped component-wise to
+  ``gamma_i = min(1, 1 / M_i) * gamma_max``;
+
+and the summed update is finally clamped to ``gamma_max`` again.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.base import IterativeIKSolver
+from repro.core.result import SolverConfig, StepOutcome
+from repro.kinematics.chain import KinematicChain
+
+__all__ = ["SelectivelyDampedSolver", "clamp_max_abs"]
+
+
+def clamp_max_abs(vector: np.ndarray, bound: float) -> np.ndarray:
+    """Rescale ``vector`` so its largest component magnitude is <= ``bound``."""
+    largest = float(np.max(np.abs(vector))) if vector.size else 0.0
+    if largest > bound > 0.0:
+        return vector * (bound / largest)
+    return vector
+
+
+class SelectivelyDampedSolver(IterativeIKSolver):
+    """SDLS ("selectively damped least squares") for position IK.
+
+    Parameters
+    ----------
+    gamma_max:
+        Maximum joint change per iteration, radians (Buss & Kim use pi/4).
+    rank_tolerance:
+        Singular values below ``rank_tolerance * sigma_max`` are dropped.
+    """
+
+    name = "JT-SDLS"
+    speculations = 1
+
+    def __init__(
+        self,
+        chain: KinematicChain,
+        config: SolverConfig | None = None,
+        gamma_max: float = math.pi / 4.0,
+        rank_tolerance: float = 1e-8,
+    ) -> None:
+        super().__init__(chain, config)
+        if gamma_max <= 0.0:
+            raise ValueError("gamma_max must be positive")
+        self.gamma_max = gamma_max
+        self.rank_tolerance = rank_tolerance
+
+    def _step(
+        self, q: np.ndarray, position: np.ndarray, target: np.ndarray
+    ) -> StepOutcome:
+        error_vec = target - position
+        jacobian = self.chain.jacobian_position(q)
+        u, s, vt = np.linalg.svd(jacobian, full_matrices=False)
+        column_norms = np.linalg.norm(jacobian, axis=0)  # rho_j
+
+        update = np.zeros(self.chain.dof)
+        cutoff = self.rank_tolerance * (s[0] if s.size else 0.0)
+        for i in range(s.size):
+            sigma = float(s[i])
+            if sigma <= cutoff or sigma <= 0.0:
+                continue
+            tau = float(u[:, i] @ error_vec)
+            phi = (tau / sigma) * vt[i]
+            bound_m = float(np.abs(vt[i]) @ column_norms) / sigma
+            gamma_i = min(1.0, 1.0 / bound_m if bound_m > 0.0 else 1.0)
+            gamma_i *= self.gamma_max
+            update += clamp_max_abs(phi, gamma_i)
+        update = clamp_max_abs(update, self.gamma_max)
+        return StepOutcome(q=q + update)

@@ -1,0 +1,33 @@
+"""Workloads: target generators and the paper's evaluation suite."""
+
+from repro.workloads.suite import (
+    DEFAULT_TARGET_COUNT,
+    PAPER_TARGET_COUNT,
+    EvaluationSuite,
+    SolverStats,
+    aggregate_results,
+    default_dofs,
+    default_target_count,
+)
+from repro.workloads.targets import (
+    TARGET_GENERATORS,
+    extended_pose_targets,
+    make_targets,
+    reachable_targets,
+    shell_targets,
+)
+
+__all__ = [
+    "DEFAULT_TARGET_COUNT",
+    "PAPER_TARGET_COUNT",
+    "EvaluationSuite",
+    "SolverStats",
+    "aggregate_results",
+    "default_dofs",
+    "default_target_count",
+    "TARGET_GENERATORS",
+    "extended_pose_targets",
+    "make_targets",
+    "reachable_targets",
+    "shell_targets",
+]

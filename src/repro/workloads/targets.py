@@ -1,0 +1,117 @@
+"""Target-position generators for the evaluation workloads.
+
+The paper solves "1K target positions" per DOF configuration without
+specifying their distribution.  The generators here cover the reasonable
+readings:
+
+* :func:`reachable_targets` — forward kinematics of uniformly random joint
+  configurations.  Guaranteed solvable, spans the whole workspace interior;
+  this is the default for every paper experiment.
+* :func:`shell_targets` — uniform directions at a controlled fraction of the
+  chain's maximum reach.  Progressively harder as the fraction approaches 1;
+  used by the difficulty-sweep ablation (not guaranteed solvable beyond
+  ~0.9 for arbitrary chains).
+* :func:`extended_pose_targets` — FK of configurations with a narrowed joint
+  range, i.e. nearly-extended arms.  Guaranteed solvable *and* near the
+  boundary — the stress workload.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kinematics.chain import KinematicChain
+
+__all__ = [
+    "reachable_targets",
+    "shell_targets",
+    "extended_pose_targets",
+    "TARGET_GENERATORS",
+    "make_targets",
+]
+
+
+def reachable_targets(
+    chain: KinematicChain, count: int, rng: np.random.Generator
+) -> np.ndarray:
+    """``count`` targets as FK of uniform random configurations; ``(M, 3)``."""
+    if count < 1:
+        raise ValueError("count must be >= 1")
+    qs = np.stack([chain.random_configuration(rng) for _ in range(count)])
+    return chain.end_positions_batch(qs)
+
+
+def shell_targets(
+    chain: KinematicChain,
+    count: int,
+    rng: np.random.Generator,
+    min_fraction: float = 0.0,
+    max_fraction: float = 0.8,
+) -> np.ndarray:
+    """Targets uniform in a spherical shell around the base; ``(M, 3)``.
+
+    Radii are sampled so the points are uniform in *volume* between
+    ``min_fraction`` and ``max_fraction`` of the total reach.  Reachability is
+    not verified — keep ``max_fraction`` conservative for arbitrary chains.
+    """
+    if count < 1:
+        raise ValueError("count must be >= 1")
+    if not 0.0 <= min_fraction < max_fraction <= 1.0:
+        raise ValueError("need 0 <= min_fraction < max_fraction <= 1")
+    reach = chain.total_reach()
+    directions = rng.normal(size=(count, 3))
+    directions /= np.linalg.norm(directions, axis=1, keepdims=True)
+    low, high = min_fraction**3, max_fraction**3
+    radii = reach * rng.uniform(low, high, size=count) ** (1.0 / 3.0)
+    base_origin = chain.base[:3, 3]
+    return base_origin[None, :] + radii[:, None] * directions
+
+
+def extended_pose_targets(
+    chain: KinematicChain,
+    count: int,
+    rng: np.random.Generator,
+    range_fraction: float = 0.2,
+) -> np.ndarray:
+    """Targets as FK of nearly-extended configurations; ``(M, 3)``.
+
+    Joint values are drawn from the central ``range_fraction`` of each
+    joint's limit interval, producing targets close to the workspace boundary
+    that are still guaranteed reachable.
+    """
+    if count < 1:
+        raise ValueError("count must be >= 1")
+    if not 0.0 < range_fraction <= 1.0:
+        raise ValueError("range_fraction must be in (0, 1]")
+    lower = chain.lower_limits
+    upper = chain.upper_limits
+    center = 0.5 * (lower + upper)
+    half_span = 0.5 * (upper - lower) * range_fraction
+    qs = rng.uniform(
+        center - half_span, center + half_span, size=(count, chain.dof)
+    )
+    return chain.end_positions_batch(qs)
+
+
+#: Named generators for CLI/bench parameterisation.
+TARGET_GENERATORS = {
+    "reachable": reachable_targets,
+    "shell": shell_targets,
+    "extended": extended_pose_targets,
+}
+
+
+def make_targets(
+    kind: str,
+    chain: KinematicChain,
+    count: int,
+    rng: np.random.Generator,
+    **kwargs,
+) -> np.ndarray:
+    """Dispatch to a named target generator."""
+    try:
+        generator = TARGET_GENERATORS[kind]
+    except KeyError:
+        known = ", ".join(sorted(TARGET_GENERATORS))
+        raise KeyError(f"unknown target kind {kind!r}; known: {known}") from None
+    return generator(chain, count, rng, **kwargs)

@@ -1,0 +1,130 @@
+"""Tests for the shared iterative driver loop."""
+
+import numpy as np
+import pytest
+
+from repro.core.base import IterativeIKSolver
+from repro.core.result import SolverConfig, StepOutcome
+from repro.kinematics.robots import planar_chain
+
+
+class NullSolver(IterativeIKSolver):
+    """Solver that never moves — for exercising the driver's bookkeeping."""
+
+    name = "null"
+
+    def _step(self, q, position, target):
+        return StepOutcome(q=q)
+
+
+class TeleportSolver(IterativeIKSolver):
+    """Solver that jumps straight to a stored answer on iteration 1."""
+
+    name = "teleport"
+
+    def __init__(self, chain, answer, config=None):
+        super().__init__(chain, config)
+        self.answer = answer
+
+    def _step(self, q, position, target):
+        return StepOutcome(q=self.answer.copy())
+
+
+class TestDriverLoop:
+    def test_zero_iterations_when_starting_at_target(self, planar3):
+        q0 = np.array([0.1, 0.2, -0.3])
+        target = planar3.end_position(q0)
+        result = NullSolver(planar3).solve(target, q0=q0)
+        assert result.converged
+        assert result.iterations == 0
+        assert result.fk_evaluations == 1
+
+    def test_max_iterations_respected(self, planar3):
+        config = SolverConfig(max_iterations=17)
+        result = NullSolver(planar3, config).solve(
+            np.array([0.9, 0.0, 0.0]), q0=np.zeros(3) + 0.5
+        )
+        assert not result.converged
+        assert result.iterations == 17
+
+    def test_history_recorded(self, planar3):
+        config = SolverConfig(max_iterations=5)
+        result = NullSolver(planar3, config).solve(
+            np.array([0.9, 0.0, 0.0]), q0=np.full(3, 0.5)
+        )
+        assert result.error_history.shape == (6,)  # initial + 5 iterations
+        assert np.all(result.error_history == result.error_history[0])
+
+    def test_history_disabled(self, planar3):
+        config = SolverConfig(max_iterations=5, record_history=False)
+        result = NullSolver(planar3, config).solve(
+            np.array([0.9, 0.0, 0.0]), q0=np.full(3, 0.5)
+        )
+        assert result.error_history.size == 0
+
+    def test_teleport_converges_in_one_iteration(self, planar3):
+        answer = np.array([0.3, -0.4, 0.2])
+        target = planar3.end_position(answer)
+        solver = TeleportSolver(planar3, answer)
+        result = solver.solve(target, q0=np.array([1.0, 1.0, 1.0]))
+        assert result.converged
+        assert result.iterations == 1
+        assert np.allclose(result.q, answer)
+
+    def test_driver_counts_fk_when_step_does_not_report(self, planar3):
+        answer = np.array([0.3, -0.4, 0.2])
+        solver = TeleportSolver(planar3, answer, SolverConfig(max_iterations=3))
+        result = solver.solve(planar3.end_position(answer), q0=np.ones(3))
+        # initial FK + one per iteration (steps don't report positions).
+        assert result.fk_evaluations == 1 + result.iterations
+
+    def test_bad_target_shape_rejected(self, planar3):
+        with pytest.raises(ValueError):
+            NullSolver(planar3).solve(np.zeros(2))
+
+    def test_bad_q0_shape_rejected(self, planar3):
+        with pytest.raises(ValueError):
+            NullSolver(planar3).solve(np.zeros(3), q0=np.zeros(5))
+
+    def test_random_start_uses_rng_deterministically(self, planar3):
+        target = np.array([0.9, 0.0, 0.0])
+        solver = NullSolver(planar3, SolverConfig(max_iterations=1))
+        a = solver.solve(target, rng=np.random.default_rng(5))
+        b = solver.solve(target, rng=np.random.default_rng(5))
+        assert np.allclose(a.q, b.q)
+
+    def test_result_metadata(self, planar3):
+        result = NullSolver(planar3, SolverConfig(max_iterations=1)).solve(
+            np.array([0.9, 0.0, 0.0]), q0=np.full(3, 0.5)
+        )
+        assert result.solver == "null"
+        assert result.dof == 3
+        assert result.speculations == 1
+        assert result.wall_time > 0.0
+
+    def test_respect_limits_clamps_each_step(self):
+        chain = planar_chain(2)
+
+        class Escaper(IterativeIKSolver):
+            name = "escaper"
+
+            def _step(self, q, position, target):
+                return StepOutcome(q=q + 100.0)
+
+        config = SolverConfig(max_iterations=2, respect_limits=True)
+        result = Escaper(chain, config).solve(
+            np.array([0.9, 0.0, 0.0]), q0=np.zeros(2)
+        )
+        assert chain.within_limits(result.q)
+
+
+class TestSolveBatch:
+    def test_batch_returns_one_result_per_target(self, planar3):
+        targets = np.array([[0.9, 0.0, 0.0], [0.0, 0.5, 0.0]])
+        solver = NullSolver(planar3, SolverConfig(max_iterations=1))
+        results = solver.solve_batch(targets, rng=np.random.default_rng(0))
+        assert len(results) == 2
+
+    def test_batch_rejects_bad_shape(self, planar3):
+        with pytest.raises(ValueError):
+            NullSolver(planar3).solve_batch(np.zeros((2, 4)))

@@ -1,0 +1,92 @@
+"""Tests for the hybrid (step-size + direction) speculative solver."""
+
+import numpy as np
+import pytest
+
+from repro.core.hybrid import HybridSpeculativeSolver
+from repro.core.quick_ik import QuickIKSolver
+from repro.core.result import SolverConfig
+from repro.kinematics.robots import hyper_redundant_chain, paper_chain
+from repro.workloads.targets import extended_pose_targets
+
+
+class TestConstruction:
+    def test_budget_split(self):
+        solver = HybridSpeculativeSolver(
+            paper_chain(12), speculations=64, dls_fraction=0.25
+        )
+        assert solver.n_dls == 16
+        assert solver.n_jt == 48
+        assert solver.dampings.shape == (16,)
+
+    def test_zero_dls_fraction_allowed(self):
+        solver = HybridSpeculativeSolver(paper_chain(12), dls_fraction=0.0)
+        assert solver.n_dls == 0
+
+    def test_invalid_params(self):
+        chain = paper_chain(12)
+        with pytest.raises(ValueError):
+            HybridSpeculativeSolver(chain, speculations=1)
+        with pytest.raises(ValueError):
+            HybridSpeculativeSolver(chain, dls_fraction=1.0)
+        with pytest.raises(ValueError):
+            HybridSpeculativeSolver(chain, damping_range=(1.0, 0.1))
+        with pytest.raises(ValueError):
+            HybridSpeculativeSolver(chain, damping_range=(0.0, 1.0))
+
+
+class TestBehaviour:
+    def test_converges_on_easy_targets(self, rng):
+        chain = paper_chain(12)
+        solver = HybridSpeculativeSolver(
+            chain, config=SolverConfig(max_iterations=2000)
+        )
+        target = chain.end_position(chain.random_configuration(rng))
+        assert solver.solve(target, rng=rng).converged
+
+    def test_fk_budget_respected(self, rng):
+        chain = paper_chain(12)
+        solver = HybridSpeculativeSolver(chain, speculations=32)
+        q = chain.random_configuration(rng)
+        position = chain.end_position(q)
+        target = chain.end_position(chain.random_configuration(rng))
+        outcome = solver._step(q, position, target)
+        assert outcome.fk_evaluations == 32
+
+    def test_zero_dls_matches_quick_ik_step(self, rng):
+        """With no DLS candidates the hybrid degenerates to Quick-IK."""
+        chain = paper_chain(12)
+        hybrid = HybridSpeculativeSolver(chain, speculations=16, dls_fraction=0.0)
+        plain = QuickIKSolver(chain, speculations=16)
+        q = chain.random_configuration(rng)
+        position = chain.end_position(q)
+        target = chain.end_position(chain.random_configuration(rng))
+        a = hybrid._step(q, position, target)
+        b = plain._step(q, position, target)
+        assert np.allclose(a.q, b.q, atol=1e-12)
+
+    def test_dominates_quick_ik_near_boundary(self):
+        """The headline of the extension: near-extension targets that stall
+        Quick-IK are easy once DLS directions join the candidate set."""
+        chain = hyper_redundant_chain(25)
+        rng = np.random.default_rng(2)
+        targets = extended_pose_targets(chain, 5, rng, range_fraction=0.25)
+        config = SolverConfig(max_iterations=4000, record_history=False)
+        plain = QuickIKSolver(chain, 64, config=config)
+        hybrid = HybridSpeculativeSolver(chain, 64, config=config)
+        plain_iters = sum(
+            plain.solve(t, rng=np.random.default_rng(9)).iterations for t in targets
+        )
+        hybrid_iters = sum(
+            hybrid.solve(t, rng=np.random.default_rng(9)).iterations for t in targets
+        )
+        assert hybrid_iters < 0.2 * plain_iters
+
+    def test_error_history_monotone(self, rng):
+        chain = paper_chain(25)
+        solver = HybridSpeculativeSolver(
+            chain, config=SolverConfig(max_iterations=1000)
+        )
+        target = chain.end_position(chain.random_configuration(rng))
+        result = solver.solve(target, rng=rng)
+        assert np.all(np.diff(result.error_history) <= 1e-9)

@@ -1,0 +1,91 @@
+"""Tests for speculative restarts (parallel seeding)."""
+
+import numpy as np
+import pytest
+
+from repro.core.multistart import SpeculativeRestartSolver, best_seed
+from repro.core.quick_ik import QuickIKSolver
+from repro.core.result import SolverConfig
+from repro.kinematics.robots import paper_chain
+
+
+class TestBestSeed:
+    def test_returns_closest_candidate(self, rng):
+        chain = paper_chain(12)
+        target = chain.end_position(chain.random_configuration(rng))
+        seed = best_seed(chain, target, 64, np.random.default_rng(1))
+        # Must beat the average random configuration by construction.
+        seed_error = np.linalg.norm(chain.end_position(seed) - target)
+        random_errors = [
+            np.linalg.norm(chain.end_position(chain.random_configuration(rng)) - target)
+            for _ in range(20)
+        ]
+        assert seed_error <= np.mean(random_errors)
+
+    def test_single_candidate(self, rng):
+        chain = paper_chain(12)
+        target = chain.end_position(chain.random_configuration(rng))
+        seed = best_seed(chain, target, 1, np.random.default_rng(2))
+        assert seed.shape == (12,)
+
+    def test_invalid_count(self, rng):
+        chain = paper_chain(12)
+        with pytest.raises(ValueError):
+            best_seed(chain, np.zeros(3), 0, rng)
+
+    def test_deterministic_with_rng(self, rng):
+        chain = paper_chain(12)
+        target = chain.end_position(chain.random_configuration(rng))
+        a = best_seed(chain, target, 16, np.random.default_rng(3))
+        b = best_seed(chain, target, 16, np.random.default_rng(3))
+        assert np.array_equal(a, b)
+
+
+class TestSpeculativeRestartSolver:
+    def test_reduces_mean_iterations(self, rng):
+        """Seeding from the best of 64 restarts should not be worse on
+        average than one random restart."""
+        chain = paper_chain(25)
+        config = SolverConfig(max_iterations=3000, record_history=False)
+        plain = QuickIKSolver(chain, config=config)
+        seeded = SpeculativeRestartSolver(
+            QuickIKSolver(chain, config=config), seed_candidates=64
+        )
+        targets = [
+            chain.end_position(chain.random_configuration(rng)) for _ in range(10)
+        ]
+        plain_iters = sum(
+            plain.solve(t, rng=np.random.default_rng(i)).iterations
+            for i, t in enumerate(targets)
+        )
+        seeded_iters = sum(
+            seeded.solve(t, rng=np.random.default_rng(i)).iterations
+            for i, t in enumerate(targets)
+        )
+        assert seeded_iters <= plain_iters
+
+    def test_seeding_cost_charged(self, rng):
+        chain = paper_chain(12)
+        seeded = SpeculativeRestartSolver(QuickIKSolver(chain), seed_candidates=32)
+        target = chain.end_position(chain.random_configuration(rng))
+        result = seeded.solve(target, rng=rng)
+        # 1 initial + 64/iter + the 32 seeding evaluations.
+        assert result.fk_evaluations == 1 + 64 * result.iterations + 32
+
+    def test_explicit_q0_skips_seeding(self, rng):
+        chain = paper_chain(12)
+        seeded = SpeculativeRestartSolver(QuickIKSolver(chain), seed_candidates=32)
+        q0 = chain.random_configuration(rng)
+        result = seeded.solve(chain.end_position(q0), q0=q0)
+        assert result.iterations == 0
+        assert result.fk_evaluations == 1  # no seeding charge
+
+    def test_name_and_chain(self):
+        chain = paper_chain(12)
+        seeded = SpeculativeRestartSolver(QuickIKSolver(chain))
+        assert seeded.name == "JT-Speculation+seeded"
+        assert seeded.chain is chain
+
+    def test_invalid_candidates(self):
+        with pytest.raises(ValueError):
+            SpeculativeRestartSolver(QuickIKSolver(paper_chain(12)), seed_candidates=0)

@@ -1,0 +1,142 @@
+"""Tests for the Quick-IK solver (Algorithm 1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.quick_ik import DEFAULT_SPECULATIONS, QuickIKSolver
+from repro.core.result import SolverConfig
+from repro.kinematics.robots import paper_chain, planar_chain
+from repro.solvers.jacobian_transpose import JacobianTransposeSolver
+
+
+@pytest.fixture
+def chain():
+    return paper_chain(12)
+
+
+@pytest.fixture
+def targets(chain, rng):
+    return [chain.end_position(chain.random_configuration(rng)) for _ in range(8)]
+
+
+class TestConstruction:
+    def test_paper_default_speculations(self, chain):
+        assert QuickIKSolver(chain).speculations == DEFAULT_SPECULATIONS == 64
+
+    def test_invalid_speculations(self, chain):
+        with pytest.raises(ValueError):
+            QuickIKSolver(chain, speculations=0)
+
+    def test_schedule_by_name_or_callable(self, chain):
+        by_name = QuickIKSolver(chain, schedule="geometric")
+        by_fn = QuickIKSolver(chain, schedule=lambda base, n: np.array([base]))
+        assert by_name.schedule is not None
+        assert by_fn.schedule(1.0, 5).shape == (1,)
+
+    def test_unknown_schedule_name(self, chain):
+        with pytest.raises(KeyError):
+            QuickIKSolver(chain, schedule="bogus")
+
+
+class TestConvergence:
+    def test_solves_reachable_targets(self, chain, targets, fast_config):
+        solver = QuickIKSolver(chain, config=fast_config)
+        rng = np.random.default_rng(7)
+        for target in targets:
+            result = solver.solve(target, rng=rng)
+            assert result.converged
+            assert result.error < fast_config.tolerance
+            assert np.allclose(
+                chain.end_position(result.q), target, atol=fast_config.tolerance
+            )
+
+    def test_high_dof_chain(self, fast_config, rng):
+        chain = paper_chain(50)
+        target = chain.end_position(chain.random_configuration(rng))
+        result = QuickIKSolver(chain, config=fast_config).solve(target, rng=rng)
+        assert result.converged
+
+    def test_planar_target_in_plane(self, fast_config, rng):
+        chain = planar_chain(5)
+        target = chain.end_position(chain.random_configuration(rng))
+        result = QuickIKSolver(chain, config=fast_config).solve(target, rng=rng)
+        assert result.converged
+
+    def test_speculations_one_equals_buss_jt(self, chain, targets):
+        """Max = 1 degenerates to the serial Buss-alpha transpose method."""
+        config = SolverConfig(max_iterations=500)
+        qik = QuickIKSolver(chain, speculations=1, config=config)
+        jt = JacobianTransposeSolver(chain, config=config, alpha_mode="buss")
+        for target in targets[:4]:
+            q0 = np.full(chain.dof, 0.3)
+            a = qik.solve(target, q0=q0)
+            b = jt.solve(target, q0=q0)
+            assert a.iterations == b.iterations
+            assert np.allclose(a.q, b.q, atol=1e-10)
+
+
+class TestInstrumentation:
+    def test_fk_evaluations_counted(self, chain, targets):
+        solver = QuickIKSolver(chain, speculations=16, config=SolverConfig())
+        result = solver.solve(targets[0], rng=np.random.default_rng(0))
+        # 1 initial + 16 per iteration (steps report their own positions).
+        assert result.fk_evaluations == 1 + 16 * result.iterations
+
+    def test_work_metric(self, chain, targets):
+        solver = QuickIKSolver(chain, speculations=32)
+        result = solver.solve(targets[0], rng=np.random.default_rng(0))
+        assert result.work == 32 * result.iterations
+
+    def test_track_chosen_records_winners(self, chain, targets):
+        solver = QuickIKSolver(chain, speculations=16, track_chosen=True)
+        result = solver.solve(targets[0], rng=np.random.default_rng(0))
+        assert len(solver.chosen_history) == result.iterations
+        assert all(0 <= k < 16 for k in solver.chosen_history)
+
+    def test_error_history_monotone_nonincreasing(self, chain, targets):
+        """Greedy argmin over candidates that include doing-almost-nothing
+        (alpha_base/Max) should essentially never increase the error."""
+        solver = QuickIKSolver(chain, speculations=64)
+        result = solver.solve(targets[0], rng=np.random.default_rng(0))
+        diffs = np.diff(result.error_history)
+        assert np.all(diffs <= 1e-9)
+
+
+class TestGreedyDominance:
+    def test_per_iteration_error_not_worse_than_buss_step(self, chain, targets):
+        """One Quick-IK iteration is at least as good as one Buss JT step,
+        because k = Max reproduces exactly that step (DESIGN.md §7)."""
+        config = SolverConfig(max_iterations=1, record_history=True)
+        rng_seed = 3
+        for target in targets:
+            q0 = chain.random_configuration(np.random.default_rng(rng_seed))
+            qik = QuickIKSolver(chain, speculations=64, config=config)
+            jt = JacobianTransposeSolver(chain, config=config, alpha_mode="buss")
+            error_qik = qik.solve(target, q0=q0).error
+            error_jt = jt.solve(target, q0=q0).error
+            assert error_qik <= error_jt + 1e-12
+
+
+class TestEarlyExit:
+    def test_early_exit_returns_first_hit_below_threshold(self, chain, rng):
+        """Lines 12-13: the first candidate under the threshold wins, even if
+        a later candidate has lower error."""
+        config = SolverConfig(tolerance=1e300, max_iterations=5)
+        solver = QuickIKSolver(chain, speculations=8, config=config, track_chosen=True)
+        q = chain.random_configuration(rng)
+        position = chain.end_position(q)
+        target = chain.end_position(chain.random_configuration(rng))
+        outcome = solver._step(q, position, target)
+        # With an absurd tolerance every candidate qualifies; the chosen one
+        # must be k = 1 (index 0), not the argmin.
+        assert outcome.early_exit
+        assert solver.chosen_history == [0]
+        assert outcome.fk_evaluations == 8
+
+    def test_respect_limits_keeps_candidates_legal(self, rng):
+        chain = paper_chain(12)
+        config = SolverConfig(max_iterations=50, respect_limits=True)
+        solver = QuickIKSolver(chain, config=config)
+        target = chain.end_position(chain.random_configuration(rng))
+        result = solver.solve(target, rng=rng)
+        assert chain.within_limits(result.q, tol=1e-9)

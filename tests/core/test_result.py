@@ -1,0 +1,73 @@
+"""Tests for result/config dataclasses."""
+
+import numpy as np
+import pytest
+
+from repro.core.result import IKResult, SolverConfig, StepOutcome
+
+
+class TestSolverConfig:
+    def test_paper_defaults(self):
+        config = SolverConfig()
+        assert config.tolerance == 1e-2
+        assert config.max_iterations == 10_000
+        assert config.record_history
+        assert not config.respect_limits
+
+    def test_invalid_tolerance(self):
+        with pytest.raises(ValueError):
+            SolverConfig(tolerance=0.0)
+        with pytest.raises(ValueError):
+            SolverConfig(tolerance=-1.0)
+
+    def test_invalid_max_iterations(self):
+        with pytest.raises(ValueError):
+            SolverConfig(max_iterations=0)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            SolverConfig().tolerance = 0.5
+
+
+class TestIKResult:
+    def _result(self, **kwargs):
+        defaults = dict(
+            q=np.zeros(4),
+            converged=True,
+            iterations=10,
+            error=5e-3,
+            target=np.zeros(3),
+            solver="JT-Speculation",
+            dof=4,
+            speculations=64,
+            fk_evaluations=641,
+        )
+        defaults.update(kwargs)
+        return IKResult(**defaults)
+
+    def test_work_is_speculations_times_iterations(self):
+        assert self._result().work == 640
+
+    def test_work_serial_method(self):
+        assert self._result(speculations=1, iterations=100).work == 100
+
+    def test_summary_mentions_status(self):
+        assert "converged" in self._result().summary()
+        assert "FAILED" in self._result(converged=False).summary()
+
+    def test_summary_mentions_solver_and_dof(self):
+        text = self._result().summary()
+        assert "JT-Speculation" in text
+        assert "4 DOF" in text
+
+    def test_default_history_empty(self):
+        assert self._result().error_history.size == 0
+
+
+class TestStepOutcome:
+    def test_defaults(self):
+        outcome = StepOutcome(q=np.zeros(3))
+        assert outcome.position is None
+        assert outcome.error is None
+        assert outcome.fk_evaluations == 0
+        assert not outcome.early_exit

@@ -1,0 +1,69 @@
+"""Tests for the ablation studies (tiny workloads)."""
+
+import pytest
+
+from repro.evaluation.ablations import (
+    alpha_mode_ablation,
+    precision_ablation,
+    schedule_ablation,
+    spu_pipeline_ablation,
+    ssu_count_sweep,
+)
+from repro.workloads.suite import EvaluationSuite
+
+
+@pytest.fixture(scope="module")
+def suite():
+    return EvaluationSuite(dofs=(12,), targets_per_dof=3)
+
+
+class TestScheduleAblation:
+    def test_columns_match_schedules(self, suite):
+        table = schedule_ablation(suite, schedules=("linear", "geometric"))
+        assert table.headers == ["dof", "linear", "geometric"]
+        assert all(row[1] > 0 for row in table.rows)
+
+    def test_unknown_schedule(self, suite):
+        with pytest.raises(KeyError):
+            schedule_ablation(suite, schedules=("linear", "mystery"))
+
+
+class TestSSUSweep:
+    def test_latency_decreases_with_ssus(self):
+        table = ssu_count_sweep(dof=25, ssu_counts=(8, 32, 64))
+        latencies = [row[2] for row in table.rows]
+        assert latencies == sorted(latencies, reverse=True)
+
+    def test_area_increases_with_ssus(self):
+        table = ssu_count_sweep(dof=25, ssu_counts=(8, 32, 64))
+        areas = [row[3] for row in table.rows]
+        assert areas == sorted(areas)
+
+    def test_wave_counts(self):
+        table = ssu_count_sweep(dof=25, ssu_counts=(8, 64), speculations=64)
+        assert table.rows[0][1] == 8
+        assert table.rows[1][1] == 1
+
+
+class TestSPUPipelineAblation:
+    def test_speedup_above_one_and_growing(self):
+        table = spu_pipeline_ablation(dofs=(12, 100))
+        speedups = [row[3] for row in table.rows]
+        assert all(s > 1.0 for s in speedups)
+        assert speedups[1] > speedups[0]
+
+
+class TestAlphaModeAblation:
+    def test_ordering_classic_worst(self, suite):
+        table = alpha_mode_ablation(suite)
+        for row in table.rows:
+            _, classic, buss, qik = row
+            assert classic > buss  # Buss step dominates the fixed gain
+            assert classic > qik
+
+
+class TestPrecisionAblation:
+    def test_margins_comfortable(self):
+        table = precision_ablation(dofs=(12, 50), samples=64)
+        for row in table.rows:
+            assert row[2] > 100  # >100x margin vs the 1e-2 tolerance

@@ -1,0 +1,82 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_solve_defaults(self):
+        args = build_parser().parse_args(["solve"])
+        assert args.robot == "dadu-25dof"
+        assert args.solver == "JT-Speculation"
+        assert args.speculations == 64
+
+    def test_unknown_solver_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["solve", "--solver", "JT-Quantum"])
+
+    def test_bench_experiments_whitelist(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bench", "figure9"])
+
+
+class TestCommands:
+    def test_robots(self, capsys):
+        assert main(["robots"]) == 0
+        out = capsys.readouterr().out
+        assert "puma560" in out
+        assert "dadu-<N>dof" in out
+
+    def test_solve_converges(self, capsys):
+        code = main(["solve", "--robot", "dadu-12dof", "--seed", "1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "converged" in out
+
+    def test_solve_explicit_target(self, capsys):
+        code = main(
+            ["solve", "--robot", "dadu-12dof", "--target", "0.2", "0.1", "0.0"]
+        )
+        assert code == 0
+        assert "converged" in capsys.readouterr().out
+
+    def test_solve_failure_exit_code(self, capsys):
+        code = main(
+            ["solve", "--robot", "dadu-12dof", "--target", "99", "0", "0",
+             "--max-iterations", "5"]
+        )
+        assert code == 1
+
+    def test_simulate(self, capsys):
+        code = main(["simulate", "--robot", "dadu-12dof", "--seed", "1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "IKAcc" in out
+        assert "cycle breakdown" in out
+
+    def test_trace(self, capsys):
+        code = main(["trace", "--robot", "dadu-12dof", "--width", "40"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "SPU" in out and "SSU array" in out
+        assert "per-iteration latency" in out
+
+    def test_bench_single_experiment(self, capsys, monkeypatch):
+        code = main(
+            ["bench", "figure4", "--targets", "2", "--dofs", "12"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Figure 4" in out
+
+    def test_report(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_TARGETS", "2")
+        monkeypatch.setenv("REPRO_DOFS", "12")
+        output = tmp_path / "exp.md"
+        assert main(["report", str(output)]) == 0
+        assert output.exists()

@@ -1,0 +1,104 @@
+"""Tests for convergence diagnostics."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.quick_ik import QuickIKSolver
+from repro.core.result import SolverConfig
+from repro.evaluation.diagnostics import (
+    analyze_history,
+    chosen_index_stats,
+    figure4_investigation,
+)
+from repro.kinematics.robots import paper_chain
+
+
+class TestAnalyzeHistory:
+    def test_geometric_decay_rate_recovered(self):
+        history = [1.0 * 0.5**i for i in range(20)]
+        diag = analyze_history(np.array(history))
+        assert diag.geometric_rate == pytest.approx(0.5)
+        assert diag.monotone
+        assert diag.iterations == 19
+
+    def test_increases_counted(self):
+        diag = analyze_history(np.array([1.0, 0.5, 0.7, 0.3]))
+        assert diag.increases == 1
+        assert not diag.monotone
+
+    def test_plateau_detection(self):
+        history = [1.0, 0.5, 0.499, 0.498, 0.497, 0.1]
+        diag = analyze_history(np.array(history))
+        assert diag.longest_plateau == 3
+
+    def test_extrapolation(self):
+        diag = analyze_history(np.array([1.0 * 0.1**i for i in range(5)]))
+        # rate 0.1 per iteration; from 1e-4 to 1e-6 needs 2 more.
+        assert diag.iterations_to_reach(1e-6) == pytest.approx(2.0, abs=0.01)
+
+    def test_extrapolation_when_stalled(self):
+        diag = analyze_history(np.array([1.0, 1.0, 1.0]))
+        assert math.isinf(diag.iterations_to_reach(0.1))
+
+    def test_already_there(self):
+        diag = analyze_history(np.array([1.0, 0.01]))
+        assert diag.iterations_to_reach(0.05) == 0.0
+
+    def test_single_point_history(self):
+        diag = analyze_history(np.array([0.5]))
+        assert diag.iterations == 0
+        assert diag.geometric_rate == 1.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            analyze_history(np.array([]))
+
+
+class TestChosenIndexStats:
+    def test_statistics(self):
+        stats = chosen_index_stats([63, 63, 31, 0], 64)
+        assert stats.fraction_at_max == 0.5
+        assert stats.fraction_bottom_eighth == 0.25
+        assert 0.5 < stats.mean_fraction < 0.8
+        assert "Max=64" in stats.summary()
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            chosen_index_stats([], 64)
+
+
+class TestFigure4Investigation:
+    def test_scale_free_winner_position(self, rng):
+        """The core finding: the winning k/Max fraction is stable across
+        speculation counts (which is why Figure 4 is flat for us)."""
+        chain = paper_chain(25)
+        targets = np.stack(
+            [chain.end_position(chain.random_configuration(rng)) for _ in range(6)]
+        )
+        table = figure4_investigation(
+            chain,
+            targets,
+            speculation_counts=(16, 64),
+            config=SolverConfig(max_iterations=2000, record_history=False),
+        )
+        fractions = [row[2] for row in table.rows]
+        assert abs(fractions[0] - fractions[1]) < 0.25
+
+    def test_table_shape(self, rng):
+        chain = paper_chain(12)
+        targets = np.stack(
+            [chain.end_position(chain.random_configuration(rng)) for _ in range(3)]
+        )
+        table = figure4_investigation(chain, targets, speculation_counts=(8, 16))
+        assert len(table.rows) == 2
+        assert table.headers[0] == "speculations"
+
+    def test_consistent_with_solver_instrumentation(self, rng):
+        chain = paper_chain(12)
+        target = chain.end_position(chain.random_configuration(rng))
+        solver = QuickIKSolver(chain, speculations=16, track_chosen=True)
+        solver.solve(target, rng=np.random.default_rng(0))
+        stats = chosen_index_stats(solver.chosen_history, 16)
+        assert 0.0 < stats.mean_fraction <= 1.0

@@ -1,0 +1,119 @@
+"""Tests for the experiment harness (small workloads for speed)."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation.experiments import PaperExperiments
+from repro.workloads.suite import EvaluationSuite
+
+
+@pytest.fixture(scope="module")
+def experiments():
+    """Tiny but real workload shared by all harness tests."""
+    suite = EvaluationSuite(dofs=(12, 25), targets_per_dof=4)
+    return PaperExperiments(suite=suite)
+
+
+class TestCaching:
+    def test_stats_cached(self, experiments):
+        a = experiments.stats("JT-Speculation", 12)
+        b = experiments.stats("JT-Speculation", 12)
+        assert a is b
+
+    def test_speculation_counts_cached_separately(self, experiments):
+        a = experiments.stats("JT-Speculation", 12, 16)
+        b = experiments.stats("JT-Speculation", 12, 64)
+        assert a is not b
+
+    def test_ikacc_runs_cached(self, experiments):
+        assert experiments.ikacc_runs(12) is experiments.ikacc_runs(12)
+
+    def test_unknown_method(self, experiments):
+        with pytest.raises(KeyError):
+            experiments.stats("JT-Quantum", 12)
+
+
+class TestFigures:
+    def test_figure4_shape(self, experiments):
+        table = experiments.figure4(speculation_counts=(16, 64))
+        assert table.headers == ["speculations", "12-DOF", "25-DOF"]
+        assert len(table.rows) == 2
+
+    def test_figure5a_reduction_row(self, experiments):
+        table = experiments.figure5a()
+        for row in table.rows:
+            jt, qik, reduction = row[1], row[3], row[4]
+            assert reduction == pytest.approx(1.0 - qik / jt)
+            assert reduction > 0.5  # Quick-IK always much better
+
+    def test_figure5b_work_relationship(self, experiments):
+        fig5a = experiments.figure5a()
+        fig5b = experiments.figure5b()
+        for row_a, row_b in zip(fig5a.rows, fig5b.rows):
+            # Serial methods: work == iterations; Quick-IK: work == 64x.
+            assert row_b[1] == pytest.approx(row_a[1])
+            assert row_b[3] == pytest.approx(64 * row_a[3])
+
+
+class TestTables:
+    def test_table2_ikacc_fastest(self, experiments):
+        for row in experiments.table2().rows:
+            values = [float(v) for v in row[1:]]
+            assert values[-1] == min(values)
+
+    def test_table2_ordering_matches_paper(self, experiments):
+        """IKAcc < TX1 < Atom for Quick-IK (the same-algorithm columns, where
+        the ordering is purely architectural)."""
+        for row in experiments.table2().rows:
+            _, jt, svd, qik, tx1, ikacc = row
+            del jt, svd
+            assert ikacc < tx1 < qik
+
+    def test_table2_ratios_have_paper_columns(self, experiments):
+        table = experiments.table2_vs_paper()
+        assert any("paper" in h for h in table.headers)
+        assert len(table.rows) == 2
+
+    def test_table3_rows(self, experiments):
+        table = experiments.table3()
+        platforms = [row[0] for row in table.rows]
+        assert platforms == ["Atom", "TX1", "IKAcc"]
+        ikacc_row = table.rows[2]
+        assert 0.05 < float(ikacc_row[3]) < 0.4  # watts
+        assert 1.5 < float(ikacc_row[4]) < 3.5  # mm^2
+
+    def test_energy_table_ikacc_lowest(self, experiments):
+        for row in experiments.energy_table().rows:
+            values = [float(v) for v in row[1:]]
+            assert values[-1] == min(values)
+
+    def test_headline_claims_rows(self, experiments):
+        table = experiments.headline_claims()
+        claims = [row[0] for row in table.rows]
+        assert any("iteration reduction" in c for c in claims)
+        assert any("speedup vs TX1" in c for c in claims)
+        assert len(table.rows) == 7
+
+    def test_all_tables_keys(self, experiments):
+        tables = experiments.all_tables()
+        assert {
+            "figure4",
+            "figure5a",
+            "figure5b",
+            "table2",
+            "table2_ratios",
+            "table3",
+            "energy",
+            "headline",
+        } == set(tables)
+
+
+class TestIKAccAggregates:
+    def test_mean_ms_positive_and_ordered(self, experiments):
+        assert 0.0 < experiments.ikacc_mean_ms(12) < experiments.ikacc_mean_ms(25) * 10
+
+    def test_mean_energy_positive(self, experiments):
+        assert experiments.ikacc_mean_energy_mj(12) > 0.0
+
+    def test_ikacc_converges_on_suite(self, experiments):
+        assert all(r.converged for r in experiments.ikacc_runs(12))

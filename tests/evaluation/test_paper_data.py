@@ -1,0 +1,57 @@
+"""Consistency checks on the transcribed paper numbers."""
+
+from repro.evaluation import paper_data
+
+
+class TestTable2:
+    def test_all_dofs_present(self):
+        assert set(paper_data.TABLE2_MS) == set(paper_data.PAPER_DOFS)
+
+    def test_all_methods_present_per_dof(self):
+        for dof, row in paper_data.TABLE2_MS.items():
+            assert set(row) == set(paper_data.METHODS), dof
+
+    def test_times_increase_with_dof(self):
+        for method in paper_data.METHODS:
+            times = [paper_data.TABLE2_MS[dof][method] for dof in paper_data.PAPER_DOFS]
+            assert times == sorted(times), method
+
+    def test_ikacc_fastest_everywhere(self):
+        for dof, row in paper_data.TABLE2_MS.items():
+            assert row["JT-IKAcc"] == min(row.values()), dof
+
+    def test_headline_12ms_matches_table(self):
+        assert abs(
+            paper_data.TABLE2_MS[100]["JT-IKAcc"]
+            - paper_data.HEADLINE_CLAIMS["ms_at_100_dof"]
+        ) < 0.2
+
+    def test_30x_claim_consistent_with_table(self):
+        """The abstract's 30x vs TX1 should be near the 100-DOF table ratio."""
+        ratio = (
+            paper_data.TABLE2_MS[100]["JT-TX1"] / paper_data.TABLE2_MS[100]["JT-IKAcc"]
+        )
+        assert 20 < ratio < 40
+
+    def test_1700x_claim_within_table_ratio_range(self):
+        ratios = [
+            row["JT-Serial"] / row["JT-IKAcc"] for row in paper_data.TABLE2_MS.values()
+        ]
+        assert min(ratios) < paper_data.HEADLINE_CLAIMS["speedup_vs_jt_serial_atom"] < max(ratios)
+
+
+class TestTable3:
+    def test_platforms(self):
+        assert set(paper_data.TABLE3_PLATFORMS) == {"Atom", "TX1", "IKAcc"}
+
+    def test_ikacc_lowest_power(self):
+        powers = {k: v["avg_power_w"] for k, v in paper_data.TABLE3_PLATFORMS.items()}
+        assert powers["IKAcc"] == min(powers.values())
+
+
+class TestConstants:
+    def test_evaluation_constants(self):
+        assert paper_data.ACCURACY_M == 1e-2
+        assert paper_data.MAX_ITERATIONS == 10_000
+        assert paper_data.TARGETS_PER_DOF == 1000
+        assert paper_data.FIGURE4_SPECULATIONS == (16, 32, 64, 128)

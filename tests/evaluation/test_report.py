@@ -1,0 +1,45 @@
+"""Tests for the EXPERIMENTS.md generator."""
+
+import os
+
+from repro.evaluation.report import generate_report, main
+from repro.workloads.suite import EvaluationSuite
+
+
+def _tiny_suite():
+    return EvaluationSuite(dofs=(12,), targets_per_dof=2)
+
+
+class TestGenerateReport:
+    def test_contains_all_experiments(self):
+        text = generate_report(suite=_tiny_suite(), include_ablations=False)
+        for marker in (
+            "experiment: figure4",
+            "experiment: figure5a",
+            "experiment: figure5b",
+            "experiment: table2",
+            "experiment: table3",
+            "experiment: headline",
+        ):
+            assert marker in text
+
+    def test_markdown_tables_present(self):
+        text = generate_report(suite=_tiny_suite(), include_ablations=False)
+        assert "| dof |" in text or "| speculations |" in text
+
+    def test_preamble_mentions_regeneration(self):
+        text = generate_report(suite=_tiny_suite(), include_ablations=False)
+        assert "python -m repro.evaluation.report" in text
+
+
+class TestMain:
+    def test_writes_file(self, tmp_path, monkeypatch):
+        # Shrink the default suite through the environment variables so the
+        # CLI path stays fast in CI.
+        monkeypatch.setenv("REPRO_TARGETS", "2")
+        monkeypatch.setenv("REPRO_DOFS", "12")
+        output = tmp_path / "report.md"
+        monkeypatch.chdir(tmp_path)
+        assert main([str(output)]) == 0
+        assert output.exists()
+        assert "EXPERIMENTS" in output.read_text()

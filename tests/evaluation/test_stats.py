@@ -1,0 +1,85 @@
+"""Tests for the bootstrap statistics."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation.stats import (
+    bootstrap_mean_ci,
+    bootstrap_ratio_ci,
+    means_differ,
+)
+
+
+class TestBootstrapMeanCI:
+    def test_contains_true_mean_for_gaussian(self, rng):
+        samples = rng.normal(5.0, 1.0, size=400)
+        ci = bootstrap_mean_ci(samples, rng=rng)
+        assert 5.0 in ci
+        assert ci.lower < ci.estimate < ci.upper
+
+    def test_estimate_is_sample_mean(self, rng):
+        samples = rng.uniform(0, 10, size=50)
+        ci = bootstrap_mean_ci(samples, rng=rng)
+        assert ci.estimate == pytest.approx(samples.mean())
+
+    def test_interval_shrinks_with_more_samples(self, rng):
+        small = bootstrap_mean_ci(rng.normal(size=20), rng=np.random.default_rng(1))
+        large = bootstrap_mean_ci(rng.normal(size=2000), rng=np.random.default_rng(1))
+        assert large.half_width < small.half_width
+
+    def test_degenerate_constant_samples(self):
+        ci = bootstrap_mean_ci(np.full(10, 3.0))
+        assert ci.lower == ci.upper == ci.estimate == 3.0
+
+    def test_deterministic_with_rng(self):
+        samples = np.arange(30, dtype=float)
+        a = bootstrap_mean_ci(samples, rng=np.random.default_rng(5))
+        b = bootstrap_mean_ci(samples, rng=np.random.default_rng(5))
+        assert (a.lower, a.upper) == (b.lower, b.upper)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bootstrap_mean_ci(np.array([]))
+        with pytest.raises(ValueError):
+            bootstrap_mean_ci(np.ones(5), confidence=1.5)
+        with pytest.raises(ValueError):
+            bootstrap_mean_ci(np.ones(5), resamples=2)
+
+    def test_str_format(self):
+        ci = bootstrap_mean_ci(np.arange(10, dtype=float))
+        text = str(ci)
+        assert "[" in text and "]" in text
+
+
+class TestBootstrapRatioCI:
+    def test_known_ratio(self, rng):
+        numerator = rng.normal(2.0, 0.1, size=500)
+        denominator = rng.normal(4.0, 0.1, size=500)
+        ci = bootstrap_ratio_ci(numerator, denominator, rng=rng)
+        assert 0.5 in ci
+        assert ci.estimate == pytest.approx(
+            numerator.mean() / denominator.mean()
+        )
+
+    def test_reduction_claim_shape(self, rng):
+        """The 97%-reduction use case: QIK/JT ratio well below 0.1."""
+        qik = rng.normal(20.0, 5.0, size=100)
+        jt = rng.normal(900.0, 100.0, size=100)
+        ci = bootstrap_ratio_ci(qik, jt, rng=rng)
+        assert ci.upper < 0.1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bootstrap_ratio_ci(np.array([]), np.ones(3))
+
+
+class TestMeansDiffer:
+    def test_clearly_different(self, rng):
+        a = rng.normal(10.0, 1.0, size=200)
+        b = rng.normal(0.0, 1.0, size=200)
+        assert means_differ(a, b, rng=rng)
+
+    def test_identical_distributions(self, rng):
+        a = rng.normal(0.0, 1.0, size=200)
+        b = rng.normal(0.0, 1.0, size=200)
+        assert not means_differ(a, b, rng=np.random.default_rng(2))

@@ -1,0 +1,73 @@
+"""Tests for table rendering."""
+
+import pytest
+
+from repro.evaluation.tables import TableResult, format_cell, render_ascii, render_markdown
+
+
+@pytest.fixture
+def table():
+    return TableResult(
+        title="Demo",
+        headers=["dof", "value"],
+        rows=[[12, 1.23456], [100, 0.000123]],
+        notes=["a note"],
+    )
+
+
+class TestFormatCell:
+    def test_floats_four_sig_figs(self):
+        assert format_cell(1.23456) == "1.235"
+
+    def test_tiny_floats_scientific(self):
+        assert "e" in format_cell(1.2e-7)
+
+    def test_huge_floats_scientific(self):
+        assert "e" in format_cell(1.2e7)
+
+    def test_zero(self):
+        assert format_cell(0.0) == "0"
+
+    def test_bool(self):
+        assert format_cell(True) == "yes"
+        assert format_cell(False) == "no"
+
+    def test_int_and_str(self):
+        assert format_cell(42) == "42"
+        assert format_cell("abc") == "abc"
+
+
+class TestAsciiRendering:
+    def test_contains_title_headers_and_notes(self, table):
+        text = table.to_ascii()
+        assert "Demo" in text
+        assert "dof" in text and "value" in text
+        assert "note: a note" in text
+
+    def test_rows_rendered(self, table):
+        text = table.to_ascii()
+        assert "12" in text and "100" in text
+
+    def test_empty_rows_ok(self):
+        empty = TableResult(title="E", headers=["a"], rows=[])
+        assert "E" in render_ascii(empty)
+
+
+class TestMarkdownRendering:
+    def test_pipe_table_shape(self, table):
+        lines = render_markdown(table).splitlines()
+        assert lines[0].startswith("### Demo")
+        assert lines[2].count("|") == 3
+        assert lines[3] == "|---|---|"
+
+    def test_notes_italicised(self, table):
+        assert "*a note*" in table.to_markdown()
+
+
+class TestColumn:
+    def test_extract_by_name(self, table):
+        assert table.column("dof") == [12, 100]
+
+    def test_unknown_column(self, table):
+        with pytest.raises(KeyError):
+            table.column("nope")

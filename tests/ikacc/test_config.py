@@ -1,0 +1,61 @@
+"""Tests for the IKAcc hardware configuration."""
+
+import pytest
+
+from repro.ikacc.config import DatapathTiming, IKAccConfig
+
+
+class TestDatapathTiming:
+    def test_defaults_are_positive(self):
+        timing = DatapathTiming()
+        assert timing.matmul4 >= 1
+        assert timing.sincos >= 1
+
+    def test_matmul_is_tens_of_cycles(self):
+        """Section 5.2: the HLS block computes the result 'in tens of
+        cycles'."""
+        assert 10 <= DatapathTiming().matmul4 < 100
+
+    def test_invalid_latency_rejected(self):
+        with pytest.raises(ValueError):
+            DatapathTiming(mul=0)
+        with pytest.raises(ValueError):
+            DatapathTiming(matmul4=-1)
+
+
+class TestIKAccConfig:
+    def test_paper_design_point(self):
+        config = IKAccConfig()
+        assert config.n_ssus == 32
+        assert config.speculations == 64
+        assert config.frequency_hz == 1.0e9
+
+    def test_two_waves_at_design_point(self):
+        """Section 6.3: '64 in software, but IKAcc contains only 32 SSUs, so
+        it needs two schedules'."""
+        assert IKAccConfig().waves_per_iteration == 2
+
+    @pytest.mark.parametrize(
+        "ssus,specs,waves",
+        [(32, 64, 2), (32, 32, 1), (32, 33, 2), (64, 64, 1), (8, 64, 8), (32, 1, 1)],
+    )
+    def test_wave_arithmetic(self, ssus, specs, waves):
+        assert IKAccConfig(n_ssus=ssus, speculations=specs).waves_per_iteration == waves
+
+    def test_cycles_to_seconds(self):
+        config = IKAccConfig(frequency_hz=2.0e9)
+        assert config.cycles_to_seconds(2_000_000) == pytest.approx(1e-3)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            IKAccConfig(n_ssus=0)
+        with pytest.raises(ValueError):
+            IKAccConfig(speculations=0)
+        with pytest.raises(ValueError):
+            IKAccConfig(frequency_hz=0.0)
+        with pytest.raises(ValueError):
+            IKAccConfig(broadcast_latency=-1)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            IKAccConfig().n_ssus = 16

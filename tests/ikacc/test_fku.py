@@ -1,0 +1,69 @@
+"""Tests for the Forward Kinematics Unit."""
+
+import numpy as np
+import pytest
+
+from repro.ikacc.config import DatapathTiming, IKAccConfig
+from repro.ikacc.fku import ForwardKinematicsUnit
+from repro.kinematics.robots import paper_chain
+
+
+@pytest.fixture
+def chain():
+    return paper_chain(12)
+
+
+@pytest.fixture
+def fku(chain):
+    return ForwardKinematicsUnit(chain, IKAccConfig())
+
+
+class TestFunctional:
+    def test_matches_float32_chain(self, chain, fku, rng):
+        chain32 = chain.astype(np.float32)
+        for _ in range(5):
+            q = chain.random_configuration(rng)
+            position, _ = fku.run(q)
+            assert np.array_equal(position, chain32.end_position(q))
+
+    def test_close_to_float64_reference(self, chain, fku, rng):
+        q = chain.random_configuration(rng)
+        position, _ = fku.run(q)
+        assert np.linalg.norm(position.astype(float) - chain.end_position(q)) < 1e-5
+
+    def test_run_batch_matches_run(self, chain, fku, rng):
+        qs = np.stack([chain.random_configuration(rng) for _ in range(4)])
+        batch_positions, batch_report = fku.run_batch(qs)
+        for i in range(4):
+            single, single_report = fku.run(qs[i])
+            assert np.allclose(batch_positions[i], single, atol=1e-6)
+        assert batch_report.cycles == 4 * single_report.cycles
+
+
+class TestTiming:
+    def test_cycles_scale_linearly_with_dof(self):
+        config = IKAccConfig()
+        small = ForwardKinematicsUnit(paper_chain(10), config).cycles_per_fk()
+        large = ForwardKinematicsUnit(paper_chain(20), config).cycles_per_fk()
+        steady = max(
+            config.timing.matmul4, config.timing.sincos + 2
+        )
+        assert large - small == 10 * steady
+
+    def test_steady_state_set_by_slowest_of_matmul_and_screw(self, chain):
+        fast_screw = IKAccConfig(timing=DatapathTiming(sincos=2, matmul4=30))
+        slow_screw = IKAccConfig(timing=DatapathTiming(sincos=50, matmul4=30))
+        a = ForwardKinematicsUnit(chain, fast_screw).cycles_per_fk()
+        b = ForwardKinematicsUnit(chain, slow_screw).cycles_per_fk()
+        assert b > a  # screw generation became the bottleneck
+
+    def test_report_ops_match_opcounts(self, chain, fku, rng):
+        from repro.ikacc.opcounts import fk_ops
+
+        _, report = fku.run(chain.random_configuration(rng))
+        assert report.ops == fk_ops(chain.dof)
+
+    def test_accepts_prebuilt_float32_chain(self, chain):
+        chain32 = chain.astype(np.float32)
+        fku = ForwardKinematicsUnit(chain32, IKAccConfig())
+        assert fku.chain32 is chain32

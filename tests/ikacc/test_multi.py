@@ -1,0 +1,73 @@
+"""Tests for the multi-problem throughput mode."""
+
+import numpy as np
+import pytest
+
+from repro.core.result import SolverConfig
+from repro.ikacc.config import IKAccConfig
+from repro.ikacc.multi import MultiProblemIKAcc
+from repro.kinematics.robots import paper_chain
+
+
+@pytest.fixture
+def workload(rng):
+    chain = paper_chain(25)
+    targets = np.stack(
+        [chain.end_position(chain.random_configuration(rng)) for _ in range(6)]
+    )
+    return chain, targets
+
+
+class TestThroughput:
+    def test_pipelined_never_slower_than_serial(self, workload):
+        chain, targets = workload
+        report = MultiProblemIKAcc(chain).run(targets, rng=np.random.default_rng(1))
+        assert report.pipelined_cycles <= report.serial_cycles
+        assert report.speedup >= 1.0
+
+    def test_speedup_bounded_by_two_stages(self, workload):
+        chain, targets = workload
+        report = MultiProblemIKAcc(chain).run(targets, rng=np.random.default_rng(1))
+        assert report.speedup <= 2.0 + 1e-9  # two overlapping units
+
+    def test_answers_match_latency_mode(self, workload):
+        chain, targets = workload
+        multi = MultiProblemIKAcc(chain)
+        report = multi.run(targets, rng=np.random.default_rng(3))
+        for result, target in zip(report.results, targets):
+            assert result.converged
+            assert np.linalg.norm(
+                chain.end_position(result.q.astype(float)) - target
+            ) < 2e-2
+
+    def test_total_iterations_aggregated(self, workload):
+        chain, targets = workload
+        report = MultiProblemIKAcc(chain).run(targets, rng=np.random.default_rng(1))
+        assert report.total_iterations == sum(
+            r.iterations for r in report.results
+        )
+
+    def test_solves_per_second_positive(self, workload):
+        chain, targets = workload
+        report = MultiProblemIKAcc(chain).run(targets, rng=np.random.default_rng(1))
+        assert report.solves_per_second > 0.0
+        assert report.serial_seconds >= report.pipelined_seconds
+
+    def test_respects_solver_config(self, workload):
+        chain, targets = workload
+        multi = MultiProblemIKAcc(
+            chain, solver_config=SolverConfig(max_iterations=2)
+        )
+        unreachable = np.tile([99.0, 0.0, 0.0], (3, 1))
+        report = multi.run(unreachable, rng=np.random.default_rng(1))
+        assert all(r.iterations == 2 for r in report.results)
+
+    def test_stage_balance_drives_speedup(self, workload):
+        """When SPU time is a tiny share (few SSU waves dominate), the
+        pipelining gain is small; the two-stage bound tracks the share."""
+        chain, targets = workload
+        multi = MultiProblemIKAcc(chain, config=IKAccConfig(n_ssus=8))
+        report = multi.run(targets, rng=np.random.default_rng(1))
+        spu, waves = multi._stage_cycles()
+        ideal = (spu + waves) / max(spu, waves)
+        assert report.speedup <= ideal + 1e-9

@@ -1,0 +1,103 @@
+"""Tests for the operation-count model."""
+
+import pytest
+
+from repro.ikacc.opcounts import (
+    OpCounts,
+    error_ops,
+    fk_ops,
+    jacobian_serial_ops,
+    jt_serial_iteration_ops,
+    matmul4_ops,
+    pseudoinverse_iteration_ops,
+    quick_ik_iteration_ops,
+    screw_build_ops,
+    speculation_update_ops,
+    svd_ops,
+)
+
+
+class TestOpCountsAlgebra:
+    def test_addition(self):
+        total = OpCounts(mul=1, add=2) + OpCounts(mul=10, div=1)
+        assert total.mul == 11
+        assert total.add == 2
+        assert total.div == 1
+
+    def test_scaling(self):
+        scaled = OpCounts(mul=3, sincos=1).scaled(4)
+        assert scaled.mul == 12
+        assert scaled.sincos == 4
+
+    def test_flops_weights(self):
+        ops = OpCounts(mul=1, add=1, div=1, sqrt=1, sincos=1, compare=1)
+        assert ops.flops == 1 + 1 + 4 + 4 + 20 + 1
+
+
+class TestKernelCounts:
+    def test_matmul4_is_64_mul_48_add(self):
+        ops = matmul4_ops()
+        assert ops.mul == 64
+        assert ops.add == 48
+
+    def test_screw_has_one_sincos(self):
+        assert screw_build_ops().sincos == 1
+
+    def test_fk_scales_linearly_with_dof(self):
+        base = fk_ops(10)
+        double = fk_ops(20)
+        # Remove the constant tool matmul before comparing.
+        assert (double.mul - 64) == 2 * (base.mul - 64)
+        assert double.sincos == 2 * base.sincos
+
+    def test_fk_includes_tool_matmul(self):
+        assert fk_ops(1).mul == 64 + 64  # one joint + tool
+
+    def test_jacobian_serial_epilogue(self):
+        """Eq. 8 adds exactly one divide."""
+        assert jacobian_serial_ops(5).div == 1
+
+    def test_error_ops_has_sqrt_and_compare(self):
+        ops = error_ops()
+        assert ops.sqrt == 1
+        assert ops.compare == 1
+
+    def test_speculation_update_scales_with_dof(self):
+        assert speculation_update_ops(10).mul == 11
+        assert speculation_update_ops(10).add == 10
+
+
+class TestIterationCounts:
+    def test_quick_ik_dominated_by_speculative_fk(self):
+        ops = quick_ik_iteration_ops(50, 64)
+        fk_part = fk_ops(50).scaled(64)
+        assert ops.mul > fk_part.mul
+        assert ops.mul < fk_part.mul * 1.3  # serial part is small in comparison
+
+    def test_quick_ik_one_speculation_close_to_jt_serial(self):
+        qik = quick_ik_iteration_ops(20, 1)
+        jts = jt_serial_iteration_ops(20)
+        assert abs(qik.flops - jts.flops) / jts.flops < 0.05
+
+    def test_quick_ik_flops_scale_with_speculations(self):
+        small = quick_ik_iteration_ops(20, 16)
+        large = quick_ik_iteration_ops(20, 64)
+        assert 3.0 < large.flops / small.flops < 4.5
+
+    def test_svd_is_linear_in_dof(self):
+        assert svd_ops(100).flops < 12 * svd_ops(10).flops
+
+    def test_pseudoinverse_heavier_than_jt_serial(self):
+        assert pseudoinverse_iteration_ops(30).flops > jt_serial_iteration_ops(30).flops
+
+    @pytest.mark.parametrize("dof", [1, 12, 100])
+    def test_all_counts_nonnegative(self, dof):
+        for ops in (
+            fk_ops(dof),
+            jacobian_serial_ops(dof),
+            jt_serial_iteration_ops(dof),
+            quick_ik_iteration_ops(dof, 64),
+            pseudoinverse_iteration_ops(dof),
+        ):
+            assert min(ops.mul, ops.add, ops.div, ops.sqrt, ops.sincos, ops.compare) >= 0
+            assert ops.flops > 0

@@ -1,0 +1,80 @@
+"""Tests for the area/power model."""
+
+import pytest
+
+from repro.ikacc.config import IKAccConfig
+from repro.ikacc.opcounts import OpCounts, quick_ik_iteration_ops
+from repro.ikacc.power import (
+    COMPONENT_LIBRARY,
+    PAPER_AREA_MM2,
+    PAPER_AVG_POWER_W,
+    BlockInventory,
+    IKAccPowerModel,
+)
+
+
+@pytest.fixture
+def model():
+    return IKAccPowerModel(IKAccConfig())
+
+
+class TestArea:
+    def test_total_area_near_paper(self, model):
+        """Component model should land within ~20% of the reported 2.27 mm^2."""
+        assert abs(model.area_mm2() - PAPER_AREA_MM2) / PAPER_AREA_MM2 < 0.2
+
+    def test_ssu_array_dominates_area(self, model):
+        breakdown = model.area_breakdown()
+        assert breakdown["ssu"] > 0.8 * model.area_mm2()
+
+    def test_area_scales_with_ssu_count(self):
+        small = IKAccPowerModel(IKAccConfig(n_ssus=8)).area_mm2()
+        large = IKAccPowerModel(IKAccConfig(n_ssus=64)).area_mm2()
+        assert large > 4 * small
+
+    def test_breakdown_sums_to_total(self, model):
+        assert sum(model.area_breakdown().values()) == pytest.approx(model.area_mm2())
+
+    def test_block_inventory_area(self):
+        block = BlockInventory(name="x", mul=2, sram_kb=1.0)
+        expected = (
+            2 * COMPONENT_LIBRARY["mul"].area_mm2
+            + COMPONENT_LIBRARY["sram_kb"].area_mm2
+        )
+        assert block.area_mm2(COMPONENT_LIBRARY) == pytest.approx(expected)
+
+
+class TestEnergy:
+    def test_dynamic_energy_linear_in_ops(self, model):
+        ops = OpCounts(mul=1000, add=500)
+        assert model.dynamic_energy_j(ops.scaled(2)) == pytest.approx(
+            2 * model.dynamic_energy_j(ops)
+        )
+
+    def test_zero_ops_zero_dynamic(self, model):
+        assert model.dynamic_energy_j(OpCounts()) == 0.0
+
+    def test_leakage_proportional_to_area(self, model):
+        assert model.leakage_power_w() == pytest.approx(
+            model.leakage_w_per_mm2 * model.area_mm2()
+        )
+
+    def test_energy_includes_leakage(self, model):
+        ops = OpCounts(mul=100)
+        short = model.energy_j(ops, 1e-6)
+        long = model.energy_j(ops, 1e-3)
+        assert long > short
+
+    def test_negative_time_rejected(self, model):
+        with pytest.raises(ValueError):
+            model.energy_j(OpCounts(), -1.0)
+        with pytest.raises(ValueError):
+            model.average_power_w(OpCounts(), 0.0)
+
+    def test_busy_iteration_power_near_paper(self, model):
+        """One fully busy 100-DOF iteration at the design point should draw
+        roughly the paper's 158.6 mW average (within a factor ~2)."""
+        ops = quick_ik_iteration_ops(100, 64)
+        seconds = 7.5e-6  # default-config 100-DOF iteration latency
+        power = model.average_power_w(ops, seconds)
+        assert PAPER_AVG_POWER_W / 2 < power < PAPER_AVG_POWER_W * 2

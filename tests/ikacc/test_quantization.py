@@ -1,0 +1,40 @@
+"""Tests for the float32 precision analysis."""
+
+import numpy as np
+import pytest
+
+from repro.ikacc.quantization import fk_precision_report, precision_margin
+from repro.kinematics.robots import paper_chain
+
+
+class TestPrecisionReport:
+    def test_errors_tiny_for_metre_scale_chains(self):
+        report = fk_precision_report(paper_chain(25), samples=64)
+        assert report.max_error_m < 1e-4
+        assert report.mean_error_m <= report.max_error_m
+
+    def test_margin_large_vs_paper_tolerance(self):
+        assert precision_margin(paper_chain(50), tolerance=1e-2, samples=64) > 100
+
+    def test_error_grows_with_dof(self):
+        small = fk_precision_report(paper_chain(12), samples=128)
+        large = fk_precision_report(paper_chain(100), samples=128)
+        assert large.mean_error_m > small.mean_error_m * 0.5  # at least same order
+
+    def test_p99_between_mean_and_max(self):
+        report = fk_precision_report(paper_chain(25), samples=128)
+        assert report.mean_error_m <= report.p99_error_m <= report.max_error_m + 1e-18
+
+    def test_deterministic_with_seeded_rng(self):
+        a = fk_precision_report(paper_chain(12), samples=32, rng=np.random.default_rng(1))
+        b = fk_precision_report(paper_chain(12), samples=32, rng=np.random.default_rng(1))
+        assert a.max_error_m == b.max_error_m
+
+    def test_invalid_samples(self):
+        with pytest.raises(ValueError):
+            fk_precision_report(paper_chain(12), samples=0)
+
+    def test_report_metadata(self):
+        report = fk_precision_report(paper_chain(12), samples=16)
+        assert report.dof == 12
+        assert report.samples == 16

@@ -1,0 +1,76 @@
+"""Tests for the Parallel Search Scheduler."""
+
+import pytest
+
+from repro.ikacc.config import IKAccConfig
+from repro.ikacc.scheduler import ParallelSearchScheduler
+
+
+class TestWaves:
+    def test_design_point_two_waves(self):
+        scheduler = ParallelSearchScheduler(IKAccConfig())
+        waves = scheduler.waves()
+        assert len(waves) == 2
+        assert waves[0].speculation_indices == tuple(range(1, 33))
+        assert waves[1].speculation_indices == tuple(range(33, 65))
+
+    def test_every_speculation_scheduled_exactly_once(self):
+        for ssus, specs in [(32, 64), (32, 50), (7, 64), (64, 64), (5, 1)]:
+            scheduler = ParallelSearchScheduler(
+                IKAccConfig(n_ssus=ssus, speculations=specs)
+            )
+            scheduler.validate()  # raises on drop/duplicate
+
+    def test_partial_last_wave(self):
+        scheduler = ParallelSearchScheduler(IKAccConfig(n_ssus=32, speculations=50))
+        waves = scheduler.waves()
+        assert waves[0].occupancy == 32
+        assert waves[1].occupancy == 18
+
+    def test_single_wave_when_ssus_cover_speculations(self):
+        scheduler = ParallelSearchScheduler(IKAccConfig(n_ssus=64, speculations=64))
+        assert scheduler.n_waves == 1
+
+
+class TestMapping:
+    def test_ssu_for_speculation_round_robin(self):
+        scheduler = ParallelSearchScheduler(IKAccConfig())
+        assert scheduler.ssu_for_speculation(1) == 0
+        assert scheduler.ssu_for_speculation(32) == 31
+        assert scheduler.ssu_for_speculation(33) == 0
+
+    def test_wave_for_speculation(self):
+        scheduler = ParallelSearchScheduler(IKAccConfig())
+        assert scheduler.wave_for_speculation(1) == 0
+        assert scheduler.wave_for_speculation(32) == 0
+        assert scheduler.wave_for_speculation(33) == 1
+        assert scheduler.wave_for_speculation(64) == 1
+
+    def test_out_of_range_rejected(self):
+        scheduler = ParallelSearchScheduler(IKAccConfig())
+        for bad in (0, 65):
+            with pytest.raises(ValueError):
+                scheduler.ssu_for_speculation(bad)
+            with pytest.raises(ValueError):
+                scheduler.wave_for_speculation(bad)
+
+    def test_mapping_consistent_with_waves(self):
+        scheduler = ParallelSearchScheduler(IKAccConfig(n_ssus=8, speculations=20))
+        for wave in scheduler.waves():
+            for slot, k in enumerate(wave.speculation_indices):
+                assert scheduler.ssu_for_speculation(k) == slot
+                assert scheduler.wave_for_speculation(k) == wave.index
+
+
+class TestUtilisation:
+    def test_full_utilisation(self):
+        scheduler = ParallelSearchScheduler(IKAccConfig(n_ssus=32, speculations=64))
+        assert scheduler.utilisation() == pytest.approx(1.0)
+
+    def test_partial_utilisation(self):
+        scheduler = ParallelSearchScheduler(IKAccConfig(n_ssus=32, speculations=48))
+        assert scheduler.utilisation() == pytest.approx(0.75)
+
+    def test_broadcast_cycles_from_config(self):
+        scheduler = ParallelSearchScheduler(IKAccConfig(broadcast_latency=7))
+        assert scheduler.broadcast_cycles() == 7

@@ -1,0 +1,95 @@
+"""Tests for the Parameter Selector."""
+
+import numpy as np
+import pytest
+
+from repro.ikacc.config import IKAccConfig
+from repro.ikacc.opcounts import OpCounts
+from repro.ikacc.selector import ParameterSelector, SelectionState
+from repro.ikacc.ssu import SSUResult
+
+
+def _result(k: int, error: float, below: bool = False) -> SSUResult:
+    return SSUResult(
+        k=k,
+        alpha=0.1 * k,
+        q=np.zeros(3),
+        position=np.zeros(3),
+        error=error,
+        below_threshold=below,
+        cycles=100,
+        ops=OpCounts(),
+    )
+
+
+@pytest.fixture
+def selector():
+    return ParameterSelector(IKAccConfig())
+
+
+class TestMerge:
+    def test_single_wave_argmin(self, selector):
+        state = SelectionState()
+        selector.merge_wave(state, [_result(1, 0.5), _result(2, 0.2), _result(3, 0.9)])
+        assert selector.outcome(state).k == 2
+
+    def test_best_survives_across_waves(self, selector):
+        state = SelectionState()
+        selector.merge_wave(state, [_result(1, 0.5), _result(2, 0.2)])
+        selector.merge_wave(state, [_result(33, 0.3), _result(34, 0.4)])
+        assert selector.outcome(state).k == 2
+
+    def test_later_wave_can_win(self, selector):
+        state = SelectionState()
+        selector.merge_wave(state, [_result(1, 0.5)])
+        selector.merge_wave(state, [_result(33, 0.1)])
+        assert selector.outcome(state).k == 33
+
+    def test_threshold_hit_beats_argmin(self, selector):
+        """Algorithm 1 lines 12-13: a threshold hit returns immediately even
+        if another candidate has lower error."""
+        state = SelectionState()
+        selector.merge_wave(
+            state,
+            [_result(1, 0.009, below=True), _result(2, 0.001, below=True),
+             _result(3, 0.0005)],
+        )
+        assert selector.outcome(state).k == 1  # lowest k among hits
+
+    def test_tie_broken_by_lower_k(self, selector):
+        state = SelectionState()
+        selector.merge_wave(state, [_result(5, 0.2), _result(3, 0.2)])
+        assert selector.outcome(state).k == 3
+
+    def test_empty_wave_rejected(self, selector):
+        with pytest.raises(ValueError):
+            selector.merge_wave(SelectionState(), [])
+
+    def test_outcome_without_waves_rejected(self, selector):
+        with pytest.raises(ValueError):
+            selector.outcome(SelectionState())
+
+    def test_waves_merged_counter(self, selector):
+        state = SelectionState()
+        selector.merge_wave(state, [_result(1, 0.5)])
+        selector.merge_wave(state, [_result(2, 0.4)])
+        assert state.waves_merged == 2
+
+
+class TestTiming:
+    def test_tree_depth_log2(self, selector):
+        compare = IKAccConfig().timing.compare
+        assert selector.cycles_per_wave(32) == 6 * compare  # log2(32)+1
+        assert selector.cycles_per_wave(1) == 1 * compare
+        assert selector.cycles_per_wave(2) == 2 * compare
+        assert selector.cycles_per_wave(17) == 6 * compare  # ceil(log2(17))=5, +1
+
+    def test_invalid_occupancy(self, selector):
+        with pytest.raises(ValueError):
+            selector.cycles_per_wave(0)
+
+    def test_state_accumulates_cycles(self, selector):
+        state = SelectionState()
+        selector.merge_wave(state, [_result(1, 0.5), _result(2, 0.3)])
+        selector.merge_wave(state, [_result(3, 0.2)])
+        assert state.cycles == selector.cycles_per_wave(2) + selector.cycles_per_wave(1)

@@ -1,0 +1,82 @@
+"""Tests for the Serial Process Unit."""
+
+import numpy as np
+import pytest
+
+from repro.core.alpha import buss_alpha
+from repro.ikacc.config import IKAccConfig
+from repro.ikacc.spu import SerialProcessUnit
+from repro.kinematics.robots import paper_chain
+
+
+@pytest.fixture
+def chain():
+    return paper_chain(12)
+
+
+@pytest.fixture
+def spu(chain):
+    return SerialProcessUnit(chain, IKAccConfig())
+
+
+class TestFunctional:
+    def test_jacobian_matches_float32_chain(self, chain, spu, rng):
+        chain32 = chain.astype(np.float32)
+        q = chain.random_configuration(rng)
+        target = chain.end_position(chain.random_configuration(rng))
+        result = spu.run(q, target)
+        assert np.array_equal(result.jacobian, chain32.jacobian_position(q))
+
+    def test_dtheta_base_is_transpose_times_error(self, chain, spu, rng):
+        q = chain.random_configuration(rng)
+        target = chain.end_position(chain.random_configuration(rng))
+        result = spu.run(q, target)
+        error64 = target - chain.end_position(q)
+        expected = chain.jacobian_position(q).T @ error64
+        assert np.allclose(result.dtheta_base.astype(float), expected, atol=1e-4)
+
+    def test_alpha_base_matches_equation_8(self, chain, spu, rng):
+        q = chain.random_configuration(rng)
+        target = chain.end_position(chain.random_configuration(rng))
+        result = spu.run(q, target)
+        jac = chain.jacobian_position(q)
+        error = target - chain.end_position(q)
+        expected = buss_alpha(error, jac @ (jac.T @ error))
+        assert result.alpha_base == pytest.approx(expected, rel=1e-3)
+
+
+class TestTiming:
+    def test_pipelined_one_joint_per_interval(self):
+        config = IKAccConfig()
+        small = SerialProcessUnit(paper_chain(10), config).cycles_per_iteration()
+        large = SerialProcessUnit(paper_chain(30), config).cycles_per_iteration()
+        assert large - small == 20 * config.timing.matmul4
+
+    def test_pipelined_faster_than_unpipelined(self, chain):
+        piped = SerialProcessUnit(chain, IKAccConfig(spu_pipelined=True))
+        flat = SerialProcessUnit(chain, IKAccConfig(spu_pipelined=False))
+        assert piped.cycles_per_iteration() < flat.cycles_per_iteration()
+
+    def test_unpipelined_charges_memory_traffic(self, chain):
+        from repro.ikacc.spu import MEMORY_ROUNDTRIP_CYCLES
+
+        flat = SerialProcessUnit(chain, IKAccConfig(spu_pipelined=False))
+        stages_only = sum(flat._stage_latencies()) * chain.dof
+        assert (
+            flat.cycles_per_iteration()
+            >= stages_only + MEMORY_ROUNDTRIP_CYCLES * chain.dof * 19
+        )
+
+    def test_pipeline_speedup_grows_with_dof(self):
+        def ratio(dof):
+            chain = paper_chain(dof)
+            piped = SerialProcessUnit(chain, IKAccConfig(spu_pipelined=True))
+            flat = SerialProcessUnit(chain, IKAccConfig(spu_pipelined=False))
+            return flat.cycles_per_iteration() / piped.cycles_per_iteration()
+
+        assert ratio(100) > ratio(12) > 1.0
+
+    def test_reported_cycles_consistent(self, chain, spu, rng):
+        q = chain.random_configuration(rng)
+        target = chain.end_position(chain.random_configuration(rng))
+        assert spu.run(q, target).cycles == spu.cycles_per_iteration()

@@ -1,0 +1,102 @@
+"""Tests for the Speculative Search Unit."""
+
+import numpy as np
+import pytest
+
+from repro.ikacc.config import IKAccConfig
+from repro.ikacc.spu import SerialProcessUnit
+from repro.ikacc.ssu import SpeculativeSearchUnit
+from repro.kinematics.robots import paper_chain
+
+
+@pytest.fixture
+def chain():
+    return paper_chain(12)
+
+
+@pytest.fixture
+def setup(chain, rng):
+    """A realistic (theta, dtheta_base, alpha_base, target) tuple."""
+    config = IKAccConfig()
+    q = chain.random_configuration(rng)
+    target = chain.end_position(chain.random_configuration(rng))
+    spu_result = SerialProcessUnit(chain, config).run(q, target)
+    return config, q, spu_result, target
+
+
+class TestFunctional:
+    def test_alpha_k_follows_equation_9(self, chain, setup):
+        config, q, spu_result, target = setup
+        ssu = SpeculativeSearchUnit(chain, config)
+        for k in (1, 17, 64):
+            result = ssu.run(
+                k, q, spu_result.dtheta_base, spu_result.alpha_base, target, 1e-2
+            )
+            assert result.alpha == pytest.approx(
+                (k / 64) * spu_result.alpha_base, rel=1e-5
+            )
+
+    def test_k_max_reproduces_full_buss_step(self, chain, setup):
+        config, q, spu_result, target = setup
+        ssu = SpeculativeSearchUnit(chain, config)
+        result = ssu.run(
+            64, q, spu_result.dtheta_base, spu_result.alpha_base, target, 1e-2
+        )
+        expected = q + spu_result.alpha_base * spu_result.dtheta_base.astype(float)
+        assert np.allclose(result.q.astype(float), expected, atol=1e-4)
+
+    def test_error_is_distance_to_target(self, chain, setup):
+        config, q, spu_result, target = setup
+        ssu = SpeculativeSearchUnit(chain, config)
+        result = ssu.run(
+            10, q, spu_result.dtheta_base, spu_result.alpha_base, target, 1e-2
+        )
+        expected = np.linalg.norm(target - result.position.astype(float))
+        assert result.error == pytest.approx(expected, rel=1e-5)
+
+    def test_below_threshold_flag(self, chain, setup):
+        config, q, spu_result, target = setup
+        ssu = SpeculativeSearchUnit(chain, config)
+        result = ssu.run(
+            1, q, spu_result.dtheta_base, spu_result.alpha_base, target, 1e9
+        )
+        assert result.below_threshold
+
+    def test_invalid_k_rejected(self, chain, setup):
+        config, q, spu_result, target = setup
+        ssu = SpeculativeSearchUnit(chain, config)
+        with pytest.raises(ValueError):
+            ssu.run(0, q, spu_result.dtheta_base, spu_result.alpha_base, target, 1e-2)
+        with pytest.raises(ValueError):
+            ssu.run(65, q, spu_result.dtheta_base, spu_result.alpha_base, target, 1e-2)
+
+    def test_run_wave_matches_individual_runs(self, chain, setup):
+        config, q, spu_result, target = setup
+        ssu = SpeculativeSearchUnit(chain, config)
+        ks = np.array([1, 5, 33, 64])
+        wave = ssu.run_wave(
+            ks, q, spu_result.dtheta_base, spu_result.alpha_base, target, 1e-2
+        )
+        for result in wave:
+            single = ssu.run(
+                result.k, q, spu_result.dtheta_base, spu_result.alpha_base, target, 1e-2
+            )
+            assert result.error == pytest.approx(single.error, rel=1e-5)
+            assert np.allclose(result.q, single.q, atol=1e-6)
+
+
+class TestTiming:
+    def test_cycles_dominated_by_fku(self, chain):
+        config = IKAccConfig()
+        ssu = SpeculativeSearchUnit(chain, config)
+        assert ssu.cycles_per_speculation() > ssu.fku.cycles_per_fk()
+        assert ssu.cycles_per_speculation() < ssu.fku.cycles_per_fk() + 100
+
+    def test_wave_results_carry_single_speculation_latency(self, chain, setup):
+        config, q, spu_result, target = setup
+        ssu = SpeculativeSearchUnit(chain, config)
+        wave = ssu.run_wave(
+            np.array([1, 2, 3]), q, spu_result.dtheta_base, spu_result.alpha_base,
+            target, 1e-2,
+        )
+        assert all(r.cycles == ssu.cycles_per_speculation() for r in wave)

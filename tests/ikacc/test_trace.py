@@ -1,0 +1,72 @@
+"""Tests for the accelerator execution trace."""
+
+import pytest
+
+from repro.ikacc.accelerator import IKAccSimulator
+from repro.ikacc.config import IKAccConfig
+from repro.ikacc.trace import render_gantt, trace_iteration
+from repro.kinematics.robots import paper_chain
+
+
+@pytest.fixture
+def sim():
+    return IKAccSimulator(paper_chain(25))
+
+
+class TestTraceIteration:
+    def test_total_matches_simulator_static_timing(self, sim):
+        trace = trace_iteration(sim)
+        assert trace.total_cycles == sim.cycles_per_full_iteration()
+
+    def test_event_order_spu_first(self, sim):
+        trace = trace_iteration(sim)
+        assert trace.events[0].unit == "SPU"
+        assert trace.events[0].start == 0
+
+    def test_two_waves_at_design_point(self, sim):
+        trace = trace_iteration(sim)
+        ssu_events = [e for e in trace.events if e.unit == "SSU array"]
+        assert len(ssu_events) == 2
+        selector_events = [e for e in trace.events if e.unit == "selector"]
+        assert len(selector_events) == 2
+
+    def test_events_contiguous_and_nonoverlapping(self, sim):
+        trace = trace_iteration(sim)
+        cursor = 0
+        for event in trace.events:
+            assert event.start == cursor
+            assert event.end > event.start
+            cursor = event.end
+        assert cursor == trace.total_cycles
+
+    def test_unit_utilisation_sums_to_one(self, sim):
+        trace = trace_iteration(sim)
+        total = sum(trace.utilisation(u) for u in trace.unit_names())
+        assert total == pytest.approx(1.0)
+
+    def test_wave_labels_carry_k_ranges(self, sim):
+        trace = trace_iteration(sim)
+        labels = [e.label for e in trace.events if e.unit == "SSU array"]
+        assert labels[0].endswith("k=1..32")
+        assert labels[1].endswith("k=33..64")
+
+    def test_single_wave_config(self):
+        sim = IKAccSimulator(paper_chain(12), config=IKAccConfig(n_ssus=64))
+        trace = trace_iteration(sim)
+        assert len([e for e in trace.events if e.unit == "SSU array"]) == 1
+
+
+class TestGantt:
+    def test_renders_all_units(self, sim):
+        text = render_gantt(trace_iteration(sim))
+        for unit in ("SPU", "scheduler", "SSU array", "selector"):
+            assert unit in text
+        assert "#" in text
+
+    def test_width_validation(self, sim):
+        with pytest.raises(ValueError):
+            render_gantt(trace_iteration(sim), width=5)
+
+    def test_mentions_total_cycles(self, sim):
+        trace = trace_iteration(sim)
+        assert str(trace.total_cycles) in render_gantt(trace)

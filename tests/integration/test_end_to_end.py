@@ -1,0 +1,116 @@
+"""End-to-end integration: the whole pipeline from chain to headline claims."""
+
+import numpy as np
+import pytest
+
+from repro import QuickIKSolver, make_solver, paper_chain
+from repro.core.result import SolverConfig
+from repro.evaluation.experiments import PaperExperiments
+from repro.ikacc.accelerator import IKAccSimulator
+from repro.workloads.suite import EvaluationSuite
+
+
+class TestPublicAPI:
+    def test_readme_quickstart_flow(self):
+        """The exact flow advertised in the README/`repro` docstring."""
+        chain = paper_chain(100)
+        rng = np.random.default_rng(0)
+        target = chain.end_position(chain.random_configuration(rng))
+        result = QuickIKSolver(chain, speculations=64).solve(target, rng=rng)
+        assert result.converged
+        assert "JT-Speculation" in result.summary()
+
+    def test_top_level_exports(self):
+        import repro
+
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+
+class TestPaperShapeSmall:
+    """The paper's qualitative story on a small-but-real workload."""
+
+    @pytest.fixture(scope="class")
+    def experiments(self):
+        return PaperExperiments(
+            suite=EvaluationSuite(dofs=(12,), targets_per_dof=8)
+        )
+
+    def test_iteration_reduction_at_least_90_percent(self, experiments):
+        jt = experiments.stats("JT-Serial", 12).mean_iterations
+        qik = experiments.stats("JT-Speculation", 12).mean_iterations
+        assert 1.0 - qik / jt > 0.90
+
+    def test_quick_ik_reaches_pseudoinverse_level(self, experiments):
+        """Both Quick-IK and the pseudoinverse sit 1-2 orders of magnitude
+        below JT-Serial ("comparable level"); their mutual ratio fluctuates
+        with the target sample."""
+        jt = experiments.stats("JT-Serial", 12).mean_iterations
+        svd = experiments.stats("J-1-SVD", 12).mean_iterations
+        qik = experiments.stats("JT-Speculation", 12).mean_iterations
+        assert qik < 0.1 * jt
+        assert svd < 0.1 * jt
+        assert qik / svd < 30 and svd / qik < 30
+
+    def test_all_methods_solve_everything(self, experiments):
+        for method in ("JT-Serial", "J-1-SVD", "JT-Speculation"):
+            assert experiments.stats(method, 12).success_rate == 1.0
+
+    def test_quick_ik_work_not_lower_than_serial(self, experiments):
+        """Figure 5b: Quick-IK does NOT reduce computation, only latency."""
+        jt = experiments.stats("JT-Serial", 12).mean_work
+        qik = experiments.stats("JT-Speculation", 12).mean_work
+        assert qik > 0.3 * jt  # same order or higher
+
+
+class TestHardwareSoftwareAgreement:
+    def test_ikacc_and_software_reach_same_targets(self, rng):
+        chain = paper_chain(25)
+        sim = IKAccSimulator(chain)
+        sw = QuickIKSolver(chain, speculations=64)
+        for seed in range(3):
+            target = chain.end_position(chain.random_configuration(rng))
+            a = sim.solve(target, rng=np.random.default_rng(seed))
+            b = sw.solve(target, rng=np.random.default_rng(seed))
+            assert a.converged == b.converged
+            if a.converged:
+                assert np.linalg.norm(a.q - b.q) < 1e-2 * max(
+                    1.0, np.linalg.norm(b.q)
+                )
+
+    def test_registry_and_simulator_share_convergence_policy(self, rng):
+        chain = paper_chain(12)
+        config = SolverConfig(tolerance=5e-3, max_iterations=4000)
+        target = chain.end_position(chain.random_configuration(rng))
+        sw = make_solver("JT-Speculation", chain, config=config)
+        hw = IKAccSimulator(chain, solver_config=config)
+        a = sw.solve(target, rng=np.random.default_rng(2))
+        b = hw.solve(target, rng=np.random.default_rng(2))
+        assert a.error < 5e-3 and b.error < 5e-3
+
+
+class TestTrajectoryWarmStart:
+    def test_warm_start_cheaper_than_cold(self, rng):
+        """Following a dense trajectory with warm starts takes far fewer
+        iterations per waypoint than cold random restarts — the usage pattern
+        of a real-time controller."""
+        chain = paper_chain(25)
+        solver = QuickIKSolver(chain, config=SolverConfig(max_iterations=2000))
+        q_start = chain.random_configuration(rng)
+        q_end = chain.random_configuration(rng)
+        waypoints = [
+            chain.end_position(q_start + t * (q_end - q_start))
+            for t in np.linspace(0, 1, 8)
+        ]
+        q = q_start.copy()
+        warm_iterations = 0
+        for waypoint in waypoints:
+            result = solver.solve(waypoint, q0=q)
+            assert result.converged
+            warm_iterations += result.iterations
+            q = result.q
+        cold_iterations = sum(
+            solver.solve(w, rng=np.random.default_rng(i)).iterations
+            for i, w in enumerate(waypoints)
+        )
+        assert warm_iterations < cold_iterations

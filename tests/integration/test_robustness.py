@@ -1,0 +1,146 @@
+"""Robustness / failure-injection tests: degenerate inputs must not produce
+NaNs, crashes, or silent wrong answers."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.quick_ik import QuickIKSolver
+from repro.core.result import SolverConfig
+from repro.ikacc.accelerator import IKAccSimulator
+from repro.kinematics.chain import KinematicChain
+from repro.kinematics.joint import Joint, JointLimits
+from repro.kinematics.robots import paper_chain, planar_chain
+from repro.solvers import SOLVER_REGISTRY, make_solver
+
+
+class TestDegenerateChains:
+    def test_single_joint_chain(self, rng):
+        chain = planar_chain(1)
+        solver = QuickIKSolver(chain, config=SolverConfig(max_iterations=500))
+        target = chain.end_position(np.array([0.7]))
+        result = solver.solve(target, rng=rng)
+        assert result.converged
+        assert np.all(np.isfinite(result.q))
+
+    def test_zero_length_links_do_not_nan(self, rng):
+        """A chain with zero-length links is everywhere singular in some
+        directions; solvers must stay finite."""
+        joints = [Joint.revolute(a=0.0, alpha=0.3 * i) for i in range(4)]
+        joints.append(Joint.revolute(a=0.5))
+        chain = KinematicChain(joints)
+        config = SolverConfig(max_iterations=200)
+        for name in ("JT-Serial", "JT-Speculation", "J-1-SVD"):
+            solver = make_solver(name, chain, config=config)
+            result = solver.solve(np.array([0.3, 0.1, 0.0]), rng=rng)
+            assert np.all(np.isfinite(result.q)), name
+            assert math.isfinite(result.error), name
+
+    def test_locked_joints_zero_span_limits(self, rng):
+        """Joints frozen by zero-width limits never move."""
+        joints = [
+            Joint.revolute(a=0.3, limits=JointLimits(0.5, 0.5)),
+            Joint.revolute(a=0.3),
+        ]
+        chain = KinematicChain(joints)
+        config = SolverConfig(max_iterations=300, respect_limits=True)
+        solver = QuickIKSolver(chain, config=config)
+        target = chain.end_position(np.array([0.5, 0.8]))
+        result = solver.solve(target, rng=rng)
+        assert result.q[0] == pytest.approx(0.5)
+
+
+class TestDegenerateTargets:
+    def test_target_at_base_origin(self, rng):
+        """The base origin lies on joint-0's axis — a classic degenerate
+        target.  No solver may emit NaNs."""
+        chain = paper_chain(12)
+        config = SolverConfig(max_iterations=300)
+        for name in SOLVER_REGISTRY:
+            solver = make_solver(name, chain, config=config)
+            result = solver.solve(np.zeros(3), rng=np.random.default_rng(0))
+            assert np.all(np.isfinite(result.q)), name
+
+    def test_far_unreachable_target_hits_cap_cleanly(self, rng):
+        chain = paper_chain(12)
+        config = SolverConfig(max_iterations=25)
+        for name in ("JT-Serial", "JT-Speculation", "J-1-SVD"):
+            solver = make_solver(name, chain, config=config)
+            result = solver.solve(np.array([1e6, 0.0, 0.0]), rng=rng)
+            assert not result.converged, name
+            assert result.iterations == 25, name
+            assert np.all(np.isfinite(result.q)), name
+
+    def test_target_exactly_at_start(self, rng):
+        chain = paper_chain(12)
+        q0 = chain.random_configuration(rng)
+        result = QuickIKSolver(chain).solve(chain.end_position(q0), q0=q0)
+        assert result.converged
+        assert result.iterations == 0
+
+    def test_nan_target_rejected_or_flagged(self, rng):
+        """A NaN target must not silently 'converge'."""
+        chain = paper_chain(12)
+        solver = QuickIKSolver(chain, config=SolverConfig(max_iterations=10))
+        result = solver.solve(np.array([np.nan, 0.0, 0.0]), rng=rng)
+        assert not result.converged
+
+
+class TestSingularStarts:
+    def test_start_at_exact_singularity(self, rng):
+        """Fully stretched planar arm: rank-deficient Jacobian at the start.
+        Solvers must make progress or fail gracefully — never NaN."""
+        chain = planar_chain(4)
+        q0 = np.zeros(4)  # stretched: singular
+        target = chain.end_position(chain.random_configuration(rng))
+        config = SolverConfig(max_iterations=2000)
+        for name in ("JT-Serial", "JT-Speculation", "J-1-SVD", "JT-DLS"):
+            solver = make_solver(name, chain, config=config)
+            result = solver.solve(target, q0=q0)
+            assert np.all(np.isfinite(result.q)), name
+
+    def test_ikacc_with_degenerate_restart(self, rng):
+        chain = planar_chain(4)
+        sim = IKAccSimulator(chain, solver_config=SolverConfig(max_iterations=100))
+        result = sim.solve(np.array([0.2, 0.2, 0.0]), q0=np.zeros(4))
+        assert np.all(np.isfinite(result.q))
+        assert result.cycles > 0
+
+
+class TestExtremeConfigs:
+    def test_speculations_one(self, rng):
+        chain = paper_chain(12)
+        solver = QuickIKSolver(
+            chain, speculations=1, config=SolverConfig(max_iterations=2000)
+        )
+        target = chain.end_position(chain.random_configuration(rng))
+        assert solver.solve(target, rng=rng).converged
+
+    def test_huge_speculation_count(self, rng):
+        chain = paper_chain(12)
+        solver = QuickIKSolver(
+            chain, speculations=512, config=SolverConfig(max_iterations=500)
+        )
+        target = chain.end_position(chain.random_configuration(rng))
+        result = solver.solve(target, rng=rng)
+        assert result.converged
+        assert result.fk_evaluations == 1 + 512 * result.iterations
+
+    def test_very_tight_tolerance_float64(self, rng):
+        """1e-9 m is still solvable in float64 on a small chain."""
+        chain = paper_chain(12)
+        config = SolverConfig(tolerance=1e-9, max_iterations=10_000)
+        solver = QuickIKSolver(chain, config=config)
+        target = chain.end_position(chain.random_configuration(rng))
+        result = solver.solve(target, rng=rng)
+        assert result.converged
+
+    def test_ikacc_single_ssu(self, rng):
+        from repro.ikacc.config import IKAccConfig
+
+        chain = paper_chain(12)
+        sim = IKAccSimulator(chain, config=IKAccConfig(n_ssus=1, speculations=8))
+        target = chain.end_position(chain.random_configuration(rng))
+        result = sim.solve(target, rng=rng)
+        assert result.converged

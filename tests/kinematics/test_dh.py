@@ -1,0 +1,92 @@
+"""Unit tests for the DH link parameterisation."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.kinematics import transforms as tf
+from repro.kinematics.dh import DHConvention, DHLink, dh_transform
+
+
+class TestDHTransformStandard:
+    def test_all_zero_is_identity(self):
+        assert np.allclose(dh_transform(0, 0, 0, 0), np.eye(4))
+
+    def test_pure_theta_is_rot_z(self):
+        assert np.allclose(dh_transform(0, 0, 0, 0.7), tf.rot_z(0.7))
+
+    def test_pure_d_is_trans_z(self):
+        assert np.allclose(dh_transform(0, 0, 0.3, 0), tf.trans_z(0.3))
+
+    def test_pure_a_is_trans_x(self):
+        assert np.allclose(dh_transform(0.5, 0, 0, 0), tf.trans_x(0.5))
+
+    def test_pure_alpha_is_rot_x(self):
+        assert np.allclose(dh_transform(0, 0.9, 0, 0), tf.rot_x(0.9))
+
+    def test_matches_explicit_product(self):
+        a, alpha, d, theta = 0.2, 0.5, 0.1, -0.7
+        expected = (
+            tf.rot_z(theta) @ tf.trans_z(d) @ tf.trans_x(a) @ tf.rot_x(alpha)
+        )
+        assert np.allclose(dh_transform(a, alpha, d, theta), expected, atol=1e-12)
+
+    def test_is_rigid_transform(self, rng):
+        for _ in range(20):
+            a, alpha, d, theta = rng.uniform(-1, 1, 4)
+            assert tf.is_transform(dh_transform(a, alpha, d, theta))
+
+
+class TestDHTransformModified:
+    def test_all_zero_is_identity(self):
+        matrix = dh_transform(0, 0, 0, 0, convention=DHConvention.MODIFIED)
+        assert np.allclose(matrix, np.eye(4))
+
+    def test_matches_explicit_product(self):
+        a, alpha, d, theta = 0.2, 0.5, 0.1, -0.7
+        expected = (
+            tf.rot_x(alpha) @ tf.trans_x(a) @ tf.rot_z(theta) @ tf.trans_z(d)
+        )
+        matrix = dh_transform(a, alpha, d, theta, convention=DHConvention.MODIFIED)
+        assert np.allclose(matrix, expected, atol=1e-12)
+
+    def test_differs_from_standard_generically(self):
+        standard = dh_transform(0.3, 0.4, 0.1, 0.2)
+        modified = dh_transform(0.3, 0.4, 0.1, 0.2, convention=DHConvention.MODIFIED)
+        assert not np.allclose(standard, modified)
+
+
+class TestDHLink:
+    def test_constant_part_standard_factorisation(self):
+        link = DHLink(a=0.2, alpha=0.5, d=0.1, theta=0.3)
+        # T = Rz(theta) @ constant for revolute standard links.
+        reconstructed = tf.rot_z(link.theta) @ link.constant_part()
+        assert np.allclose(
+            reconstructed, dh_transform(link.a, link.alpha, link.d, link.theta)
+        )
+
+    def test_constant_part_modified_factorisation(self):
+        link = DHLink(a=0.2, alpha=0.5, d=0.1, theta=0.3)
+        constant = link.constant_part(DHConvention.MODIFIED)
+        reconstructed = constant @ tf.rot_z(link.theta) @ tf.trans_z(link.d)
+        expected = dh_transform(
+            link.a, link.alpha, link.d, link.theta, convention=DHConvention.MODIFIED
+        )
+        assert np.allclose(reconstructed, expected)
+
+    def test_unknown_convention_rejected(self):
+        with pytest.raises(ValueError):
+            DHLink().constant_part("bogus")
+        with pytest.raises(ValueError):
+            dh_transform(0, 0, 0, 0, convention="bogus")
+
+    def test_link_is_frozen(self):
+        link = DHLink(a=1.0)
+        with pytest.raises(AttributeError):
+            link.a = 2.0
+
+    def test_half_pi_twist_swaps_axes(self):
+        matrix = dh_transform(0.0, math.pi / 2, 0.0, 0.0)
+        mapped = tf.transform_point(matrix, [0.0, 1.0, 0.0])
+        assert np.allclose(mapped, [0.0, 0.0, 1.0], atol=1e-12)

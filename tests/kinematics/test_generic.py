@@ -1,0 +1,246 @@
+"""Tests for the generic (non-DH) chain."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.kinematics import transforms as tf
+from repro.kinematics.generic import GenericChain, GenericJoint, GenericJointType
+from repro.kinematics.joint import JointLimits
+
+
+def z_revolute(xyz=(0, 0, 0), axis=(0, 0, 1), name=""):
+    return GenericJoint(origin=tf.trans(*xyz), axis=np.array(axis), name=name)
+
+
+@pytest.fixture
+def planar_generic():
+    """Two 0.5 m links rotating about z — same geometry as planar_chain(2, 1.0)
+    but expressed generically (origin offsets instead of DH a-parameters)."""
+    return GenericChain(
+        [
+            z_revolute(name="j0"),
+            z_revolute(xyz=(0.5, 0, 0), name="j1"),
+        ],
+        tool=tf.trans_x(0.5),
+        name="generic-planar",
+    )
+
+
+@pytest.fixture
+def spatial_generic(rng):
+    """A 6-DOF chain with arbitrary (non-principal) axes."""
+    joints = []
+    for i in range(6):
+        axis = rng.normal(size=3)
+        origin = tf.homogeneous(tf.random_rotation(rng), 0.2 * rng.normal(size=3))
+        joints.append(GenericJoint(origin=origin, axis=axis, name=f"g{i}"))
+    return GenericChain(joints, name="generic-spatial")
+
+
+class TestConstruction:
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            GenericChain([])
+
+    def test_rejects_all_fixed(self):
+        fixed = GenericJoint(origin=np.eye(4), joint_type=GenericJointType.FIXED)
+        with pytest.raises(ValueError):
+            GenericChain([fixed])
+
+    def test_rejects_zero_axis(self):
+        with pytest.raises(ValueError):
+            GenericJoint(origin=np.eye(4), axis=np.zeros(3))
+
+    def test_rejects_bad_origin(self):
+        with pytest.raises(ValueError):
+            GenericJoint(origin=np.eye(3))
+
+    def test_axis_normalised(self):
+        joint = GenericJoint(origin=np.eye(4), axis=np.array([0.0, 0.0, 5.0]))
+        assert np.allclose(joint.axis, [0, 0, 1])
+
+    def test_fixed_joints_consume_no_dof(self):
+        chain = GenericChain(
+            [
+                z_revolute(),
+                GenericJoint(
+                    origin=tf.trans_x(0.3), joint_type=GenericJointType.FIXED
+                ),
+                z_revolute(),
+            ]
+        )
+        assert chain.dof == 2
+        assert chain.n_structural_joints == 3
+
+
+class TestForwardKinematics:
+    def test_planar_geometry(self, planar_generic):
+        assert np.allclose(
+            planar_generic.end_position(np.zeros(2)), [1.0, 0.0, 0.0], atol=1e-12
+        )
+        p = planar_generic.end_position(np.array([math.pi / 2, 0.0]))
+        assert np.allclose(p, [0.0, 1.0, 0.0], atol=1e-12)
+
+    def test_matches_dh_planar_chain(self, rng):
+        """The generic formulation must agree with the DH one on a chain both
+        can express."""
+        from repro.kinematics.robots import planar_chain
+
+        dh = planar_chain(3, total_reach=0.9)
+        generic = GenericChain(
+            [
+                z_revolute(),
+                z_revolute(xyz=(0.3, 0, 0)),
+                z_revolute(xyz=(0.3, 0, 0)),
+            ],
+            tool=tf.trans_x(0.3),
+        )
+        for _ in range(10):
+            q = dh.random_configuration(rng)
+            assert np.allclose(
+                dh.end_position(q), generic.end_position(q), atol=1e-10
+            )
+
+    def test_fk_is_rigid(self, spatial_generic, rng):
+        q = spatial_generic.random_configuration(rng)
+        assert tf.is_transform(spatial_generic.fk(q), tol=1e-8)
+
+    def test_prismatic_motion(self):
+        slider = GenericJoint(
+            origin=np.eye(4),
+            axis=np.array([0.0, 1.0, 0.0]),
+            joint_type=GenericJointType.PRISMATIC,
+            limits=JointLimits(0.0, 2.0),
+        )
+        chain = GenericChain([slider])
+        p0 = chain.end_position(np.array([0.0]))
+        p1 = chain.end_position(np.array([1.2]))
+        assert np.allclose(p1 - p0, [0.0, 1.2, 0.0], atol=1e-12)
+
+    def test_arbitrary_axis_rotation(self):
+        axis = np.array([1.0, 1.0, 0.0]) / math.sqrt(2.0)
+        joint = GenericJoint(origin=np.eye(4), axis=axis)
+        chain = GenericChain([joint], tool=tf.trans_z(1.0))
+        pose = chain.fk(np.array([0.7]))
+        expected_rot = tf.axis_angle_to_rotation(axis, 0.7)
+        assert np.allclose(pose[:3, :3], expected_rot, atol=1e-12)
+
+    def test_batch_matches_scalar(self, spatial_generic, rng):
+        qs = np.stack([spatial_generic.random_configuration(rng) for _ in range(7)])
+        batched = spatial_generic.end_positions_batch(qs)
+        for i in range(7):
+            assert np.allclose(
+                batched[i], spatial_generic.end_position(qs[i]), atol=1e-10
+            )
+
+    def test_batch_with_fixed_joints(self, rng):
+        chain = GenericChain(
+            [
+                z_revolute(),
+                GenericJoint(origin=tf.trans_x(0.4), joint_type="fixed"),
+                z_revolute(axis=(0, 1, 0)),
+            ],
+            tool=tf.trans_x(0.2),
+        )
+        qs = np.stack([chain.random_configuration(rng) for _ in range(4)])
+        batched = chain.end_positions_batch(qs)
+        for i in range(4):
+            assert np.allclose(batched[i], chain.end_position(qs[i]), atol=1e-10)
+
+    def test_wrong_q_shape(self, planar_generic):
+        with pytest.raises(ValueError):
+            planar_generic.end_position(np.zeros(3))
+
+
+class TestJacobian:
+    def test_matches_finite_differences(self, spatial_generic, rng):
+        eps = 1e-7
+        for _ in range(5):
+            q = spatial_generic.random_configuration(rng)
+            analytic = spatial_generic.jacobian_position(q)
+            numeric = np.empty_like(analytic)
+            for i in range(spatial_generic.dof):
+                dq = np.zeros(spatial_generic.dof)
+                dq[i] = eps
+                numeric[:, i] = (
+                    spatial_generic.end_position(q + dq)
+                    - spatial_generic.end_position(q - dq)
+                ) / (2 * eps)
+            assert np.allclose(analytic, numeric, atol=1e-6)
+
+    def test_prismatic_column_is_axis(self):
+        slider = GenericJoint(
+            origin=tf.rot_x(0.4),
+            axis=np.array([0.0, 0.0, 1.0]),
+            joint_type=GenericJointType.PRISMATIC,
+            limits=JointLimits(0.0, 1.0),
+        )
+        chain = GenericChain([slider], tool=tf.trans_x(0.2))
+        jac = chain.jacobian_position(np.array([0.3]))
+        world_axis = tf.rot_x(0.4)[:3, :3] @ np.array([0, 0, 1.0])
+        assert np.allclose(jac[:, 0], world_axis, atol=1e-12)
+
+    def test_full_jacobian_angular_rows(self, spatial_generic, rng):
+        q = spatial_generic.random_configuration(rng)
+        full = spatial_generic.jacobian(q)
+        assert full.shape == (6, 6)
+        assert np.allclose(np.linalg.norm(full[3:], axis=0), 1.0, atol=1e-10)
+
+
+class TestSolverCompatibility:
+    def test_quick_ik_solves_generic_chain(self, rng):
+        from repro.core.quick_ik import QuickIKSolver
+        from repro.core.result import SolverConfig
+
+        joints = []
+        for i in range(10):
+            axis = (0, 0, 1) if i % 2 == 0 else (0, 1, 0)
+            joints.append(z_revolute(xyz=(0.12, 0, 0), axis=axis, name=f"s{i}"))
+        chain = GenericChain(joints, tool=tf.trans_x(0.12))
+        solver = QuickIKSolver(chain, config=SolverConfig(max_iterations=3000))
+        target = chain.end_position(chain.random_configuration(rng))
+        result = solver.solve(target, rng=rng)
+        assert result.converged
+
+    def test_jt_classic_gain_works(self, spatial_generic):
+        from repro.solvers.jacobian_transpose import classic_transpose_gain
+
+        gain = classic_transpose_gain(spatial_generic)
+        assert gain > 0.0
+
+    def test_classic_gain_is_stable_bound(self, spatial_generic, rng):
+        from repro.solvers.jacobian_transpose import classic_transpose_gain
+
+        gain = classic_transpose_gain(spatial_generic)
+        for _ in range(30):
+            jac = spatial_generic.jacobian_position(
+                spatial_generic.random_configuration(rng)
+            )
+            sigma = np.linalg.svd(jac, compute_uv=False)[0]
+            assert gain * sigma**2 < 2.0
+
+    def test_ikacc_simulates_generic_chain(self, rng):
+        from repro.ikacc.accelerator import IKAccSimulator
+
+        joints = [
+            z_revolute(xyz=(0.15, 0, 0), axis=(0, 0, 1) if i % 2 else (0, 1, 0))
+            for i in range(8)
+        ]
+        chain = GenericChain(joints, tool=tf.trans_x(0.15))
+        sim = IKAccSimulator(chain)
+        target = chain.end_position(chain.random_configuration(rng))
+        result = sim.solve(target, rng=rng)
+        assert result.converged
+
+
+class TestDtype:
+    def test_astype_float32(self, spatial_generic, rng):
+        chain32 = spatial_generic.astype(np.float32)
+        q = spatial_generic.random_configuration(rng)
+        p32 = chain32.end_position(q)
+        assert p32.dtype == np.float32
+        assert np.linalg.norm(
+            p32.astype(float) - spatial_generic.end_position(q)
+        ) < 1e-5

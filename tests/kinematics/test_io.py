@@ -1,0 +1,100 @@
+"""Tests for chain JSON serialisation."""
+
+import numpy as np
+import pytest
+
+from repro.kinematics import transforms as tf
+from repro.kinematics.generic import GenericChain, GenericJoint
+from repro.kinematics.io import chain_from_dict, chain_to_dict, load_chain, save_chain
+from repro.kinematics.joint import JointLimits
+from repro.kinematics.robots import paper_chain, random_chain, stanford_arm
+
+
+class TestDHRoundTrip:
+    @pytest.mark.parametrize(
+        "factory",
+        [lambda: paper_chain(12), stanford_arm,
+         lambda: random_chain(6, np.random.default_rng(2), prismatic_probability=0.3)],
+    )
+    def test_fk_identical_after_roundtrip(self, factory, rng):
+        original = factory()
+        rebuilt = chain_from_dict(chain_to_dict(original))
+        for _ in range(10):
+            q = original.random_configuration(rng)
+            assert np.allclose(original.fk(q), rebuilt.fk(q), atol=1e-12)
+
+    def test_metadata_preserved(self):
+        original = paper_chain(12)
+        rebuilt = chain_from_dict(chain_to_dict(original))
+        assert rebuilt.name == original.name
+        assert rebuilt.convention == original.convention
+        assert rebuilt.dof == original.dof
+        assert np.array_equal(rebuilt.lower_limits, original.lower_limits)
+
+    def test_base_and_tool_preserved(self, rng):
+        from repro.kinematics.chain import KinematicChain
+
+        base = tf.trans(0.1, 0.2, 0.3) @ tf.rot_z(0.4)
+        original = KinematicChain(
+            paper_chain(5).joints, base=base, tool=tf.trans_x(0.05)
+        )
+        rebuilt = chain_from_dict(chain_to_dict(original))
+        q = original.random_configuration(rng)
+        assert np.allclose(original.fk(q), rebuilt.fk(q), atol=1e-12)
+
+
+class TestGenericRoundTrip:
+    def test_generic_chain_roundtrip(self, rng):
+        joints = [
+            GenericJoint(origin=tf.trans_x(0.2), axis=np.array([0, 0, 1.0])),
+            GenericJoint(
+                origin=tf.rot_x(0.3) @ tf.trans(0.1, 0.0, 0.2),
+                axis=np.array([0, 1.0, 0]),
+                joint_type="prismatic",
+                limits=JointLimits(0.0, 0.5),
+            ),
+            GenericJoint(origin=tf.trans_y(0.1), joint_type="fixed"),
+            GenericJoint(origin=np.eye(4), axis=np.array([1.0, 1.0, 0])),
+        ]
+        original = GenericChain(joints, tool=tf.trans_z(0.05), name="mixed")
+        rebuilt = chain_from_dict(chain_to_dict(original))
+        assert rebuilt.dof == original.dof
+        assert rebuilt.n_structural_joints == original.n_structural_joints
+        for _ in range(10):
+            q = original.random_configuration(rng)
+            assert np.allclose(original.fk(q), rebuilt.fk(q), atol=1e-12)
+
+
+class TestFiles:
+    def test_save_and_load(self, tmp_path, rng):
+        original = paper_chain(8)
+        path = tmp_path / "robot.json"
+        save_chain(original, str(path))
+        rebuilt = load_chain(str(path))
+        q = original.random_configuration(rng)
+        assert np.allclose(original.end_position(q), rebuilt.end_position(q))
+
+    def test_json_is_human_readable(self, tmp_path):
+        path = tmp_path / "robot.json"
+        save_chain(paper_chain(3), str(path))
+        text = path.read_text()
+        assert '"kind": "dh"' in text
+        assert '"joints"' in text
+
+
+class TestErrors:
+    def test_unknown_format_version(self):
+        data = chain_to_dict(paper_chain(3))
+        data["format"] = 99
+        with pytest.raises(ValueError):
+            chain_from_dict(data)
+
+    def test_unknown_kind(self):
+        data = chain_to_dict(paper_chain(3))
+        data["kind"] = "hexapod"
+        with pytest.raises(ValueError):
+            chain_from_dict(data)
+
+    def test_unknown_object(self):
+        with pytest.raises(TypeError):
+            chain_to_dict(object())

@@ -1,0 +1,151 @@
+"""Jacobian correctness against finite differences, plus conditioning metrics."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.kinematics import transforms as tf
+from repro.kinematics.chain import KinematicChain
+from repro.kinematics.dh import DHConvention
+from repro.kinematics.jacobian import (
+    condition_number,
+    is_near_singular,
+    manipulability,
+    min_singular_value,
+    numerical_jacobian,
+    numerical_jacobian_position,
+)
+from repro.kinematics.joint import Joint
+from repro.kinematics.robots import (
+    paper_chain,
+    planar_chain,
+    puma560,
+    random_chain,
+    stanford_arm,
+)
+
+
+class TestPositionJacobian:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda: planar_chain(4),
+            puma560,
+            stanford_arm,
+            lambda: paper_chain(12),
+            lambda: paper_chain(25),
+        ],
+    )
+    def test_matches_finite_differences(self, factory, rng):
+        chain = factory()
+        for _ in range(5):
+            q = chain.random_configuration(rng)
+            analytic = chain.jacobian_position(q)
+            numeric = numerical_jacobian_position(chain, q)
+            assert np.allclose(analytic, numeric, atol=1e-6)
+
+    def test_random_chains_with_prismatic(self, rng):
+        for _ in range(5):
+            chain = random_chain(7, rng, prismatic_probability=0.5)
+            q = chain.random_configuration(rng)
+            assert np.allclose(
+                chain.jacobian_position(q),
+                numerical_jacobian_position(chain, q),
+                atol=1e-6,
+            )
+
+    def test_modified_convention(self, rng):
+        joints = [Joint.revolute(a=0.2, alpha=0.3 * i) for i in range(1, 5)]
+        chain = KinematicChain(joints, convention=DHConvention.MODIFIED)
+        q = chain.random_configuration(rng)
+        assert np.allclose(
+            chain.jacobian_position(q),
+            numerical_jacobian_position(chain, q),
+            atol=1e-6,
+        )
+
+    def test_shape(self, rng):
+        chain = paper_chain(25)
+        jac = chain.jacobian_position(chain.random_configuration(rng))
+        assert jac.shape == (3, 25)
+
+    def test_tool_offset_included(self, rng):
+        plain = planar_chain(3)
+        chain = plain.with_tool(tf.trans_x(0.4))
+        q = chain.random_configuration(rng)
+        assert np.allclose(
+            chain.jacobian_position(q),
+            numerical_jacobian_position(chain, q),
+            atol=1e-6,
+        )
+
+    def test_base_offset_does_not_change_jacobian(self, rng):
+        plain = planar_chain(3)
+        moved = KinematicChain(plain.joints, base=tf.trans(0.1, 0.2, 0.3))
+        q = plain.random_configuration(rng)
+        # Pure base translation: same joint axes, same relative geometry.
+        assert np.allclose(
+            plain.jacobian_position(q), moved.jacobian_position(q), atol=1e-12
+        )
+
+
+class TestFullJacobian:
+    @pytest.mark.parametrize("factory", [puma560, stanford_arm, lambda: paper_chain(12)])
+    def test_matches_finite_differences(self, factory, rng):
+        chain = factory()
+        for _ in range(3):
+            q = chain.random_configuration(rng)
+            assert np.allclose(
+                chain.jacobian(q), numerical_jacobian(chain, q), atol=1e-5
+            )
+
+    def test_top_rows_equal_position_jacobian(self, dadu12, rng):
+        q = dadu12.random_configuration(rng)
+        assert np.allclose(dadu12.jacobian(q)[:3], dadu12.jacobian_position(q))
+
+    def test_prismatic_has_zero_angular_rows(self, rng):
+        chain = stanford_arm()
+        q = chain.random_configuration(rng)
+        full = chain.jacobian(q)
+        prismatic_index = [j.is_prismatic for j in chain.joints].index(True)
+        assert np.allclose(full[3:, prismatic_index], 0.0)
+
+    def test_revolute_angular_rows_are_unit_axes(self, dadu12, rng):
+        q = dadu12.random_configuration(rng)
+        angular = dadu12.jacobian(q)[3:]
+        norms = np.linalg.norm(angular, axis=0)
+        assert np.allclose(norms, 1.0, atol=1e-10)
+
+
+class TestConditioningMetrics:
+    def test_manipulability_zero_at_singularity(self):
+        chain = planar_chain(3)
+        # Fully stretched planar arm: singular (no radial motion).
+        jac = chain.jacobian_position(np.zeros(3))
+        assert manipulability(jac) < 1e-12
+        assert is_near_singular(jac)
+
+    def test_manipulability_positive_generic(self, rng):
+        chain = paper_chain(12)
+        jac = chain.jacobian_position(chain.random_configuration(rng))
+        assert manipulability(jac) > 0.0
+
+    def test_condition_number_at_least_one(self, dadu12, rng):
+        jac = dadu12.jacobian_position(dadu12.random_configuration(rng))
+        assert condition_number(jac) >= 1.0
+
+    def test_condition_number_infinite_at_rank_deficiency(self):
+        jac = np.zeros((3, 4))
+        jac[0, 0] = 1.0
+        assert math.isinf(condition_number(jac))
+
+    def test_min_singular_value_matches_svd(self, dadu12, rng):
+        jac = dadu12.jacobian_position(dadu12.random_configuration(rng))
+        svals = np.linalg.svd(jac, compute_uv=False)
+        assert math.isclose(min_singular_value(jac), float(svals[-1]))
+
+    def test_near_singular_threshold(self):
+        jac = np.diag([1.0, 1.0, 1e-9])[:, :3]
+        assert is_near_singular(jac, threshold=1e-6)
+        assert not is_near_singular(jac, threshold=1e-12)

@@ -1,0 +1,82 @@
+"""Unit tests for the joint model."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.kinematics.joint import Joint, JointLimits, JointType
+
+
+class TestJointLimits:
+    def test_default_is_full_circle(self):
+        limits = JointLimits()
+        assert limits.lower == -math.pi
+        assert limits.upper == math.pi
+        assert math.isclose(limits.span, 2 * math.pi)
+
+    def test_inverted_interval_rejected(self):
+        with pytest.raises(ValueError):
+            JointLimits(1.0, -1.0)
+
+    def test_degenerate_interval_allowed(self):
+        limits = JointLimits(0.5, 0.5)
+        assert limits.span == 0.0
+        assert limits.clamp(3.0) == 0.5
+
+    def test_clamp_scalar(self):
+        limits = JointLimits(-1.0, 2.0)
+        assert limits.clamp(-5.0) == -1.0
+        assert limits.clamp(5.0) == 2.0
+        assert limits.clamp(0.3) == 0.3
+
+    def test_clamp_array(self):
+        limits = JointLimits(-1.0, 1.0)
+        clamped = limits.clamp_array(np.array([-3.0, 0.0, 3.0]))
+        assert np.array_equal(clamped, [-1.0, 0.0, 1.0])
+
+    def test_contains_with_tolerance(self):
+        limits = JointLimits(0.0, 1.0)
+        assert limits.contains(0.5)
+        assert not limits.contains(1.1)
+        assert limits.contains(1.05, tol=0.1)
+
+    def test_sample_stays_inside(self, rng):
+        limits = JointLimits(-0.3, 0.8)
+        for _ in range(100):
+            assert limits.contains(limits.sample(rng))
+
+
+class TestJoint:
+    def test_revolute_constructor(self):
+        joint = Joint.revolute(a=0.1, alpha=0.2, d=0.3, theta_offset=0.4, name="j")
+        assert joint.is_revolute and not joint.is_prismatic
+        assert joint.link.a == 0.1
+        assert joint.link.theta == 0.4
+        assert joint.variable_offset() == 0.4
+        assert joint.name == "j"
+
+    def test_prismatic_constructor(self):
+        joint = Joint.prismatic(a=0.1, alpha=0.2, d_offset=0.3, theta=0.4)
+        assert joint.is_prismatic and not joint.is_revolute
+        assert joint.link.d == 0.3
+        assert joint.variable_offset() == 0.3
+
+    def test_prismatic_default_limits_are_bounded(self):
+        joint = Joint.prismatic()
+        assert joint.limits.lower == 0.0
+        assert joint.limits.upper == 1.0
+
+    def test_unknown_joint_type_rejected(self):
+        from repro.kinematics.dh import DHLink
+
+        with pytest.raises(ValueError):
+            Joint(link=DHLink(), joint_type="helical")
+
+    def test_joint_type_constants(self):
+        assert set(JointType.ALL) == {JointType.REVOLUTE, JointType.PRISMATIC}
+
+    def test_joint_is_frozen(self):
+        joint = Joint.revolute()
+        with pytest.raises(AttributeError):
+            joint.name = "other"

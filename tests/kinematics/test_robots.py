@@ -1,0 +1,110 @@
+"""Tests for the robot zoo."""
+
+import numpy as np
+import pytest
+
+from repro.kinematics.robots import (
+    PAPER_DOFS,
+    hyper_redundant_chain,
+    named_robot,
+    paper_chain,
+    planar_chain,
+    puma560,
+    random_chain,
+    seven_dof_arm,
+    stanford_arm,
+)
+
+
+class TestGeneratedChains:
+    @pytest.mark.parametrize("dof", PAPER_DOFS)
+    def test_paper_chain_dofs(self, dof):
+        assert paper_chain(dof).dof == dof
+
+    def test_paper_chain_is_deterministic(self):
+        a = paper_chain(25)
+        b = paper_chain(25)
+        q = np.linspace(-1, 1, 25)
+        assert np.allclose(a.end_position(q), b.end_position(q))
+
+    def test_paper_chains_differ_across_dof(self):
+        # Different DOF => genuinely different geometry (different seeds).
+        a = paper_chain(12)
+        b = paper_chain(25)
+        assert not np.allclose(
+            a.end_position(np.zeros(12)), b.end_position(np.zeros(25))
+        )
+
+    def test_paper_chain_link_lengths_sum_to_reach(self):
+        chain = paper_chain(50, total_reach=1.2)
+        assert np.isclose(sum(abs(j.link.a) for j in chain.joints), 1.2)
+        # total_reach additionally counts the small random d offsets.
+        assert 1.2 <= chain.total_reach() <= 1.2 + 0.06 * 50
+
+    def test_planar_chain_link_lengths_sum_to_reach(self):
+        chain = planar_chain(8, total_reach=2.0)
+        assert np.isclose(sum(j.link.a for j in chain.joints), 2.0)
+
+    def test_hyper_redundant_alternating_twists(self):
+        chain = hyper_redundant_chain(6)
+        twists = [j.link.alpha for j in chain.joints]
+        assert twists[0] > 0 > twists[1]
+        assert np.allclose(np.abs(twists), np.pi / 2)
+
+    def test_invalid_dof_rejected(self):
+        for factory in (planar_chain, hyper_redundant_chain, paper_chain):
+            with pytest.raises(ValueError):
+                factory(0)
+
+    def test_random_chain_reproducible_with_seeded_rng(self):
+        a = random_chain(10, np.random.default_rng(3))
+        b = random_chain(10, np.random.default_rng(3))
+        q = np.linspace(-1, 1, 10)
+        assert np.allclose(a.end_position(q), b.end_position(q))
+
+    def test_random_chain_prismatic_probability_one(self):
+        chain = random_chain(6, np.random.default_rng(0), prismatic_probability=1.0)
+        assert chain.count_joints("prismatic") == 6
+
+
+class TestClassicArms:
+    def test_puma_has_six_revolute_joints(self):
+        chain = puma560()
+        assert chain.dof == 6
+        assert chain.count_joints("revolute") == 6
+
+    def test_stanford_has_one_prismatic(self):
+        chain = stanford_arm()
+        assert chain.dof == 6
+        assert chain.count_joints("prismatic") == 1
+
+    def test_seven_dof_arm(self):
+        chain = seven_dof_arm()
+        assert chain.dof == 7
+
+    def test_puma_zero_pose_position(self):
+        # At the zero pose the arm reaches a2 + a3 along x-ish and the
+        # offsets along the remaining axes; just sanity-check magnitude.
+        reach = np.linalg.norm(puma560().end_position(np.zeros(6)))
+        assert 0.4 < reach < 1.1
+
+
+class TestNamedRobot:
+    @pytest.mark.parametrize("name", ["puma560", "stanford", "7dof-arm"])
+    def test_classic_names(self, name):
+        assert named_robot(name).dof in (6, 7)
+
+    def test_generated_names(self):
+        assert named_robot("dadu-25dof").dof == 25
+        assert named_robot("snake-10dof").dof == 10
+        assert named_robot("planar-4dof").dof == 4
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            named_robot("terminator")
+
+    def test_malformed_generated_name_raises(self):
+        with pytest.raises(KeyError):
+            named_robot("dadu-xdof")
+        with pytest.raises(KeyError):
+            named_robot("dadu-0dof")

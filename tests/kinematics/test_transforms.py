@@ -1,0 +1,220 @@
+"""Unit tests for SE(3)/SO(3) primitives."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.kinematics import transforms as tf
+
+
+class TestBasicRotations:
+    def test_identity_is_4x4_identity(self):
+        assert np.array_equal(tf.identity(), np.eye(4))
+
+    def test_rot_x_quarter_turn_maps_y_to_z(self):
+        rotated = tf.transform_point(tf.rot_x(math.pi / 2), [0.0, 1.0, 0.0])
+        assert np.allclose(rotated, [0.0, 0.0, 1.0], atol=1e-12)
+
+    def test_rot_y_quarter_turn_maps_z_to_x(self):
+        rotated = tf.transform_point(tf.rot_y(math.pi / 2), [0.0, 0.0, 1.0])
+        assert np.allclose(rotated, [1.0, 0.0, 0.0], atol=1e-12)
+
+    def test_rot_z_quarter_turn_maps_x_to_y(self):
+        rotated = tf.transform_point(tf.rot_z(math.pi / 2), [1.0, 0.0, 0.0])
+        assert np.allclose(rotated, [0.0, 1.0, 0.0], atol=1e-12)
+
+    def test_rotation_by_zero_is_identity(self):
+        for rot in (tf.rot_x, tf.rot_y, tf.rot_z):
+            assert np.allclose(rot(0.0), np.eye(4))
+
+    def test_rotations_are_valid_transforms(self):
+        for rot in (tf.rot_x, tf.rot_y, tf.rot_z):
+            assert tf.is_transform(rot(0.7))
+
+    def test_rotation_composition_adds_angles(self):
+        combined = tf.rot_z(0.3) @ tf.rot_z(0.4)
+        assert np.allclose(combined, tf.rot_z(0.7))
+
+    def test_rotation_inverse_is_negative_angle(self):
+        assert np.allclose(tf.invert_transform(tf.rot_y(0.5)), tf.rot_y(-0.5))
+
+
+class TestTranslations:
+    def test_trans_moves_origin(self):
+        moved = tf.transform_point(tf.trans(1.0, 2.0, 3.0), [0.0, 0.0, 0.0])
+        assert np.allclose(moved, [1.0, 2.0, 3.0])
+
+    def test_axis_translations_match_general(self):
+        assert np.allclose(tf.trans_x(2.0), tf.trans(2.0, 0.0, 0.0))
+        assert np.allclose(tf.trans_y(2.0), tf.trans(0.0, 2.0, 0.0))
+        assert np.allclose(tf.trans_z(2.0), tf.trans(0.0, 0.0, 2.0))
+
+    def test_translation_composition_adds(self):
+        assert np.allclose(
+            tf.trans(1, 0, 0) @ tf.trans(0, 2, 0), tf.trans(1, 2, 0)
+        )
+
+
+class TestRPY:
+    def test_zero_rpy_is_identity(self):
+        assert np.allclose(tf.rpy_to_rotation(0, 0, 0), np.eye(3))
+
+    def test_roundtrip_generic(self):
+        angles = (0.2, -0.4, 1.1)
+        rotation = tf.rpy_to_rotation(*angles)
+        assert np.allclose(tf.rotation_to_rpy(rotation), angles, atol=1e-10)
+
+    def test_roundtrip_many_random(self, rng):
+        for _ in range(50):
+            roll, yaw = rng.uniform(-math.pi, math.pi, 2)
+            pitch = rng.uniform(-math.pi / 2 + 0.05, math.pi / 2 - 0.05)
+            rotation = tf.rpy_to_rotation(roll, pitch, yaw)
+            recovered = tf.rotation_to_rpy(rotation)
+            assert np.allclose(recovered, (roll, pitch, yaw), atol=1e-9)
+
+    def test_pitch_singularity_reconstructs_rotation(self):
+        rotation = tf.rpy_to_rotation(0.3, math.pi / 2, 0.5)
+        recovered = tf.rpy_to_rotation(*tf.rotation_to_rpy(rotation))
+        assert np.allclose(rotation, recovered, atol=1e-9)
+
+    def test_pure_yaw_matches_rot_z(self):
+        assert np.allclose(tf.rpy_to_rotation(0, 0, 0.8), tf.rot_z(0.8)[:3, :3])
+
+
+class TestAxisAngle:
+    def test_z_axis_matches_rot_z(self):
+        rotation = tf.axis_angle_to_rotation([0, 0, 1], 0.6)
+        assert np.allclose(rotation, tf.rot_z(0.6)[:3, :3])
+
+    def test_axis_not_normalised_is_accepted(self):
+        a = tf.axis_angle_to_rotation([0, 0, 10.0], 0.6)
+        b = tf.axis_angle_to_rotation([0, 0, 1.0], 0.6)
+        assert np.allclose(a, b)
+
+    def test_zero_axis_rejected(self):
+        with pytest.raises(ValueError):
+            tf.axis_angle_to_rotation([0, 0, 0], 0.5)
+
+    def test_roundtrip_generic(self, rng):
+        for _ in range(50):
+            axis = rng.normal(size=3)
+            axis /= np.linalg.norm(axis)
+            angle = rng.uniform(0.01, math.pi - 0.01)
+            rotation = tf.axis_angle_to_rotation(axis, angle)
+            recovered_axis, recovered_angle = tf.rotation_to_axis_angle(rotation)
+            assert math.isclose(recovered_angle, angle, rel_tol=1e-9)
+            assert np.allclose(recovered_axis, axis, atol=1e-8)
+
+    def test_identity_gives_zero_angle(self):
+        axis, angle = tf.rotation_to_axis_angle(np.eye(3))
+        assert angle == 0.0
+        assert np.allclose(np.linalg.norm(axis), 1.0)
+
+    def test_half_turn_recovers_axis_up_to_sign(self, rng):
+        axis = rng.normal(size=3)
+        axis /= np.linalg.norm(axis)
+        rotation = tf.axis_angle_to_rotation(axis, math.pi)
+        recovered_axis, recovered_angle = tf.rotation_to_axis_angle(rotation)
+        assert math.isclose(recovered_angle, math.pi, rel_tol=1e-6)
+        assert np.allclose(
+            tf.axis_angle_to_rotation(recovered_axis, math.pi), rotation, atol=1e-6
+        )
+
+
+class TestHomogeneous:
+    def test_assemble_and_extract(self, rng):
+        rotation = tf.random_rotation(rng)
+        translation = rng.normal(size=3)
+        transform = tf.homogeneous(rotation, translation)
+        assert np.allclose(tf.rotation_of(transform), rotation)
+        assert np.allclose(tf.translation_of(transform), translation)
+        assert tf.is_transform(transform)
+
+    def test_invert_transform_roundtrip(self, rng):
+        transform = tf.homogeneous(tf.random_rotation(rng), rng.normal(size=3))
+        assert np.allclose(
+            transform @ tf.invert_transform(transform), np.eye(4), atol=1e-12
+        )
+
+    def test_transform_points_matches_pointwise(self, rng):
+        transform = tf.homogeneous(tf.random_rotation(rng), rng.normal(size=3))
+        points = rng.normal(size=(7, 3))
+        batched = tf.transform_points(transform, points)
+        for i in range(7):
+            assert np.allclose(batched[i], tf.transform_point(transform, points[i]))
+
+
+class TestValidation:
+    def test_is_rotation_accepts_random_rotation(self, rng):
+        assert tf.is_rotation(tf.random_rotation(rng))
+
+    def test_is_rotation_rejects_reflection(self):
+        reflection = np.diag([1.0, 1.0, -1.0])
+        assert not tf.is_rotation(reflection)
+
+    def test_is_rotation_rejects_scaled(self):
+        assert not tf.is_rotation(2.0 * np.eye(3))
+
+    def test_is_rotation_rejects_wrong_shape(self):
+        assert not tf.is_rotation(np.eye(4))
+
+    def test_is_transform_rejects_bad_last_row(self):
+        bad = np.eye(4)
+        bad[3, 0] = 0.1
+        assert not tf.is_transform(bad)
+
+    def test_random_rotation_is_uniformish(self, rng):
+        # The mean rotation of many samples applied to a vector ~ 0.
+        vectors = np.array(
+            [tf.random_rotation(rng) @ np.array([1.0, 0.0, 0.0]) for _ in range(500)]
+        )
+        assert np.linalg.norm(vectors.mean(axis=0)) < 0.2
+
+
+class TestOrientationError:
+    def test_zero_for_equal_rotations(self, rng):
+        rotation = tf.random_rotation(rng)
+        assert np.allclose(tf.orientation_error(rotation, rotation), 0.0)
+
+    def test_small_rotation_approximates_axis_times_angle(self, rng):
+        axis = rng.normal(size=3)
+        axis /= np.linalg.norm(axis)
+        angle = 1e-4
+        target = tf.axis_angle_to_rotation(axis, angle)
+        error = tf.orientation_error(np.eye(3), target)
+        assert np.allclose(error, axis * angle, rtol=1e-3)
+
+    def test_direction_points_from_current_to_target(self):
+        target = tf.rot_z(0.2)[:3, :3]
+        error = tf.orientation_error(np.eye(3), target)
+        assert error[2] > 0.0  # positive z rotation needed
+
+
+class TestBatched:
+    def test_batch_rot_z_matches_scalar(self, rng):
+        angles = rng.uniform(-math.pi, math.pi, size=6)
+        batch = tf.batch_rot_z(angles)
+        for i, angle in enumerate(angles):
+            assert np.allclose(batch[i], tf.rot_z(angle))
+
+    def test_batch_rot_z_2d_shape(self):
+        out = tf.batch_rot_z(np.zeros((3, 5)))
+        assert out.shape == (3, 5, 4, 4)
+        assert np.allclose(out[1, 2], np.eye(4))
+
+    def test_batch_matmul_chain_matches_reduce(self, rng):
+        locals_ = np.stack(
+            [tf.homogeneous(tf.random_rotation(rng), rng.normal(size=3)) for _ in range(5)]
+        )
+        chained = tf.batch_matmul_chain(locals_)
+        manual = np.eye(4)
+        for i in range(5):
+            manual = manual @ locals_[i]
+            assert np.allclose(chained[i], manual)
+
+    def test_batch_matmul_chain_batched_leading_dim(self, rng):
+        locals_ = rng.normal(size=(2, 4, 4, 4))
+        out = tf.batch_matmul_chain(locals_)
+        assert out.shape == (2, 4, 4, 4)
+        assert np.allclose(out[0, 0], locals_[0, 0])

@@ -1,0 +1,195 @@
+"""Tests for the URDF loader."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.kinematics.urdf import UrdfError, chain_to_urdf, load_urdf, load_urdf_file
+
+TWO_LINK = """
+<robot name="two-link">
+  <link name="base"/>
+  <link name="upper"/>
+  <link name="hand"/>
+  <joint name="shoulder" type="revolute">
+    <origin xyz="0 0 0.1" rpy="0 0 0"/>
+    <parent link="base"/>
+    <child link="upper"/>
+    <axis xyz="0 0 1"/>
+    <limit lower="-1.5" upper="1.5"/>
+  </joint>
+  <joint name="elbow" type="revolute">
+    <origin xyz="0.5 0 0" rpy="0 0 0"/>
+    <parent link="upper"/>
+    <child link="hand"/>
+    <axis xyz="0 1 0"/>
+    <limit lower="-2.0" upper="2.0"/>
+  </joint>
+</robot>
+"""
+
+WITH_FIXED_AND_PRISMATIC = """
+<robot name="gantry">
+  <link name="world"/>
+  <link name="rail"/>
+  <link name="cart"/>
+  <link name="arm"/>
+  <joint name="mount" type="fixed">
+    <origin xyz="0 0 1.0" rpy="0 0 1.5707963267948966"/>
+    <parent link="world"/>
+    <child link="rail"/>
+  </joint>
+  <joint name="slide" type="prismatic">
+    <parent link="rail"/>
+    <child link="cart"/>
+    <axis xyz="1 0 0"/>
+    <limit lower="0" upper="2.0"/>
+  </joint>
+  <joint name="swing" type="continuous">
+    <origin xyz="0 0 -0.2"/>
+    <parent link="cart"/>
+    <child link="arm"/>
+    <axis xyz="0 0 1"/>
+  </joint>
+</robot>
+"""
+
+BRANCHED = """
+<robot name="branched">
+  <link name="torso"/>
+  <link name="left"/>
+  <link name="right"/>
+  <joint name="l" type="revolute">
+    <parent link="torso"/><child link="left"/>
+    <axis xyz="0 0 1"/><limit lower="-1" upper="1"/>
+  </joint>
+  <joint name="r" type="revolute">
+    <parent link="torso"/><child link="right"/>
+    <axis xyz="0 0 1"/><limit lower="-1" upper="1"/>
+  </joint>
+</robot>
+"""
+
+
+class TestLoading:
+    def test_two_link_structure(self):
+        chain = load_urdf(TWO_LINK)
+        assert chain.dof == 2
+        assert chain.name == "two-link"
+        assert [j.name for j in chain.joints] == ["shoulder", "elbow"]
+
+    def test_limits_parsed(self):
+        chain = load_urdf(TWO_LINK)
+        assert chain.joints[0].limits.lower == -1.5
+        assert chain.joints[1].limits.upper == 2.0
+
+    def test_fk_geometry(self):
+        chain = load_urdf(TWO_LINK)
+        # Zero pose: base lift 0.1 in z, elbow at x=0.5.
+        assert np.allclose(chain.end_position(np.zeros(2)), [0.5, 0.0, 0.1])
+        # Shoulder a quarter turn about z moves the elbow to +y.
+        p = chain.end_position(np.array([math.pi / 2, 0.0]))
+        assert np.allclose(p, [0.0, 0.5, 0.1], atol=1e-12)
+
+    def test_fixed_and_prismatic(self):
+        chain = load_urdf(WITH_FIXED_AND_PRISMATIC)
+        assert chain.dof == 2  # fixed mount consumes no dof
+        assert chain.n_structural_joints == 3
+        # Slide 1 m along the rail x axis, which the fixed mount rotated to
+        # world +y.
+        p0 = chain.end_position(np.zeros(2))
+        p1 = chain.end_position(np.array([1.0, 0.0]))
+        assert np.allclose(p1 - p0, [0.0, 1.0, 0.0], atol=1e-9)
+
+    def test_continuous_maps_to_revolute_with_pi_limits(self):
+        chain = load_urdf(WITH_FIXED_AND_PRISMATIC)
+        swing = chain.joints[-1]
+        assert swing.joint_type == "revolute"
+        assert swing.limits.lower == pytest.approx(-math.pi)
+
+    def test_branched_requires_tip(self):
+        with pytest.raises(UrdfError):
+            load_urdf(BRANCHED)
+        chain = load_urdf(BRANCHED, tip_link="left")
+        assert chain.dof == 1
+        assert chain.joints[0].name == "l"
+
+    def test_base_and_tip_selection(self):
+        chain = load_urdf(TWO_LINK, base_link="upper", tip_link="hand")
+        assert chain.dof == 1
+        assert chain.joints[0].name == "elbow"
+
+    def test_load_from_file(self, tmp_path):
+        path = tmp_path / "robot.urdf"
+        path.write_text(TWO_LINK)
+        assert load_urdf_file(str(path)).dof == 2
+
+
+class TestErrors:
+    def test_invalid_xml(self):
+        with pytest.raises(UrdfError):
+            load_urdf("<robot><link name='a'>")
+
+    def test_wrong_root(self):
+        with pytest.raises(UrdfError):
+            load_urdf("<machine/>")
+
+    def test_no_joints(self):
+        with pytest.raises(UrdfError):
+            load_urdf('<robot name="x"><link name="a"/></robot>')
+
+    def test_unknown_joint_type(self):
+        bad = TWO_LINK.replace('type="revolute"', 'type="planar"', 1)
+        with pytest.raises(UrdfError):
+            load_urdf(bad)
+
+    def test_unknown_tip(self):
+        with pytest.raises(UrdfError):
+            load_urdf(TWO_LINK, tip_link="nonexistent")
+
+    def test_prismatic_without_limit(self):
+        bad = """
+        <robot name="x"><link name="a"/><link name="b"/>
+          <joint name="j" type="prismatic">
+            <parent link="a"/><child link="b"/><axis xyz="1 0 0"/>
+          </joint>
+        </robot>"""
+        with pytest.raises(UrdfError):
+            load_urdf(bad)
+
+    def test_kinematic_loop_detected(self):
+        loop = """
+        <robot name="x"><link name="a"/><link name="b"/>
+          <joint name="j1" type="revolute">
+            <parent link="a"/><child link="b"/>
+            <axis xyz="0 0 1"/><limit lower="-1" upper="1"/>
+          </joint>
+          <joint name="j2" type="revolute">
+            <parent link="b"/><child link="a"/>
+            <axis xyz="0 0 1"/><limit lower="-1" upper="1"/>
+          </joint>
+        </robot>"""
+        with pytest.raises(UrdfError):
+            load_urdf(loop, base_link="a")
+
+
+class TestRoundTrip:
+    def test_chain_to_urdf_and_back(self, rng):
+        original = load_urdf(WITH_FIXED_AND_PRISMATIC)
+        rebuilt = load_urdf(chain_to_urdf(original))
+        assert rebuilt.dof == original.dof
+        for _ in range(10):
+            q = original.random_configuration(rng)
+            assert np.allclose(
+                original.end_position(q), rebuilt.end_position(q), atol=1e-9
+            )
+
+    def test_urdf_chain_is_solvable(self, rng):
+        from repro.core.quick_ik import QuickIKSolver
+        from repro.core.result import SolverConfig
+
+        chain = load_urdf(WITH_FIXED_AND_PRISMATIC)
+        target = chain.end_position(chain.random_configuration(rng))
+        solver = QuickIKSolver(chain, config=SolverConfig(max_iterations=2000))
+        assert solver.solve(target, rng=rng).converged

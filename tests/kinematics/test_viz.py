@@ -1,0 +1,105 @@
+"""Tests for the SVG visualisation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.kinematics.robots import paper_chain, planar_chain
+from repro.kinematics.viz import (
+    chain_skeleton,
+    project_orthographic,
+    render_chain_svg,
+    render_history_svg,
+    save_svg,
+)
+
+
+class TestProjection:
+    def test_xy_plane(self):
+        points = np.array([[1.0, 2.0, 3.0]])
+        assert np.array_equal(project_orthographic(points, "xy"), [[1.0, 2.0]])
+
+    def test_xz_and_yz(self):
+        points = np.array([[1.0, 2.0, 3.0]])
+        assert np.array_equal(project_orthographic(points, "xz"), [[1.0, 3.0]])
+        assert np.array_equal(project_orthographic(points, "yz"), [[2.0, 3.0]])
+
+    def test_unknown_plane(self):
+        with pytest.raises(ValueError):
+            project_orthographic(np.zeros((1, 3)), "uv")
+
+
+class TestSkeleton:
+    def test_starts_at_base_ends_at_effector(self, rng):
+        chain = paper_chain(12)
+        q = chain.random_configuration(rng)
+        skeleton = chain_skeleton(chain, q)
+        assert skeleton.shape == (14, 3)
+        assert np.allclose(skeleton[0], chain.base[:3, 3])
+        assert np.allclose(skeleton[-1], chain.end_position(q))
+
+    def test_segment_lengths_bounded_by_links(self, rng):
+        chain = planar_chain(5, total_reach=1.0)
+        q = chain.random_configuration(rng)
+        skeleton = chain_skeleton(chain, q)
+        gaps = np.linalg.norm(np.diff(skeleton, axis=0), axis=1)
+        assert np.all(gaps <= 0.2 + 1e-9)
+
+
+class TestChainSVG:
+    def test_valid_svg_with_expected_elements(self, rng):
+        chain = paper_chain(12)
+        qs = [chain.random_configuration(rng) for _ in range(2)]
+        svg = render_chain_svg(chain, qs, targets=np.array([[0.1, 0.2, 0.0]]))
+        assert svg.startswith("<svg")
+        assert svg.rstrip().endswith("</svg>")
+        # Two skeletons + two cross strokes per target.
+        assert svg.count("<polyline") == 2 + 2
+        # Dots per pose: N + 1 frame origins plus the end-effector dot.
+        assert svg.count("<circle") == 2 * (12 + 2)
+
+    def test_viewbox_present_and_finite(self, rng):
+        chain = planar_chain(3)
+        svg = render_chain_svg(chain, [np.zeros(3)])
+        assert 'viewBox="' in svg
+        assert "inf" not in svg
+        assert "nan" not in svg
+
+    def test_parses_as_xml(self, rng):
+        import xml.etree.ElementTree as ET
+
+        chain = paper_chain(12)
+        svg = render_chain_svg(chain, [chain.random_configuration(rng)])
+        root = ET.fromstring(svg)
+        assert root.tag.endswith("svg")
+
+
+class TestHistorySVG:
+    def test_renders_curves_and_labels(self):
+        svg = render_history_svg(
+            {"a": [1.0, 0.1, 0.01], "b": [1.0, 0.5]}, tolerance=1e-2
+        )
+        assert svg.count("<text") == 3  # two labels + tolerance
+        assert svg.count("<polyline") == 3  # two curves + tolerance line
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            render_history_svg({})
+
+    def test_zero_errors_do_not_break_log(self):
+        svg = render_history_svg({"a": [1.0, 0.0]})
+        assert "nan" not in svg and "inf" not in svg
+
+    def test_parses_as_xml(self):
+        import xml.etree.ElementTree as ET
+
+        svg = render_history_svg({"solver": [1.0, 0.1]})
+        ET.fromstring(svg)
+
+
+class TestSave:
+    def test_save_roundtrip(self, tmp_path, rng):
+        chain = planar_chain(3)
+        svg = render_chain_svg(chain, [np.zeros(3)])
+        path = tmp_path / "out.svg"
+        save_svg(svg, str(path))
+        assert path.read_text() == svg

@@ -1,0 +1,71 @@
+"""Tests for the workspace analysis."""
+
+import numpy as np
+import pytest
+
+from repro.kinematics.robots import hyper_redundant_chain, paper_chain, planar_chain
+from repro.kinematics.workspace import safe_shell_fraction, sample_workspace
+
+
+class TestSampleWorkspace:
+    def test_radii_bounded_by_nominal_reach(self):
+        report = sample_workspace(paper_chain(25), samples=500)
+        assert report.max_radius <= report.nominal_reach + 1e-9
+        assert report.effective_reach_fraction <= 1.0
+
+    def test_percentiles_monotone(self):
+        report = sample_workspace(paper_chain(12), samples=500)
+        values = [report.percentiles[p] for p in sorted(report.percentiles)]
+        assert values == sorted(values)
+        assert report.mean_radius <= report.max_radius
+
+    def test_planar_chain_can_nearly_extend(self):
+        """A planar arm straightens, so its observed reach approaches the
+        nominal bound with enough samples."""
+        report = sample_workspace(planar_chain(3), samples=3000)
+        assert report.effective_reach_fraction > 0.8
+
+    def test_random_chain_reaches_less_than_snake(self):
+        random_report = sample_workspace(paper_chain(25), samples=1000)
+        snake_report = sample_workspace(hyper_redundant_chain(25), samples=1000)
+        # Random twists prevent straightening; the snake extends further
+        # relative to its nominal reach.
+        assert (
+            snake_report.effective_reach_fraction
+            > random_report.effective_reach_fraction
+        )
+
+    def test_deterministic_with_rng(self):
+        a = sample_workspace(paper_chain(12), samples=100, rng=np.random.default_rng(3))
+        b = sample_workspace(paper_chain(12), samples=100, rng=np.random.default_rng(3))
+        assert a.max_radius == b.max_radius
+
+    def test_centroid_near_origin_for_symmetric_sampling(self):
+        report = sample_workspace(hyper_redundant_chain(12), samples=3000)
+        assert np.linalg.norm(report.centroid) < 0.35 * report.nominal_reach
+
+    def test_radius_at_unknown_percentile(self):
+        report = sample_workspace(paper_chain(12), samples=50)
+        with pytest.raises(KeyError):
+            report.radius_at(42)
+
+    def test_invalid_samples(self):
+        with pytest.raises(ValueError):
+            sample_workspace(paper_chain(12), samples=0)
+
+
+class TestSafeShellFraction:
+    def test_in_unit_interval(self):
+        fraction = safe_shell_fraction(paper_chain(25), samples=500)
+        assert 0.0 < fraction < 1.0
+
+    def test_higher_coverage_larger_fraction(self):
+        chain = paper_chain(25)
+        rng = lambda: np.random.default_rng(1)
+        low = safe_shell_fraction(chain, coverage=0.5, samples=500, rng=rng())
+        high = safe_shell_fraction(chain, coverage=0.95, samples=500, rng=rng())
+        assert high >= low
+
+    def test_invalid_coverage(self):
+        with pytest.raises(ValueError):
+            safe_shell_fraction(paper_chain(12), coverage=1.5)

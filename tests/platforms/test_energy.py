@@ -1,0 +1,41 @@
+"""Tests for the energy accounting."""
+
+import pytest
+
+from repro.platforms.atom import AtomModel
+from repro.platforms.energy import efficiency_ratio, energy_report
+from repro.platforms.tx1 import TX1Model
+
+
+class TestEnergyReport:
+    def test_wraps_estimate(self):
+        estimate = AtomModel().estimate("JT-Serial", 25, 100.0)
+        report = energy_report(estimate)
+        assert report.platform == "Atom"
+        assert report.energy_j_per_solve == pytest.approx(estimate.energy_j)
+        assert report.seconds_per_solve == pytest.approx(estimate.seconds)
+
+    def test_solves_per_joule_inverse(self):
+        report = energy_report(AtomModel().estimate("JT-Serial", 25, 100.0))
+        assert report.solves_per_joule == pytest.approx(1.0 / report.energy_j_per_solve)
+
+    def test_millijoules(self):
+        report = energy_report(AtomModel().estimate("JT-Serial", 25, 100.0))
+        assert report.millijoules == pytest.approx(report.energy_j_per_solve * 1e3)
+
+
+class TestEfficiencyRatio:
+    def test_tx1_more_efficient_than_atom_for_quick_ik(self):
+        iterations = 50.0
+        atom = energy_report(AtomModel().estimate("JT-Speculation", 50, iterations, 64))
+        tx1 = energy_report(TX1Model().estimate("JT-Speculation", 50, iterations, 64))
+        assert efficiency_ratio(tx1, atom) > 1.0
+
+    def test_ratio_is_reciprocal(self):
+        a = energy_report(AtomModel().estimate("JT-Speculation", 25, 10.0, 64))
+        b = energy_report(TX1Model().estimate("JT-Speculation", 25, 10.0, 64))
+        assert efficiency_ratio(a, b) == pytest.approx(1.0 / efficiency_ratio(b, a))
+
+    def test_self_ratio_is_one(self):
+        a = energy_report(AtomModel().estimate("JT-Serial", 25, 10.0))
+        assert efficiency_ratio(a, a) == pytest.approx(1.0)

@@ -1,0 +1,88 @@
+"""Property-based tests: kinematic-chain invariants on random geometry."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kinematics import transforms as tf
+from repro.kinematics.jacobian import numerical_jacobian_position
+from repro.kinematics.robots import random_chain
+
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+dofs = st.integers(min_value=1, max_value=12)
+
+
+def _chain_and_q(seed, dof, prismatic=0.0):
+    rng = np.random.default_rng(seed)
+    chain = random_chain(dof, rng, prismatic_probability=prismatic)
+    return chain, chain.random_configuration(rng)
+
+
+@settings(max_examples=25)
+@given(seed=seeds, dof=dofs)
+def test_fk_is_rigid_transform(seed, dof):
+    chain, q = _chain_and_q(seed, dof)
+    assert tf.is_transform(chain.fk(q), tol=1e-7)
+
+
+@settings(max_examples=25)
+@given(seed=seeds, dof=dofs)
+def test_end_position_within_total_reach(seed, dof):
+    chain, q = _chain_and_q(seed, dof)
+    assert np.linalg.norm(chain.end_position(q)) <= chain.total_reach() + 1e-9
+
+
+@settings(max_examples=20)
+@given(seed=seeds, dof=dofs)
+def test_batch_fk_consistent_with_scalar(seed, dof):
+    chain, _ = _chain_and_q(seed, dof)
+    rng = np.random.default_rng(seed + 1)
+    qs = np.stack([chain.random_configuration(rng) for _ in range(3)])
+    batched = chain.end_positions_batch(qs)
+    for i in range(3):
+        assert np.allclose(batched[i], chain.end_position(qs[i]), atol=1e-10)
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=seeds, dof=st.integers(min_value=1, max_value=8))
+def test_jacobian_matches_finite_differences(seed, dof):
+    chain, q = _chain_and_q(seed, dof, prismatic=0.3)
+    assert np.allclose(
+        chain.jacobian_position(q), numerical_jacobian_position(chain, q), atol=1e-5
+    )
+
+
+@settings(max_examples=20)
+@given(seed=seeds, dof=dofs)
+def test_link_frames_compose_incrementally(seed, dof):
+    chain, q = _chain_and_q(seed, dof)
+    frames = chain.link_frames(q)
+    locals_ = chain.local_transforms(q)
+    for i in range(dof):
+        assert np.allclose(frames[i] @ locals_[i], frames[i + 1], atol=1e-10)
+
+
+@settings(max_examples=20)
+@given(seed=seeds, dof=dofs, scale=st.floats(min_value=0.1, max_value=5.0))
+def test_fk_scales_with_uniform_link_scaling(seed, dof, scale):
+    """Scaling every link length by s scales every FK position by s
+    (revolute chains with pure-a links are scale-equivariant)."""
+    from repro.kinematics.robots import hyper_redundant_chain
+
+    chain = hyper_redundant_chain(dof, total_reach=1.0)
+    scaled = hyper_redundant_chain(dof, total_reach=scale)
+    q = chain.random_configuration(np.random.default_rng(seed))
+    assert np.allclose(
+        scaled.end_position(q), scale * chain.end_position(q), atol=1e-8 * max(1, scale)
+    )
+
+
+@settings(max_examples=20)
+@given(seed=seeds, dof=dofs)
+def test_float32_twin_agrees_within_tolerance(seed, dof):
+    chain, q = _chain_and_q(seed, dof)
+    chain32 = chain.astype(np.float32)
+    delta = np.linalg.norm(
+        chain.end_position(q) - chain32.end_position(q).astype(np.float64)
+    )
+    assert delta < 1e-4  # far below the paper's 1e-2 accuracy constraint

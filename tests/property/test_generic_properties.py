@@ -1,0 +1,95 @@
+"""Property-based tests for the generic chain and the URDF round-trip."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kinematics import transforms as tf
+from repro.kinematics.generic import GenericChain, GenericJoint
+from repro.kinematics.io import chain_from_dict, chain_to_dict
+from repro.kinematics.urdf import chain_to_urdf, load_urdf
+
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+dofs = st.integers(min_value=1, max_value=8)
+
+
+def _random_generic_chain(seed: int, dof: int) -> GenericChain:
+    rng = np.random.default_rng(seed)
+    joints = []
+    for i in range(dof):
+        origin = tf.homogeneous(tf.random_rotation(rng), 0.3 * rng.normal(size=3))
+        axis = rng.normal(size=3)
+        while np.linalg.norm(axis) < 1e-6:
+            axis = rng.normal(size=3)
+        joint_type = "revolute" if rng.uniform() < 0.8 else "prismatic"
+        from repro.kinematics.joint import JointLimits
+
+        limits = (
+            JointLimits(-np.pi, np.pi)
+            if joint_type == "revolute"
+            else JointLimits(0.0, 0.5)
+        )
+        joints.append(
+            GenericJoint(
+                origin=origin, axis=axis, joint_type=joint_type, limits=limits,
+                name=f"j{i}",
+            )
+        )
+    return GenericChain(joints)
+
+
+@settings(max_examples=20)
+@given(seed=seeds, dof=dofs)
+def test_generic_fk_is_rigid(seed, dof):
+    chain = _random_generic_chain(seed, dof)
+    q = chain.random_configuration(np.random.default_rng(seed + 1))
+    assert tf.is_transform(chain.fk(q), tol=1e-7)
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=seeds, dof=dofs)
+def test_generic_batch_matches_scalar(seed, dof):
+    chain = _random_generic_chain(seed, dof)
+    rng = np.random.default_rng(seed + 2)
+    qs = np.stack([chain.random_configuration(rng) for _ in range(3)])
+    batched = chain.end_positions_batch(qs)
+    for i in range(3):
+        assert np.allclose(batched[i], chain.end_position(qs[i]), atol=1e-9)
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=seeds, dof=dofs)
+def test_generic_jacobian_matches_finite_differences(seed, dof):
+    chain = _random_generic_chain(seed, dof)
+    q = chain.random_configuration(np.random.default_rng(seed + 3))
+    analytic = chain.jacobian_position(q)
+    eps = 1e-7
+    for i in range(dof):
+        dq = np.zeros(dof)
+        dq[i] = eps
+        column = (chain.end_position(q + dq) - chain.end_position(q - dq)) / (
+            2 * eps
+        )
+        assert np.allclose(analytic[:, i], column, atol=1e-5)
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=seeds, dof=dofs)
+def test_urdf_roundtrip_preserves_fk(seed, dof):
+    chain = _random_generic_chain(seed, dof)
+    rebuilt = load_urdf(chain_to_urdf(chain))
+    q = chain.random_configuration(np.random.default_rng(seed + 4))
+    assert np.allclose(
+        chain.end_position(q), rebuilt.end_position(q), atol=1e-8
+    )
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=seeds, dof=dofs)
+def test_json_roundtrip_preserves_fk(seed, dof):
+    chain = _random_generic_chain(seed, dof)
+    rebuilt = chain_from_dict(chain_to_dict(chain))
+    q = chain.random_configuration(np.random.default_rng(seed + 5))
+    assert np.allclose(
+        chain.end_position(q), rebuilt.end_position(q), atol=1e-12
+    )

@@ -1,0 +1,83 @@
+"""Property-based tests: accelerator invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ikacc.config import IKAccConfig
+from repro.ikacc.power import IKAccPowerModel
+from repro.ikacc.scheduler import ParallelSearchScheduler
+
+
+@given(
+    ssus=st.integers(min_value=1, max_value=256),
+    specs=st.integers(min_value=1, max_value=512),
+)
+def test_scheduler_covers_every_speculation_once(ssus, specs):
+    config = IKAccConfig(n_ssus=ssus, speculations=specs)
+    scheduler = ParallelSearchScheduler(config)
+    scheduler.validate()
+    seen = [k for wave in scheduler.waves() for k in wave.speculation_indices]
+    assert seen == list(range(1, specs + 1))
+
+
+@given(
+    ssus=st.integers(min_value=1, max_value=256),
+    specs=st.integers(min_value=1, max_value=512),
+)
+def test_wave_count_is_ceiling_division(ssus, specs):
+    config = IKAccConfig(n_ssus=ssus, speculations=specs)
+    assert config.waves_per_iteration == (specs + ssus - 1) // ssus
+
+
+@given(
+    ssus=st.integers(min_value=1, max_value=256),
+    specs=st.integers(min_value=1, max_value=512),
+)
+def test_no_wave_exceeds_ssu_count(ssus, specs):
+    scheduler = ParallelSearchScheduler(IKAccConfig(n_ssus=ssus, speculations=specs))
+    assert all(w.occupancy <= ssus for w in scheduler.waves())
+
+
+@given(
+    ssus=st.integers(min_value=1, max_value=256),
+    specs=st.integers(min_value=1, max_value=512),
+)
+def test_utilisation_in_unit_interval(ssus, specs):
+    scheduler = ParallelSearchScheduler(IKAccConfig(n_ssus=ssus, speculations=specs))
+    utilisation = scheduler.utilisation()
+    assert 0.0 < utilisation <= 1.0
+    # Full utilisation iff the SSU count divides the speculation count.
+    assert (utilisation == 1.0) == (specs % ssus == 0)
+
+
+@settings(max_examples=30)
+@given(ssus=st.integers(min_value=1, max_value=128))
+def test_area_monotone_in_ssu_count(ssus):
+    smaller = IKAccPowerModel(IKAccConfig(n_ssus=ssus)).area_mm2()
+    larger = IKAccPowerModel(IKAccConfig(n_ssus=ssus + 1)).area_mm2()
+    assert larger > smaller
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    ssus=st.sampled_from([8, 32, 64]),
+)
+def test_ssu_count_never_changes_the_answer(seed, ssus):
+    """Hardware width is a pure scheduling choice: the solution trajectory
+    must be identical for any SSU count (same speculations)."""
+    from repro.ikacc.accelerator import IKAccSimulator
+    from repro.kinematics.robots import paper_chain
+
+    chain = paper_chain(12)
+    rng = np.random.default_rng(seed)
+    target = chain.end_position(chain.random_configuration(rng))
+    reference = IKAccSimulator(chain, config=IKAccConfig(n_ssus=32)).solve(
+        target, rng=np.random.default_rng(seed)
+    )
+    other = IKAccSimulator(chain, config=IKAccConfig(n_ssus=ssus)).solve(
+        target, rng=np.random.default_rng(seed)
+    )
+    assert other.iterations == reference.iterations
+    assert np.allclose(other.q, reference.q, atol=1e-6)

@@ -1,0 +1,97 @@
+"""Property-based tests: solver invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.alpha import buss_alpha, get_schedule, linear_schedule
+from repro.core.quick_ik import QuickIKSolver
+from repro.core.result import SolverConfig
+from repro.kinematics.robots import paper_chain
+from repro.solvers.jacobian_transpose import JacobianTransposeSolver
+
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+
+
+@given(
+    base=st.floats(min_value=1e-6, max_value=1e3),
+    count=st.integers(min_value=1, max_value=256),
+)
+def test_linear_schedule_bounds(base, count):
+    """Eq. 9 candidates always lie in (0, alpha_base]."""
+    alphas = linear_schedule(base, count)
+    assert alphas.shape == (count,)
+    assert np.all(alphas > 0)
+    assert np.all(alphas <= base * (1 + 1e-12))
+    assert alphas[-1] == base
+
+
+@given(
+    name=st.sampled_from(["linear", "geometric"]),
+    base=st.floats(min_value=1e-6, max_value=1e3),
+    count=st.integers(min_value=2, max_value=128),
+)
+def test_schedules_monotone_and_bounded(name, base, count):
+    alphas = get_schedule(name)(base, count)
+    assert np.all(np.diff(alphas) > 0)
+    assert alphas[-1] <= base * (1 + 1e-12)
+
+
+@given(
+    ex=st.floats(-10, 10), ey=st.floats(-10, 10), ez=st.floats(-10, 10),
+    jx=st.floats(-10, 10), jy=st.floats(-10, 10), jz=st.floats(-10, 10),
+)
+def test_buss_alpha_always_positive_finite(ex, ey, ez, jx, jy, jz):
+    alpha = buss_alpha(np.array([ex, ey, ez]), np.array([jx, jy, jz]))
+    assert np.isfinite(alpha)
+    assert alpha > 0.0
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=seeds)
+def test_quick_ik_error_history_never_increases(seed):
+    chain = paper_chain(12)
+    rng = np.random.default_rng(seed)
+    target = chain.end_position(chain.random_configuration(rng))
+    solver = QuickIKSolver(chain, config=SolverConfig(max_iterations=500))
+    result = solver.solve(target, rng=rng)
+    assert np.all(np.diff(result.error_history) <= 1e-9)
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=seeds)
+def test_quick_ik_converged_solution_verifies(seed):
+    """Whenever the solver reports convergence, independently re-evaluating
+    FK at the returned q must satisfy the accuracy constraint."""
+    chain = paper_chain(12)
+    rng = np.random.default_rng(seed)
+    target = chain.end_position(chain.random_configuration(rng))
+    config = SolverConfig(max_iterations=500)
+    result = QuickIKSolver(chain, config=config).solve(target, rng=rng)
+    if result.converged:
+        error = np.linalg.norm(chain.end_position(result.q) - target)
+        assert error < config.tolerance * (1 + 1e-9)
+
+
+@settings(max_examples=8, deadline=None)
+@given(seed=seeds, specs=st.sampled_from([1, 4, 16, 64]))
+def test_quick_ik_fk_accounting_invariant(seed, specs):
+    chain = paper_chain(12)
+    rng = np.random.default_rng(seed)
+    target = chain.end_position(chain.random_configuration(rng))
+    solver = QuickIKSolver(chain, speculations=specs, config=SolverConfig(max_iterations=300))
+    result = solver.solve(target, rng=rng)
+    assert result.fk_evaluations == 1 + specs * result.iterations
+    assert result.work == specs * result.iterations
+
+
+@settings(max_examples=8, deadline=None)
+@given(seed=seeds)
+def test_jt_serial_error_eventually_below_start(seed):
+    """The stable constant gain must make net progress from any restart."""
+    chain = paper_chain(12)
+    rng = np.random.default_rng(seed)
+    target = chain.end_position(chain.random_configuration(rng))
+    solver = JacobianTransposeSolver(chain, config=SolverConfig(max_iterations=300))
+    result = solver.solve(target, rng=rng)
+    assert result.error_history[-1] < result.error_history[0]

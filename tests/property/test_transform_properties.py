@@ -1,0 +1,83 @@
+"""Property-based tests: SO(3)/SE(3) group structure."""
+
+import math
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kinematics import transforms as tf
+
+angles = st.floats(
+    min_value=-2 * math.pi, max_value=2 * math.pi, allow_nan=False
+)
+unit_axis = st.tuples(
+    st.floats(-1, 1), st.floats(-1, 1), st.floats(-1, 1)
+).filter(lambda v: 0.1 < math.sqrt(v[0] ** 2 + v[1] ** 2 + v[2] ** 2) <= 2.0)
+coords = st.floats(min_value=-10.0, max_value=10.0, allow_nan=False)
+
+
+@given(angle=angles)
+def test_rotations_are_orthonormal(angle):
+    for rot in (tf.rot_x, tf.rot_y, tf.rot_z):
+        assert tf.is_transform(rot(angle), tol=1e-9)
+
+
+@given(angle=angles)
+def test_rotation_preserves_norm(angle):
+    point = np.array([0.3, -0.7, 0.2])
+    for rot in (tf.rot_x, tf.rot_y, tf.rot_z):
+        rotated = tf.transform_point(rot(angle), point)
+        assert math.isclose(
+            np.linalg.norm(rotated), np.linalg.norm(point), rel_tol=1e-12
+        )
+
+
+@given(a=angles, b=angles)
+def test_same_axis_rotations_commute_and_add(a, b):
+    assert np.allclose(tf.rot_z(a) @ tf.rot_z(b), tf.rot_z(a + b), atol=1e-9)
+
+
+@given(axis=unit_axis, angle=st.floats(min_value=-3.1, max_value=3.1))
+def test_axis_angle_inverse_is_negative_angle(axis, angle):
+    forward = tf.axis_angle_to_rotation(np.array(axis), angle)
+    backward = tf.axis_angle_to_rotation(np.array(axis), -angle)
+    assert np.allclose(forward @ backward, np.eye(3), atol=1e-9)
+
+
+@given(x=coords, y=coords, z=coords, angle=angles)
+def test_invert_transform_is_group_inverse(x, y, z, angle):
+    transform = tf.trans(x, y, z) @ tf.rot_y(angle)
+    inverse = tf.invert_transform(transform)
+    assert np.allclose(transform @ inverse, np.eye(4), atol=1e-9)
+    assert np.allclose(inverse @ transform, np.eye(4), atol=1e-9)
+
+
+@given(x=coords, y=coords, z=coords, angle=angles, px=coords, py=coords, pz=coords)
+def test_transform_point_matches_homogeneous_multiply(x, y, z, angle, px, py, pz):
+    transform = tf.trans(x, y, z) @ tf.rot_x(angle)
+    point = np.array([px, py, pz])
+    homogeneous = transform @ np.append(point, 1.0)
+    assert np.allclose(tf.transform_point(transform, point), homogeneous[:3], atol=1e-9)
+
+
+@settings(max_examples=30)
+@given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+def test_random_rotation_always_valid(seed):
+    rotation = tf.random_rotation(np.random.default_rng(seed))
+    assert tf.is_rotation(rotation, tol=1e-9)
+
+
+@settings(max_examples=30)
+@given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+def test_axis_angle_roundtrip_random_rotations(seed):
+    rotation = tf.random_rotation(np.random.default_rng(seed))
+    axis, angle = tf.rotation_to_axis_angle(rotation)
+    assert np.allclose(
+        tf.axis_angle_to_rotation(axis, angle), rotation, atol=1e-6
+    )
+
+
+@given(roll=angles, pitch=st.floats(-1.5, 1.5), yaw=angles)
+def test_rpy_rotation_is_valid(roll, pitch, yaw):
+    assert tf.is_rotation(tf.rpy_to_rotation(roll, pitch, yaw), tol=1e-9)

@@ -1,0 +1,116 @@
+"""Tests for the closed-form planar 2R solver."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.quick_ik import QuickIKSolver
+from repro.core.result import SolverConfig
+from repro.kinematics.robots import paper_chain, planar_chain
+from repro.solvers.analytic import (
+    PlanarTwoLinkSolver,
+    planar_two_link_ik,
+)
+
+
+class TestClosedForm:
+    def test_two_solutions_generic(self):
+        solution = planar_two_link_ik(1.0, 0.8, np.array([1.2, 0.5]))
+        assert solution.reachable
+        assert len(solution.solutions) == 2
+
+    def test_solutions_verify_by_fk(self, rng):
+        l1, l2 = 0.7, 0.5
+        for _ in range(20):
+            q_true = rng.uniform(-math.pi, math.pi, 2)
+            x = l1 * math.cos(q_true[0]) + l2 * math.cos(q_true[0] + q_true[1])
+            y = l1 * math.sin(q_true[0]) + l2 * math.sin(q_true[0] + q_true[1])
+            solution = planar_two_link_ik(l1, l2, np.array([x, y]))
+            assert solution.reachable
+            for q in solution.solutions:
+                fx = l1 * math.cos(q[0]) + l2 * math.cos(q[0] + q[1])
+                fy = l1 * math.sin(q[0]) + l2 * math.sin(q[0] + q[1])
+                assert math.isclose(fx, x, abs_tol=1e-9)
+                assert math.isclose(fy, y, abs_tol=1e-9)
+
+    def test_unreachable_outside(self):
+        solution = planar_two_link_ik(1.0, 0.5, np.array([2.0, 0.0]))
+        assert not solution.reachable
+        assert solution.solutions == ()
+
+    def test_unreachable_inside_annulus(self):
+        solution = planar_two_link_ik(1.0, 0.5, np.array([0.1, 0.0]))
+        assert not solution.reachable
+
+    def test_boundary_single_solution(self):
+        solution = planar_two_link_ik(1.0, 0.5, np.array([1.5, 0.0]))
+        assert solution.reachable
+        assert len(solution.solutions) == 1
+        assert np.allclose(solution.solutions[0], [0.0, 0.0], atol=1e-9)
+
+    def test_closest_to_prefers_nearby_branch(self):
+        solution = planar_two_link_ik(1.0, 0.8, np.array([1.2, 0.5]))
+        up, down = solution.solutions
+        assert np.allclose(solution.closest_to(up), up)
+        assert np.allclose(solution.closest_to(down), down)
+
+    def test_closest_to_unreachable_raises(self):
+        solution = planar_two_link_ik(1.0, 0.5, np.array([9.0, 0.0]))
+        with pytest.raises(ValueError):
+            solution.closest_to(np.zeros(2))
+
+    def test_invalid_lengths(self):
+        with pytest.raises(ValueError):
+            planar_two_link_ik(0.0, 1.0, np.array([0.5, 0.0]))
+
+
+class TestPlanarTwoLinkSolver:
+    def test_rejects_non_planar_chains(self):
+        with pytest.raises(ValueError):
+            PlanarTwoLinkSolver(paper_chain(12))
+        with pytest.raises(ValueError):
+            PlanarTwoLinkSolver(planar_chain(3))
+
+    def test_agrees_with_chain_fk(self, rng):
+        chain = planar_chain(2, total_reach=1.0)
+        solver = PlanarTwoLinkSolver(chain)
+        for _ in range(10):
+            target = chain.end_position(chain.random_configuration(rng))
+            result = solver.solve(target)
+            assert result.converged
+            assert result.iterations == 0
+            assert np.allclose(chain.end_position(result.q), target, atol=1e-9)
+
+    def test_oracle_for_iterative_solver(self, rng):
+        """Quick-IK's answer must land on (one of) the closed-form branches
+        in task space."""
+        chain = planar_chain(2, total_reach=1.0)
+        analytic = PlanarTwoLinkSolver(chain)
+        iterative = QuickIKSolver(
+            chain, config=SolverConfig(tolerance=1e-6, max_iterations=5000)
+        )
+        for _ in range(5):
+            target = chain.end_position(chain.random_configuration(rng))
+            result = iterative.solve(target, rng=rng)
+            if not result.converged:
+                continue
+            branches = analytic.solve_all(target).solutions
+            task_gap = min(
+                np.linalg.norm(
+                    chain.end_position(result.q) - chain.end_position(q)
+                )
+                for q in branches
+            )
+            assert task_gap < 1e-5
+
+    def test_unreachable_reports_failure(self):
+        chain = planar_chain(2, total_reach=1.0)
+        solver = PlanarTwoLinkSolver(chain)
+        result = solver.solve(np.array([5.0, 0.0, 0.0]))
+        assert not result.converged
+
+    def test_out_of_plane_target_unreachable(self):
+        chain = planar_chain(2, total_reach=1.0)
+        solver = PlanarTwoLinkSolver(chain)
+        assert not solver.solve_all(np.array([0.3, 0.2, 0.5])).reachable

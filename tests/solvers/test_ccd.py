@@ -1,0 +1,82 @@
+"""Tests for cyclic coordinate descent."""
+
+import numpy as np
+import pytest
+
+from repro.core.result import SolverConfig
+from repro.kinematics.robots import paper_chain, planar_chain, stanford_arm
+from repro.solvers.ccd import CyclicCoordinateDescentSolver
+
+
+class TestCCD:
+    def test_converges_planar(self, rng):
+        chain = planar_chain(4)
+        solver = CyclicCoordinateDescentSolver(
+            chain, config=SolverConfig(max_iterations=500)
+        )
+        target = chain.end_position(chain.random_configuration(rng))
+        assert solver.solve(target, rng=rng).converged
+
+    def test_converges_spatial(self, rng):
+        chain = paper_chain(12)
+        solver = CyclicCoordinateDescentSolver(
+            chain, config=SolverConfig(max_iterations=500)
+        )
+        converged = 0
+        for _ in range(5):
+            target = chain.end_position(chain.random_configuration(rng))
+            converged += solver.solve(target, rng=rng).converged
+        assert converged >= 4
+
+    def test_handles_prismatic_joints(self, rng):
+        chain = stanford_arm()
+        solver = CyclicCoordinateDescentSolver(
+            chain, config=SolverConfig(max_iterations=500)
+        )
+        q_goal = chain.random_configuration(rng)
+        target = chain.end_position(q_goal)
+        result = solver.solve(target, rng=rng)
+        assert result.converged
+        # Prismatic values must respect their limits (CCD clamps them).
+        for joint, value in zip(chain.joints, result.q):
+            if joint.is_prismatic:
+                assert joint.limits.contains(value, tol=1e-9)
+
+    def test_one_sweep_never_increases_error(self, rng):
+        """Each single-joint update is locally optimal, so a full sweep can
+        only reduce the end-effector error."""
+        chain = planar_chain(5)
+        solver = CyclicCoordinateDescentSolver(chain)
+        for _ in range(10):
+            q = chain.random_configuration(rng)
+            target = chain.end_position(chain.random_configuration(rng))
+            before = np.linalg.norm(target - chain.end_position(q))
+            outcome = solver._step(q, chain.end_position(q), target)
+            after = np.linalg.norm(target - chain.end_position(outcome.q))
+            assert after <= before + 1e-10
+
+    def test_single_revolute_joint_exact(self):
+        """One planar joint: a single CCD update lands exactly on the best
+        angle."""
+        chain = planar_chain(1)
+        solver = CyclicCoordinateDescentSolver(chain)
+        target = chain.end_position(np.array([1.1]))
+        outcome = solver._step(np.array([0.2]), chain.end_position(np.array([0.2])), target)
+        assert np.allclose(chain.end_position(outcome.q), target, atol=1e-10)
+
+    def test_fk_evaluations_counted_per_sweep(self, rng):
+        chain = planar_chain(4)
+        solver = CyclicCoordinateDescentSolver(chain)
+        q = chain.random_configuration(rng)
+        outcome = solver._step(q, chain.end_position(q), np.array([0.5, 0.0, 0.0]))
+        assert outcome.fk_evaluations == 4  # one per joint in the sweep
+
+    def test_target_on_joint_axis_is_skipped(self):
+        """A target on the rotation axis gives the joint no leverage; the
+        update must be a no-op rather than NaN."""
+        chain = planar_chain(2)
+        solver = CyclicCoordinateDescentSolver(chain)
+        q = np.array([0.3, 0.1])
+        target = np.array([0.0, 0.0, 0.0])  # base origin: on joint-0 axis
+        outcome = solver._step(q, chain.end_position(q), target)
+        assert np.all(np.isfinite(outcome.q))

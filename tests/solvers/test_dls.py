@@ -1,0 +1,73 @@
+"""Tests for damped least squares."""
+
+import numpy as np
+import pytest
+
+from repro.core.result import SolverConfig
+from repro.kinematics.robots import paper_chain
+from repro.solvers.dls import DampedLeastSquaresSolver
+from repro.solvers.pseudoinverse import damped_pinv
+
+
+class TestDLS:
+    def test_converges(self, rng):
+        chain = paper_chain(12)
+        solver = DampedLeastSquaresSolver(
+            chain, config=SolverConfig(max_iterations=5000)
+        )
+        target = chain.end_position(chain.random_configuration(rng))
+        assert solver.solve(target, rng=rng).converged
+
+    def test_adaptive_converges(self, rng):
+        chain = paper_chain(25)
+        solver = DampedLeastSquaresSolver(
+            chain, config=SolverConfig(max_iterations=5000), adaptive=True
+        )
+        target = chain.end_position(chain.random_configuration(rng))
+        assert solver.solve(target, rng=rng).converged
+
+    def test_step_matches_closed_form(self, rng):
+        """dtheta = J^T (JJ^T + lambda^2 I)^-1 e (without clamping)."""
+        chain = paper_chain(12)
+        solver = DampedLeastSquaresSolver(chain, damping=0.3, error_clamp=None)
+        q = chain.random_configuration(rng)
+        position = chain.end_position(q)
+        target = chain.end_position(chain.random_configuration(rng))
+        outcome = solver._step(q, position, target)
+        jac = chain.jacobian_position(q)
+        expected = q + jac.T @ np.linalg.solve(
+            jac @ jac.T + 0.09 * np.eye(3), target - position
+        )
+        assert np.allclose(outcome.q, expected)
+
+    def test_large_damping_approaches_scaled_transpose(self, rng):
+        """As lambda -> inf, DLS direction tends to the JT direction."""
+        chain = paper_chain(12)
+        solver = DampedLeastSquaresSolver(chain, damping=1e6, error_clamp=None)
+        q = chain.random_configuration(rng)
+        position = chain.end_position(q)
+        target = chain.end_position(chain.random_configuration(rng))
+        step = solver._step(q, position, target).q - q
+        jt_dir = chain.jacobian_position(q).T @ (target - position)
+        cosine = step @ jt_dir / (np.linalg.norm(step) * np.linalg.norm(jt_dir))
+        assert cosine > 0.9999
+
+    def test_zero_damping_rejected(self):
+        with pytest.raises(ValueError):
+            DampedLeastSquaresSolver(paper_chain(12), damping=0.0)
+
+    def test_invalid_clamp_rejected(self):
+        with pytest.raises(ValueError):
+            DampedLeastSquaresSolver(paper_chain(12), error_clamp=-0.1)
+
+    def test_dls_step_equals_damped_pinv_step(self, rng):
+        """The normal-equation form must agree with the SVD damped form."""
+        chain = paper_chain(12)
+        solver = DampedLeastSquaresSolver(chain, damping=0.2, error_clamp=None)
+        q = chain.random_configuration(rng)
+        position = chain.end_position(q)
+        target = chain.end_position(chain.random_configuration(rng))
+        jac = chain.jacobian_position(q)
+        via_svd = damped_pinv(jac, damping=0.2) @ (target - position)
+        via_solver = solver._step(q, position, target).q - q
+        assert np.allclose(via_solver, via_svd, atol=1e-10)

@@ -1,0 +1,102 @@
+"""Tests for JT-Serial and the classic constant gain."""
+
+import numpy as np
+import pytest
+
+from repro.core.result import SolverConfig
+from repro.kinematics.robots import paper_chain, planar_chain
+from repro.solvers.jacobian_transpose import (
+    JacobianTransposeSolver,
+    classic_transpose_gain,
+)
+
+
+class TestClassicGain:
+    def test_positive(self):
+        assert classic_transpose_gain(paper_chain(12)) > 0.0
+
+    def test_scales_inversely_with_reach_squared(self):
+        small = classic_transpose_gain(planar_chain(4, total_reach=1.0))
+        large = classic_transpose_gain(planar_chain(4, total_reach=2.0))
+        assert small / large == pytest.approx(4.0)
+
+    def test_safety_factor_scales_linearly(self):
+        chain = paper_chain(12)
+        assert classic_transpose_gain(chain, safety=2.0) == pytest.approx(
+            2.0 * classic_transpose_gain(chain)
+        )
+
+    def test_invalid_safety(self):
+        with pytest.raises(ValueError):
+            classic_transpose_gain(paper_chain(12), safety=0.0)
+
+    def test_gain_is_stable_bound(self, rng):
+        """The gain must satisfy alpha * sigma_max(J)^2 < 2 everywhere
+        (the contraction condition for the transpose iteration)."""
+        chain = paper_chain(12)
+        gain = classic_transpose_gain(chain)
+        for _ in range(50):
+            jac = chain.jacobian_position(chain.random_configuration(rng))
+            sigma_max = np.linalg.svd(jac, compute_uv=False)[0]
+            assert gain * sigma_max**2 < 2.0
+
+
+class TestSolver:
+    def test_classic_mode_converges(self, fast_config, rng):
+        chain = paper_chain(12)
+        config = SolverConfig(max_iterations=10_000)
+        solver = JacobianTransposeSolver(chain, config=config)
+        target = chain.end_position(chain.random_configuration(rng))
+        result = solver.solve(target, rng=rng)
+        assert result.converged
+
+    def test_buss_mode_much_faster_than_classic(self, rng):
+        chain = paper_chain(12)
+        config = SolverConfig(max_iterations=10_000)
+        classic = JacobianTransposeSolver(chain, config=config, alpha_mode="classic")
+        buss = JacobianTransposeSolver(chain, config=config, alpha_mode="buss")
+        classic_iters, buss_iters = [], []
+        for _ in range(5):
+            q0 = chain.random_configuration(rng)
+            target = chain.end_position(chain.random_configuration(rng))
+            classic_iters.append(classic.solve(target, q0=q0).iterations)
+            buss_iters.append(buss.solve(target, q0=q0).iterations)
+        assert np.mean(buss_iters) < 0.3 * np.mean(classic_iters)
+
+    def test_fixed_alpha_override(self, rng):
+        chain = planar_chain(3)
+        solver = JacobianTransposeSolver(chain, fixed_alpha=0.05)
+        assert solver.constant_alpha == 0.05
+
+    def test_classic_alpha_exposed(self):
+        chain = paper_chain(12)
+        solver = JacobianTransposeSolver(chain)
+        assert solver.constant_alpha == pytest.approx(classic_transpose_gain(chain))
+
+    def test_buss_mode_has_no_constant(self):
+        solver = JacobianTransposeSolver(paper_chain(12), alpha_mode="buss")
+        assert solver.constant_alpha is None
+
+    def test_invalid_alpha_mode(self):
+        with pytest.raises(ValueError):
+            JacobianTransposeSolver(paper_chain(12), alpha_mode="magic")
+
+    def test_invalid_fixed_alpha(self):
+        with pytest.raises(ValueError):
+            JacobianTransposeSolver(paper_chain(12), fixed_alpha=-1.0)
+
+    def test_single_step_direction_is_transpose_gradient(self, rng):
+        """One step moves along J^T e exactly."""
+        chain = planar_chain(3)
+        solver = JacobianTransposeSolver(chain, fixed_alpha=0.01)
+        q = chain.random_configuration(rng)
+        position = chain.end_position(q)
+        target = chain.end_position(chain.random_configuration(rng))
+        outcome = solver._step(q, position, target)
+        expected = q + 0.01 * chain.jacobian_position(q).T @ (target - position)
+        assert np.allclose(outcome.q, expected)
+
+    def test_name_and_speculations(self):
+        solver = JacobianTransposeSolver(paper_chain(12))
+        assert solver.name == "JT-Serial"
+        assert solver.speculations == 1

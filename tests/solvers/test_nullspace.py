@@ -1,0 +1,102 @@
+"""Tests for null-space redundancy resolution."""
+
+import numpy as np
+import pytest
+
+from repro.core.result import SolverConfig
+from repro.kinematics.joint import Joint, JointLimits
+from repro.kinematics.chain import KinematicChain
+from repro.kinematics.robots import paper_chain
+from repro.solvers.nullspace import NullSpaceSolver, limit_centering_gradient
+from repro.solvers.pseudoinverse import PseudoinverseSolver
+
+
+class TestLimitCenteringGradient:
+    def test_zero_at_centres(self):
+        chain = paper_chain(12)
+        mid = 0.5 * (chain.lower_limits + chain.upper_limits)
+        gradient = limit_centering_gradient(chain)
+        assert np.allclose(gradient(mid), 0.0)
+
+    def test_points_toward_centre(self):
+        chain = KinematicChain(
+            [Joint.revolute(a=0.2, limits=JointLimits(-1.0, 1.0)) for _ in range(3)]
+        )
+        gradient = limit_centering_gradient(chain)
+        g = gradient(np.array([0.9, -0.9, 0.0]))
+        assert g[0] < 0.0  # pull down from near upper limit
+        assert g[1] > 0.0  # pull up from near lower limit
+        assert g[2] == pytest.approx(0.0)
+
+
+class TestNullSpaceSolver:
+    def test_converges(self, rng):
+        chain = paper_chain(25)
+        solver = NullSpaceSolver(chain, config=SolverConfig(max_iterations=5000))
+        target = chain.end_position(chain.random_configuration(rng))
+        assert solver.solve(target, rng=rng).converged
+
+    def test_nullspace_motion_does_not_move_end_effector(self, rng):
+        """The projected secondary step must be (to first order) invisible in
+        task space."""
+        chain = paper_chain(25)
+        solver = NullSpaceSolver(chain, nullspace_gain=1.0, error_clamp=None)
+        q = chain.random_configuration(rng)
+        position = chain.end_position(q)
+        # Zero task error isolates the null-space component.
+        outcome = solver._step(q, position, position.copy())
+        step = outcome.q - q
+        task_motion = chain.jacobian_position(q) @ step
+        assert np.linalg.norm(task_motion) < 1e-8 * max(1.0, np.linalg.norm(step))
+
+    def test_prefers_centered_solutions(self, rng):
+        """With the limit-centering objective, converged configurations sit
+        closer to the joint-limit centres than plain pseudoinverse ones."""
+        chain = paper_chain(25)
+        config = SolverConfig(max_iterations=5000)
+        nullspace = NullSpaceSolver(chain, config=config, nullspace_gain=0.5)
+        plain = PseudoinverseSolver(chain, config=config)
+        mid = 0.5 * (chain.lower_limits + chain.upper_limits)
+
+        def centredness(q):
+            return float(np.linalg.norm(q - mid))
+
+        wins = 0
+        trials = 6
+        for seed in range(trials):
+            restart = np.random.default_rng(seed)
+            target = chain.end_position(chain.random_configuration(rng))
+            a = nullspace.solve(target, rng=np.random.default_rng(seed))
+            b = plain.solve(target, rng=np.random.default_rng(seed))
+            if a.converged and b.converged and centredness(a.q) < centredness(b.q):
+                wins += 1
+            del restart
+        assert wins >= trials - 2
+
+    def test_zero_gain_matches_pseudoinverse_step(self, rng):
+        chain = paper_chain(12)
+        nullspace = NullSpaceSolver(chain, nullspace_gain=0.0, error_clamp=None)
+        plain = PseudoinverseSolver(chain, error_clamp=None)
+        q = chain.random_configuration(rng)
+        position = chain.end_position(q)
+        target = chain.end_position(chain.random_configuration(rng))
+        a = nullspace._step(q, position, target)
+        b = plain._step(q, position, target)
+        assert np.allclose(a.q, b.q, atol=1e-12)
+
+    def test_invalid_gain(self):
+        with pytest.raises(ValueError):
+            NullSpaceSolver(paper_chain(12), nullspace_gain=-0.1)
+
+    def test_custom_objective_hook(self, rng):
+        chain = paper_chain(12)
+        calls = []
+
+        def objective(q):
+            calls.append(1)
+            return np.zeros(chain.dof)
+
+        solver = NullSpaceSolver(chain, objective_gradient=objective)
+        q = chain.random_configuration(rng)
+        solver._step(q, chain.end_position(q), np.zeros(3))
+        assert calls

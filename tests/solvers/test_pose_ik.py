@@ -1,0 +1,84 @@
+"""Tests for the full-pose Quick-IK extension."""
+
+import numpy as np
+import pytest
+
+from repro.core.result import SolverConfig
+from repro.kinematics.robots import paper_chain, seven_dof_arm
+from repro.solvers.pose_ik import PoseQuickIKSolver
+
+
+class TestPoseQuickIK:
+    def test_converges_position_and_orientation(self, rng):
+        chain = paper_chain(25)
+        solver = PoseQuickIKSolver(
+            chain, config=SolverConfig(tolerance=1e-2, max_iterations=3000)
+        )
+        q_goal = chain.random_configuration(rng)
+        target_pose = chain.fk(q_goal)
+        result = solver.solve(target_pose, rng=rng)
+        assert result.converged
+        reached = chain.fk(result.q)
+        assert np.linalg.norm(reached[:3, 3] - target_pose[:3, 3]) < 2e-2
+        # Orientation within ~weighted tolerance.
+        from repro.kinematics.transforms import orientation_error
+
+        assert np.linalg.norm(
+            orientation_error(reached[:3, :3], target_pose[:3, :3])
+        ) < 0.1
+
+    def test_redundant_7dof(self, rng):
+        chain = seven_dof_arm()
+        solver = PoseQuickIKSolver(
+            chain, config=SolverConfig(tolerance=1e-2, max_iterations=3000)
+        )
+        converged = 0
+        for _ in range(4):
+            target_pose = chain.fk(chain.random_configuration(rng))
+            converged += solver.solve(target_pose, rng=rng).converged
+        assert converged >= 3
+
+    def test_zero_orientation_weight_tracks_position_only(self, rng):
+        chain = paper_chain(12)
+        solver = PoseQuickIKSolver(
+            chain,
+            orientation_weight=0.0,
+            config=SolverConfig(tolerance=1e-2, max_iterations=2000),
+        )
+        target_pose = chain.fk(chain.random_configuration(rng))
+        result = solver.solve(target_pose, rng=rng)
+        assert result.converged
+        assert np.linalg.norm(
+            chain.end_position(result.q) - target_pose[:3, 3]
+        ) < 1e-2
+
+    def test_batch_error_matches_scalar(self, rng):
+        chain = paper_chain(12)
+        solver = PoseQuickIKSolver(chain)
+        target_pose = chain.fk(chain.random_configuration(rng))
+        qs = np.stack([chain.random_configuration(rng) for _ in range(5)])
+        poses = chain.fk_batch(qs)
+        batched = solver._pose_errors_batch(poses, target_pose)
+        for i in range(5):
+            scalar = solver._pose_error(poses[i], target_pose)
+            assert np.allclose(batched[i], scalar, atol=1e-12)
+
+    def test_invalid_target_shape(self):
+        solver = PoseQuickIKSolver(paper_chain(12))
+        with pytest.raises(ValueError):
+            solver.solve(np.zeros(3))
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            PoseQuickIKSolver(paper_chain(12), speculations=0)
+        with pytest.raises(ValueError):
+            PoseQuickIKSolver(paper_chain(12), orientation_weight=-1.0)
+
+    def test_result_metadata(self, rng):
+        chain = paper_chain(12)
+        solver = PoseQuickIKSolver(chain, speculations=16)
+        target_pose = chain.fk(chain.random_configuration(rng))
+        result = solver.solve(target_pose, rng=rng)
+        assert result.solver == "JT-Speculation-6D"
+        assert result.speculations == 16
+        assert result.dof == 12

@@ -1,0 +1,82 @@
+"""Tests for the SVD pseudoinverse solver."""
+
+import numpy as np
+import pytest
+
+from repro.core.result import SolverConfig
+from repro.kinematics.robots import paper_chain, puma560
+from repro.solvers.pseudoinverse import PseudoinverseSolver, damped_pinv
+
+
+class TestDampedPinv:
+    def test_matches_numpy_pinv_full_rank(self, rng):
+        matrix = rng.normal(size=(3, 8))
+        assert np.allclose(damped_pinv(matrix), np.linalg.pinv(matrix), atol=1e-10)
+
+    def test_rank_deficient_truncation(self):
+        matrix = np.zeros((3, 4))
+        matrix[0, 0] = 1.0
+        pinv = damped_pinv(matrix)
+        assert np.allclose(pinv @ np.array([1.0, 0, 0]), [1.0, 0, 0, 0])
+        assert np.all(np.isfinite(pinv))
+
+    def test_zero_matrix_gives_zero(self):
+        assert np.allclose(damped_pinv(np.zeros((3, 5))), 0.0)
+
+    def test_damping_shrinks_solution(self, rng):
+        matrix = rng.normal(size=(3, 6))
+        error = rng.normal(size=3)
+        plain = damped_pinv(matrix) @ error
+        damped = damped_pinv(matrix, damping=0.5) @ error
+        assert np.linalg.norm(damped) < np.linalg.norm(plain)
+
+    def test_pinv_property_projection(self, rng):
+        """J J^+ is the identity on the row space for a full-row-rank J."""
+        matrix = rng.normal(size=(3, 10))
+        assert np.allclose(matrix @ damped_pinv(matrix), np.eye(3), atol=1e-10)
+
+
+class TestSolver:
+    def test_converges_on_redundant_chain(self, rng):
+        chain = paper_chain(25)
+        solver = PseudoinverseSolver(chain, config=SolverConfig(max_iterations=5000))
+        target = chain.end_position(chain.random_configuration(rng))
+        result = solver.solve(target, rng=rng)
+        assert result.converged
+
+    def test_converges_on_puma(self, rng):
+        chain = puma560()
+        solver = PseudoinverseSolver(chain, config=SolverConfig(max_iterations=5000))
+        converged = 0
+        for _ in range(5):
+            target = chain.end_position(chain.random_configuration(rng))
+            converged += solver.solve(target, rng=rng).converged
+        assert converged >= 4  # 6-DOF non-redundant is allowed an odd failure
+
+    def test_svd_count_instrumentation(self, rng):
+        chain = paper_chain(12)
+        solver = PseudoinverseSolver(chain, config=SolverConfig(max_iterations=2000))
+        target = chain.end_position(chain.random_configuration(rng))
+        result = solver.solve(target, rng=rng)
+        assert solver.svd_count == result.iterations
+
+    def test_error_clamp_limits_step(self, rng):
+        chain = paper_chain(12)
+        solver = PseudoinverseSolver(chain, error_clamp=0.01)
+        q = chain.random_configuration(rng)
+        position = chain.end_position(q)
+        far_target = position + np.array([5.0, 0.0, 0.0])
+        outcome = solver._step(q, position, far_target)
+        # The step solves J dq = e_clamped, so ||J dq|| <= clamp.
+        step_motion = chain.jacobian_position(q) @ (outcome.q - q)
+        assert np.linalg.norm(step_motion) <= 0.01 + 1e-9
+
+    def test_invalid_params(self):
+        chain = paper_chain(12)
+        with pytest.raises(ValueError):
+            PseudoinverseSolver(chain, error_clamp=0.0)
+        with pytest.raises(ValueError):
+            PseudoinverseSolver(chain, damping=-0.1)
+
+    def test_name(self):
+        assert PseudoinverseSolver(paper_chain(12)).name == "J-1-SVD"

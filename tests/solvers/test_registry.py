@@ -1,0 +1,43 @@
+"""Tests for the solver registry / factory."""
+
+import numpy as np
+import pytest
+
+from repro.core.quick_ik import QuickIKSolver
+from repro.core.result import SolverConfig
+from repro.kinematics.robots import paper_chain
+from repro.solvers import SOLVER_REGISTRY, make_solver
+
+
+class TestRegistry:
+    def test_contains_paper_methods(self):
+        for name in ("JT-Serial", "J-1-SVD", "JT-Speculation"):
+            assert name in SOLVER_REGISTRY
+
+    def test_make_solver_builds_right_type(self):
+        chain = paper_chain(12)
+        solver = make_solver("JT-Speculation", chain, speculations=16)
+        assert isinstance(solver, QuickIKSolver)
+        assert solver.speculations == 16
+
+    def test_make_solver_passes_config(self):
+        chain = paper_chain(12)
+        config = SolverConfig(max_iterations=42)
+        solver = make_solver("JT-Serial", chain, config=config)
+        assert solver.config.max_iterations == 42
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            make_solver("JT-Quantum", paper_chain(12))
+
+    def test_every_registered_solver_solves_a_target(self, rng):
+        """Each solver in the registry converges on an easy 12-DOF target."""
+        chain = paper_chain(12)
+        config = SolverConfig(max_iterations=10_000)
+        q_goal = chain.random_configuration(rng)
+        target = chain.end_position(q_goal)
+        for name in SOLVER_REGISTRY:
+            solver = make_solver(name, chain, config=config)
+            result = solver.solve(target, rng=np.random.default_rng(11))
+            assert result.converged, f"{name} failed"
+            assert result.solver == name

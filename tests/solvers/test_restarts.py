@@ -1,0 +1,84 @@
+"""Tests for the random-restart wrapper."""
+
+import numpy as np
+import pytest
+
+from repro.core.base import IterativeIKSolver
+from repro.core.quick_ik import QuickIKSolver
+from repro.core.result import SolverConfig, StepOutcome
+from repro.kinematics.robots import paper_chain
+from repro.solvers.restarts import RandomRestartSolver
+
+
+class FlakySolver(IterativeIKSolver):
+    """Fails unless started exactly at the magic configuration."""
+
+    name = "flaky"
+
+    def __init__(self, chain, magic, config=None):
+        super().__init__(chain, config or SolverConfig(max_iterations=1))
+        self.magic = magic
+        self.attempts = 0
+
+    def initial_configuration(self, q0, rng):
+        self.attempts += 1
+        if q0 is not None:
+            return np.asarray(q0, dtype=float)
+        # "Random" restart: return the magic answer on the 3rd attempt.
+        if self.attempts >= 3:
+            return self.magic.copy()
+        return super().initial_configuration(None, rng)
+
+    def _step(self, q, position, target):
+        return StepOutcome(q=q)
+
+
+class TestRandomRestart:
+    def test_succeeds_after_restarts(self, rng):
+        chain = paper_chain(12)
+        magic = chain.random_configuration(rng)
+        target = chain.end_position(magic)
+        inner = FlakySolver(chain, magic)
+        wrapper = RandomRestartSolver(inner, max_restarts=5)
+        result = wrapper.solve(target, rng=rng)
+        assert result.converged
+        assert inner.attempts == 3
+
+    def test_accumulates_cost_across_attempts(self, rng):
+        chain = paper_chain(12)
+        magic = chain.random_configuration(rng)
+        target = chain.end_position(magic)
+        wrapper = RandomRestartSolver(FlakySolver(chain, magic), max_restarts=5)
+        result = wrapper.solve(target, rng=rng)
+        # Two failed 1-iteration attempts + the instant success.
+        assert result.iterations == 2
+        assert result.fk_evaluations >= 3
+
+    def test_returns_best_attempt_on_total_failure(self, rng):
+        chain = paper_chain(12)
+        target = np.array([99.0, 0.0, 0.0])  # unreachable
+        inner = QuickIKSolver(chain, config=SolverConfig(max_iterations=5))
+        wrapper = RandomRestartSolver(inner, max_restarts=3)
+        result = wrapper.solve(target, rng=rng)
+        assert not result.converged
+        assert result.iterations == 15  # 3 attempts x 5 iterations
+        assert result.solver == "JT-Speculation+restarts"
+
+    def test_first_attempt_honours_q0(self, rng):
+        chain = paper_chain(12)
+        q0 = chain.random_configuration(rng)
+        target = chain.end_position(q0)
+        inner = QuickIKSolver(chain, config=SolverConfig(max_iterations=10))
+        result = RandomRestartSolver(inner).solve(target, q0=q0, rng=rng)
+        assert result.converged
+        assert result.iterations == 0  # started at the answer
+
+    def test_invalid_max_restarts(self, rng):
+        chain = paper_chain(12)
+        with pytest.raises(ValueError):
+            RandomRestartSolver(QuickIKSolver(chain), max_restarts=0)
+
+    def test_exposes_inner_chain(self):
+        chain = paper_chain(12)
+        wrapper = RandomRestartSolver(QuickIKSolver(chain))
+        assert wrapper.chain is chain

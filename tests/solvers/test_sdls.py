@@ -1,0 +1,72 @@
+"""Tests for selectively damped least squares."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.result import SolverConfig
+from repro.kinematics.robots import paper_chain
+from repro.solvers.sdls import SelectivelyDampedSolver, clamp_max_abs
+
+
+class TestClampMaxAbs:
+    def test_no_change_when_within_bound(self):
+        vector = np.array([0.1, -0.2, 0.05])
+        assert np.array_equal(clamp_max_abs(vector, 0.5), vector)
+
+    def test_rescales_to_bound(self):
+        vector = np.array([2.0, -4.0, 1.0])
+        clamped = clamp_max_abs(vector, 1.0)
+        assert np.max(np.abs(clamped)) == pytest.approx(1.0)
+        # Direction preserved.
+        assert np.allclose(clamped / np.linalg.norm(clamped),
+                           vector / np.linalg.norm(vector))
+
+    def test_empty_vector(self):
+        assert clamp_max_abs(np.array([]), 1.0).size == 0
+
+
+class TestSDLS:
+    def test_converges(self, rng):
+        chain = paper_chain(12)
+        solver = SelectivelyDampedSolver(
+            chain, config=SolverConfig(max_iterations=5000)
+        )
+        target = chain.end_position(chain.random_configuration(rng))
+        assert solver.solve(target, rng=rng).converged
+
+    def test_step_bounded_by_gamma_max(self, rng):
+        chain = paper_chain(25)
+        gamma = math.pi / 8
+        solver = SelectivelyDampedSolver(chain, gamma_max=gamma)
+        for _ in range(10):
+            q = chain.random_configuration(rng)
+            position = chain.end_position(q)
+            target = chain.end_position(chain.random_configuration(rng))
+            step = solver._step(q, position, target).q - q
+            assert np.max(np.abs(step)) <= gamma + 1e-12
+
+    def test_zero_error_gives_zero_step(self, rng):
+        chain = paper_chain(12)
+        solver = SelectivelyDampedSolver(chain)
+        q = chain.random_configuration(rng)
+        position = chain.end_position(q)
+        step = solver._step(q, position, position.copy()).q - q
+        assert np.allclose(step, 0.0, atol=1e-12)
+
+    def test_invalid_gamma(self):
+        with pytest.raises(ValueError):
+            SelectivelyDampedSolver(paper_chain(12), gamma_max=0.0)
+
+    def test_small_error_step_close_to_pinv(self, rng):
+        """Far from singularities with a small error, SDLS is essentially the
+        pseudoinverse step (no component clamps engage)."""
+        chain = paper_chain(12)
+        solver = SelectivelyDampedSolver(chain, gamma_max=math.pi)
+        q = chain.random_configuration(rng)
+        position = chain.end_position(q)
+        target = position + 1e-4 * rng.normal(size=3)
+        step = solver._step(q, position, target).q - q
+        expected = np.linalg.pinv(chain.jacobian_position(q)) @ (target - position)
+        assert np.allclose(step, expected, atol=1e-8)

@@ -1,0 +1,116 @@
+"""Tests for the target generators."""
+
+import numpy as np
+import pytest
+
+from repro.kinematics.robots import hyper_redundant_chain, paper_chain
+from repro.workloads.targets import (
+    TARGET_GENERATORS,
+    extended_pose_targets,
+    make_targets,
+    reachable_targets,
+    shell_targets,
+)
+
+
+@pytest.fixture
+def chain():
+    return paper_chain(12)
+
+
+class TestReachableTargets:
+    def test_shape(self, chain, rng):
+        assert reachable_targets(chain, 7, rng).shape == (7, 3)
+
+    def test_within_reach(self, chain, rng):
+        targets = reachable_targets(chain, 50, rng)
+        assert np.all(np.linalg.norm(targets, axis=1) <= chain.total_reach() + 1e-9)
+
+    def test_actually_reachable(self, chain, rng):
+        """By construction every target is the FK of some configuration, so
+        Quick-IK must solve them."""
+        from repro.core.quick_ik import QuickIKSolver
+        from repro.core.result import SolverConfig
+
+        targets = reachable_targets(chain, 5, rng)
+        solver = QuickIKSolver(chain, config=SolverConfig(max_iterations=3000))
+        for target in targets:
+            assert solver.solve(target, rng=rng).converged
+
+    def test_deterministic_given_rng(self, chain):
+        a = reachable_targets(chain, 5, np.random.default_rng(3))
+        b = reachable_targets(chain, 5, np.random.default_rng(3))
+        assert np.array_equal(a, b)
+
+    def test_invalid_count(self, chain, rng):
+        with pytest.raises(ValueError):
+            reachable_targets(chain, 0, rng)
+
+
+class TestShellTargets:
+    def test_radii_within_fractions(self, chain, rng):
+        targets = shell_targets(chain, 100, rng, min_fraction=0.3, max_fraction=0.6)
+        radii = np.linalg.norm(targets, axis=1) / chain.total_reach()
+        assert np.all(radii >= 0.3 - 1e-9)
+        assert np.all(radii <= 0.6 + 1e-9)
+
+    def test_directions_cover_sphere(self, chain, rng):
+        targets = shell_targets(chain, 300, rng, max_fraction=0.5)
+        mean_direction = (targets / np.linalg.norm(targets, axis=1, keepdims=True)).mean(
+            axis=0
+        )
+        assert np.linalg.norm(mean_direction) < 0.2
+
+    def test_respects_base_offset(self, rng):
+        from repro.kinematics import transforms as tf
+        from repro.kinematics.chain import KinematicChain
+
+        plain = paper_chain(12)
+        moved = KinematicChain(plain.joints, base=tf.trans(5.0, 0.0, 0.0))
+        targets = shell_targets(moved, 20, rng, max_fraction=0.5)
+        assert np.all(np.linalg.norm(targets - [5.0, 0.0, 0.0], axis=1)
+                      <= 0.5 * moved.total_reach() + 1e-9)
+
+    def test_invalid_fractions(self, chain, rng):
+        with pytest.raises(ValueError):
+            shell_targets(chain, 5, rng, min_fraction=0.8, max_fraction=0.5)
+        with pytest.raises(ValueError):
+            shell_targets(chain, 5, rng, max_fraction=1.5)
+
+
+class TestExtendedPoseTargets:
+    def test_farther_than_random_on_snake(self, rng):
+        """Narrow joint ranges keep the snake nearly straight, so targets sit
+        much farther out than full-range random ones."""
+        chain = hyper_redundant_chain(25)
+        near = reachable_targets(chain, 50, rng)
+        far = extended_pose_targets(chain, 50, rng, range_fraction=0.1)
+        assert np.mean(np.linalg.norm(far, axis=1)) > np.mean(
+            np.linalg.norm(near, axis=1)
+        )
+
+    def test_full_fraction_equals_reachable_distribution_support(self, chain, rng):
+        targets = extended_pose_targets(chain, 20, rng, range_fraction=1.0)
+        assert np.all(np.linalg.norm(targets, axis=1) <= chain.total_reach() + 1e-9)
+
+    def test_invalid_fraction(self, chain, rng):
+        with pytest.raises(ValueError):
+            extended_pose_targets(chain, 5, rng, range_fraction=0.0)
+        with pytest.raises(ValueError):
+            extended_pose_targets(chain, 5, rng, range_fraction=1.5)
+
+
+class TestDispatch:
+    def test_known_kinds(self, chain, rng):
+        for kind in TARGET_GENERATORS:
+            assert make_targets(kind, chain, 3, rng).shape == (3, 3)
+
+    def test_kwargs_forwarded(self, chain, rng):
+        targets = make_targets("shell", chain, 50, rng, max_fraction=0.2)
+        assert np.all(
+            np.linalg.norm(targets, axis=1) <= 0.2 * chain.total_reach() + 1e-9
+        )
+
+    def test_unknown_kind(self, chain, rng):
+        with pytest.raises(KeyError):
+            make_targets("teleport", chain, 3, rng)
