@@ -5,7 +5,7 @@ Run:  python examples/quickstart.py
 
 import numpy as np
 
-from repro import QuickIKSolver, paper_chain
+from repro import api, paper_chain, telemetry
 
 
 def main() -> None:
@@ -20,15 +20,23 @@ def main() -> None:
     print(f"target position: {np.round(target, 4)}")
 
     # Quick-IK with the paper's operating point: 64 speculations per
-    # iteration, 1e-2 m accuracy, 10k iteration cap.
-    solver = QuickIKSolver(chain, speculations=64)
-    result = solver.solve(target, rng=rng)
+    # iteration, 1e-2 m accuracy, 10k iteration cap.  api.solve picks
+    # Quick-IK ("JT-Speculation") by default; a tracer shows where the
+    # time goes.
+    tracer = telemetry.SummaryTracer()
+    result = api.solve(chain, target, speculations=64, rng=rng, tracer=tracer)
 
     print(result.summary())
     reached = chain.end_position(result.q)
     print(f"reached position: {np.round(reached, 4)}")
     print(f"final error: {np.linalg.norm(target - reached) * 1000:.2f} mm")
     print(f"computation load (speculations x iterations): {result.work}")
+
+    counters = tracer.summary().counters
+    print(f"telemetry: {counters['fk_evaluations']} FK evals, "
+          f"{counters['jacobian_builds']} Jacobian builds")
+    for phase, seconds in tracer.phase_seconds.items():
+        print(f"  phase {phase:<10s} {seconds * 1000:8.2f} ms")
 
 
 if __name__ == "__main__":

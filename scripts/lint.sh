@@ -1,0 +1,26 @@
+#!/usr/bin/env sh
+# Lint gate: ruff over the configured paths (config in pyproject.toml).
+#
+# Usage: scripts/lint.sh [--fix]
+#
+# Exits non-zero on lint findings.  In environments without ruff installed
+# (the offline test image ships only numpy + pytest) the gate degrades to a
+# skip with a warning rather than failing the build; CI images that do have
+# ruff enforce it.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+if command -v ruff >/dev/null 2>&1; then
+    RUFF=ruff
+elif python -c "import ruff" >/dev/null 2>&1; then
+    RUFF="python -m ruff"
+else
+    echo "lint: ruff not installed; skipping (pip install ruff to enforce)" >&2
+    exit 0
+fi
+
+if [ "${1:-}" = "--fix" ]; then
+    exec $RUFF check --fix src tests benchmarks examples
+fi
+exec $RUFF check src tests benchmarks examples

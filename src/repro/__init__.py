@@ -14,17 +14,20 @@ The package provides:
 
 Quickstart::
 
-    import numpy as np
-    from repro import QuickIKSolver, paper_chain
+    from repro import api
 
-    chain = paper_chain(100)                      # 100-DOF manipulator
-    rng = np.random.default_rng(0)
-    target = chain.end_position(chain.random_configuration(rng))
-    result = QuickIKSolver(chain, speculations=64).solve(target, rng=rng)
+    result = api.solve("dadu-100dof", [0.4, 0.2, 0.6], seed=0)
     print(result.summary())
+
+(:func:`repro.api.solve` / :func:`repro.api.solve_batch` wrap the robot zoo,
+the solver registries and the convergence config in one call; the classes
+below remain available for hand-wiring.)
 """
 
+from repro import api, telemetry
+from repro.api import solve, solve_batch
 from repro.core import IKResult, QuickIKSolver, SolverConfig
+from repro.core.result import BatchResult
 from repro.kinematics import (
     PAPER_DOFS,
     KinematicChain,
@@ -49,12 +52,18 @@ from repro.solvers import (
     PseudoinverseSolver,
     RandomRestartSolver,
     SelectivelyDampedSolver,
+    make_batch_solver,
     make_solver,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "api",
+    "telemetry",
+    "solve",
+    "solve_batch",
+    "BatchResult",
     "IKResult",
     "QuickIKSolver",
     "SolverConfig",
@@ -80,5 +89,6 @@ __all__ = [
     "SelectivelyDampedSolver",
     "TrajectoryFollower",
     "make_solver",
+    "make_batch_solver",
     "__version__",
 ]

@@ -1,0 +1,165 @@
+"""One-call facade over the solver zoo: ``repro.api.solve`` / ``solve_batch``.
+
+Every example used to hand-wire the same four steps — resolve a robot with
+:func:`~repro.kinematics.robots.named_robot`, build a
+:class:`~repro.core.result.SolverConfig`, look the solver up in
+``SOLVER_REGISTRY``, then call its ``solve``.  This module folds that
+boilerplate into two functions::
+
+    from repro import api
+
+    result = api.solve("dadu-25dof", [0.3, 0.2, 0.4])
+    batch = api.solve_batch("dadu-100dof", targets, solver="JT-Serial")
+
+Both accept a robot *name* (``"dadu-25dof"``, ``"puma560"``,
+``"snake-40dof"``, …) or an already-built
+:class:`~repro.kinematics.chain.KinematicChain`, any solver name in
+``SOLVER_REGISTRY`` / ``BATCH_REGISTRY``, per-solver options as plain
+keywords (validated — a typo names the solver and lists what it accepts),
+and an optional telemetry tracer (see :mod:`repro.telemetry`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.result import BatchResult, IKResult, SolverConfig
+from repro.kinematics.chain import KinematicChain
+from repro.kinematics.robots import named_robot
+from repro.solvers.registry import make_batch_solver, make_solver
+from repro.solvers.restarts import RandomRestartSolver
+from repro.telemetry.tracer import Tracer
+
+__all__ = ["solve", "solve_batch", "resolve_robot"]
+
+#: Default solver: the paper's contribution.
+DEFAULT_SOLVER = "JT-Speculation"
+
+
+def resolve_robot(robot: str | KinematicChain) -> KinematicChain:
+    """Accept a robot name (``repro robots`` lists them) or a chain."""
+    if isinstance(robot, KinematicChain):
+        return robot
+    if isinstance(robot, str):
+        return named_robot(robot)
+    raise TypeError(
+        f"robot must be a name or a KinematicChain, got {type(robot).__name__}"
+    )
+
+
+def _resolve_config(
+    config: SolverConfig | None,
+    tolerance: float | None,
+    max_iterations: int | None,
+) -> SolverConfig | None:
+    if config is not None:
+        if tolerance is not None or max_iterations is not None:
+            raise ValueError(
+                "pass either config or tolerance/max_iterations, not both"
+            )
+        return config
+    if tolerance is None and max_iterations is None:
+        return None
+    defaults = SolverConfig()
+    return SolverConfig(
+        tolerance=tolerance if tolerance is not None else defaults.tolerance,
+        max_iterations=(
+            max_iterations
+            if max_iterations is not None
+            else defaults.max_iterations
+        ),
+    )
+
+
+def _resolve_rng(
+    rng: np.random.Generator | None, seed: int | None
+) -> np.random.Generator | None:
+    if rng is not None and seed is not None:
+        raise ValueError("pass either rng or seed, not both")
+    if seed is not None:
+        return np.random.default_rng(seed)
+    return rng
+
+
+def solve(
+    robot: str | KinematicChain,
+    target,
+    solver: str = DEFAULT_SOLVER,
+    *,
+    q0=None,
+    rng: np.random.Generator | None = None,
+    seed: int | None = None,
+    config: SolverConfig | None = None,
+    tolerance: float | None = None,
+    max_iterations: int | None = None,
+    restarts: int = 1,
+    tracer: Tracer | None = None,
+    **options,
+) -> IKResult:
+    """Solve one IK target.
+
+    Parameters
+    ----------
+    robot:
+        Robot name (see ``repro robots``) or a :class:`KinematicChain`.
+    target:
+        Target end-effector position (3-vector).
+    solver:
+        Any ``SOLVER_REGISTRY`` name (default: the paper's Quick-IK).
+    q0:
+        Optional starting configuration; random when omitted.
+    rng / seed:
+        Randomness for the initial configuration (mutually exclusive).
+    config / tolerance / max_iterations:
+        Convergence policy: a full :class:`SolverConfig`, or the two common
+        fields directly (mutually exclusive with ``config``).
+    restarts:
+        When > 1, wrap the solver in a
+        :class:`~repro.solvers.restarts.RandomRestartSolver` with this
+        attempt budget.
+    tracer:
+        Telemetry sink (see :mod:`repro.telemetry`); defaults to the
+        process-global tracer.
+    options:
+        Per-solver options (e.g. ``speculations=64`` for Quick-IK); unknown
+        ones raise ``TypeError`` naming the solver's accepted options.
+    """
+    chain = resolve_robot(robot)
+    ik = make_solver(
+        solver, chain, config=_resolve_config(config, tolerance, max_iterations),
+        **options,
+    )
+    if restarts > 1:
+        ik = RandomRestartSolver(ik, max_restarts=restarts)
+    return ik.solve(target, q0=q0, rng=_resolve_rng(rng, seed), tracer=tracer)
+
+
+def solve_batch(
+    robot: str | KinematicChain,
+    targets,
+    solver: str = DEFAULT_SOLVER,
+    *,
+    q0=None,
+    rng: np.random.Generator | None = None,
+    seed: int | None = None,
+    config: SolverConfig | None = None,
+    tolerance: float | None = None,
+    max_iterations: int | None = None,
+    tracer: Tracer | None = None,
+    **options,
+) -> BatchResult:
+    """Solve a batch of IK targets; returns a :class:`BatchResult`.
+
+    Accepts the same arguments as :func:`solve` (minus ``restarts``).
+    Solvers with a lock-step engine in ``BATCH_REGISTRY`` (Quick-IK,
+    JT-Serial) advance all unconverged problems simultaneously; every other
+    ``SOLVER_REGISTRY`` name solves per target through the shared driver.
+    """
+    chain = resolve_robot(robot)
+    engine = make_batch_solver(
+        solver, chain, config=_resolve_config(config, tolerance, max_iterations),
+        **options,
+    )
+    return engine.solve_batch(
+        targets, q0=q0, rng=_resolve_rng(rng, seed), tracer=tracer
+    )

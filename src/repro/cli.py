@@ -13,13 +13,18 @@ Commands
 from __future__ import annotations
 
 import argparse
+import ast
 import sys
 
 import numpy as np
 
 from repro.core.result import SolverConfig
 from repro.kinematics.robots import ROBOT_NAMES, named_robot
-from repro.solvers import SOLVER_REGISTRY, make_solver
+from repro.solvers import (
+    SOLVER_REGISTRY,
+    describe_solver_options,
+    make_solver,
+)
 
 __all__ = ["build_parser", "main"]
 
@@ -43,14 +48,32 @@ def build_parser() -> argparse.ArgumentParser:
                        help="accuracy constraint (metres)")
         p.add_argument("--max-iterations", type=int, default=10_000)
 
-    solve = sub.add_parser("solve", help="solve one IK target")
+    def add_telemetry(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--trace-out", metavar="PATH",
+                       help="write a JSONL telemetry trace of every solve")
+        p.add_argument("--metrics-out", metavar="PATH",
+                       help="write aggregated metrics (latency percentiles, "
+                            "counters) as JSON")
+
+    solve = sub.add_parser(
+        "solve", help="solve one IK target",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog="per-solver options (pass via --opt NAME=VALUE):\n"
+        + describe_solver_options(),
+    )
     add_common(solve)
+    add_telemetry(solve)
     solve.add_argument("--solver", default="JT-Speculation",
                        choices=sorted(SOLVER_REGISTRY))
     solve.add_argument("--speculations", type=int, default=64)
+    solve.add_argument("--opt", action="append", default=[], metavar="NAME=VALUE",
+                       help="extra solver option (repeatable); values are "
+                            "parsed as Python literals, unknown names are "
+                            "rejected with the solver's accepted options")
 
     simulate = sub.add_parser("simulate", help="cycle-level IKAcc run")
     add_common(simulate)
+    add_telemetry(simulate)
     simulate.add_argument("--ssus", type=int, default=32)
     simulate.add_argument("--speculations", type=int, default=64)
 
@@ -69,6 +92,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="targets per DOF (default: REPRO_TARGETS or 20)")
     bench.add_argument("--dofs", default=None,
                        help="comma list, e.g. 12,25 (default: REPRO_DOFS or paper sweep)")
+    add_telemetry(bench)
 
     report = sub.add_parser("report", help="write the EXPERIMENTS.md report")
     report.add_argument("output", nargs="?", default="EXPERIMENTS.md")
@@ -86,15 +110,79 @@ def _resolve_target(chain, args) -> np.ndarray:
     return target
 
 
+def _parse_solver_opts(pairs: list[str]) -> dict:
+    """Parse repeated ``--opt NAME=VALUE`` flags (values: Python literals)."""
+    options = {}
+    for pair in pairs:
+        name, sep, value = pair.partition("=")
+        if not sep or not name:
+            raise SystemExit(f"--opt expects NAME=VALUE, got {pair!r}")
+        try:
+            options[name] = ast.literal_eval(value)
+        except (ValueError, SyntaxError):
+            options[name] = value  # bare strings, e.g. schedule=linear
+    return options
+
+
+class _TelemetryOutputs:
+    """Build the tracer requested by ``--trace-out`` / ``--metrics-out``.
+
+    Always also collects an in-memory summary so commands can print a
+    one-line telemetry digest; ``finish()`` closes the JSONL file and writes
+    the metrics report.
+    """
+
+    def __init__(self, args) -> None:
+        from repro import telemetry
+
+        self.trace_out = getattr(args, "trace_out", None)
+        self.metrics_out = getattr(args, "metrics_out", None)
+        self.requested = bool(self.trace_out or self.metrics_out)
+        self.summary_sink = telemetry.SummaryTracer()
+        self.jsonl = (
+            telemetry.JsonlTracer(self.trace_out) if self.trace_out else None
+        )
+        self.registry = (
+            telemetry.MetricsRegistry() if self.metrics_out else None
+        )
+        sinks = [
+            s for s in (self.summary_sink, self.jsonl, self.registry)
+            if s is not None
+        ]
+        self.tracer = telemetry.MultiTracer(*sinks)
+
+    def finish(self) -> None:
+        if self.jsonl is not None:
+            self.jsonl.close()
+            print(f"telemetry trace: {self.trace_out} "
+                  f"({self.jsonl.lines_written} events)")
+        if self.registry is not None:
+            self.registry.to_json(self.metrics_out)
+            print(f"telemetry metrics: {self.metrics_out}")
+        summary = self.summary_sink.summary()
+        counters = ", ".join(
+            f"{name}={value}" for name, value in sorted(summary.counters.items())
+        )
+        print(f"telemetry: {summary.iterations} iteration events, {counters}")
+
+
 def _cmd_solve(args) -> int:
     chain = named_robot(args.robot)
     config = SolverConfig(tolerance=args.tolerance, max_iterations=args.max_iterations)
     kwargs = {"speculations": args.speculations} if args.solver == "JT-Speculation" else {}
+    kwargs.update(_parse_solver_opts(args.opt))
     solver = make_solver(args.solver, chain, config=config, **kwargs)
     target = _resolve_target(chain, args)
-    result = solver.solve(target, rng=np.random.default_rng(args.seed + 1))
+    telemetry = _TelemetryOutputs(args)
+    result = solver.solve(
+        target,
+        rng=np.random.default_rng(args.seed + 1),
+        tracer=telemetry.tracer if telemetry.requested else None,
+    )
     print(result.summary())
     print(f"wall time: {result.wall_time * 1e3:.2f} ms (this Python substrate)")
+    if telemetry.requested:
+        telemetry.finish()
     return 0 if result.converged else 1
 
 
@@ -110,10 +198,17 @@ def _cmd_simulate(args) -> int:
         ),
     )
     target = _resolve_target(chain, args)
-    run = sim.solve(target, rng=np.random.default_rng(args.seed + 1))
+    telemetry = _TelemetryOutputs(args)
+    run = sim.solve(
+        target,
+        rng=np.random.default_rng(args.seed + 1),
+        tracer=telemetry.tracer if telemetry.requested else None,
+    )
     print(run.summary())
     print("cycle breakdown:", run.cycle_breakdown)
     print(f"average power: {run.average_power_w * 1e3:.1f} mW")
+    if telemetry.requested:
+        telemetry.finish()
     return 0 if run.converged else 1
 
 
@@ -131,18 +226,28 @@ def _cmd_trace(args) -> int:
 
 def _cmd_bench(args) -> int:
     from repro.evaluation.experiments import PaperExperiments
+    from repro.telemetry import use_tracer
     from repro.workloads.suite import EvaluationSuite
 
     dofs = tuple(int(d) for d in args.dofs.split(",")) if args.dofs else None
     suite = EvaluationSuite(dofs=dofs, targets_per_dof=args.targets)
     experiments = PaperExperiments(suite=suite)
-    tables = experiments.all_tables()
-    selected = tables if args.experiment == "all" else {
-        args.experiment: tables[args.experiment]
-    }
-    for table in selected.values():
-        print(table.to_ascii())
-        print()
+    from repro.telemetry import NULL_TRACER
+
+    telemetry = _TelemetryOutputs(args)
+    # Install the tracer process-wide: the experiment harness calls solvers
+    # several layers deep, and every solve path falls back to the global
+    # tracer when not handed one explicitly.
+    with use_tracer(telemetry.tracer if telemetry.requested else NULL_TRACER):
+        tables = experiments.all_tables()
+        selected = tables if args.experiment == "all" else {
+            args.experiment: tables[args.experiment]
+        }
+        for table in selected.values():
+            print(table.to_ascii())
+            print()
+    if telemetry.requested:
+        telemetry.finish()
     return 0
 
 
@@ -153,8 +258,15 @@ def _cmd_report(args) -> int:
 
 
 def _cmd_robots(_args) -> int:
+    from repro.solvers import BATCH_REGISTRY
+
     print("named robots:", ", ".join(ROBOT_NAMES))
     print("generated:    dadu-<N>dof, snake-<N>dof, planar-<N>dof")
+    print()
+    print("solvers and their options (pass via `repro solve --opt NAME=VALUE`):")
+    print(describe_solver_options())
+    print()
+    print("lock-step batch engines:", ", ".join(sorted(BATCH_REGISTRY)))
     return 0
 
 

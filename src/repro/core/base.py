@@ -13,8 +13,9 @@ from abc import ABC, abstractmethod
 
 import numpy as np
 
-from repro.core.result import IKResult, SolverConfig, StepOutcome
+from repro.core.result import BatchResult, IKResult, SolverConfig, StepOutcome
 from repro.kinematics.chain import KinematicChain
+from repro.telemetry.tracer import NULL_TRACER, Tracer, get_tracer
 
 __all__ = ["IterativeIKSolver"]
 
@@ -33,11 +34,17 @@ class IterativeIKSolver(ABC):
     #: Candidate evaluations per iteration (1 for serial methods).
     speculations = 1
 
+    #: Full Jacobian builds per iteration (0 for CCD); telemetry counter.
+    jacobians_per_step = 1
+
     def __init__(
         self, chain: KinematicChain, config: SolverConfig | None = None
     ) -> None:
         self.chain = chain
         self.config = config or SolverConfig()
+        #: Tracer active for the current solve; ``_step`` implementations may
+        #: read it (guarding on ``.enabled``) to time their internal phases.
+        self._tracer: Tracer = NULL_TRACER
 
     @abstractmethod
     def _step(
@@ -75,6 +82,7 @@ class IterativeIKSolver(ABC):
         target: np.ndarray,
         q0: np.ndarray | None = None,
         rng: np.random.Generator | None = None,
+        tracer: Tracer | None = None,
     ) -> IKResult:
         """Solve ``theta = f^-1(X_t)`` for a 3-D target position.
 
@@ -86,11 +94,17 @@ class IterativeIKSolver(ABC):
             Optional starting configuration; random when omitted.
         rng:
             Random generator used when ``q0`` is omitted.
+        tracer:
+            Telemetry sink; defaults to the process-global tracer
+            (:data:`~repro.telemetry.NULL_TRACER` unless one is installed).
         """
         target = np.asarray(target, dtype=float)
         if target.shape != (3,):
             raise ValueError(f"target must be a 3-vector, got shape {target.shape}")
 
+        tr = tracer if tracer is not None else get_tracer()
+        self._tracer = tr
+        traced = tr.enabled
         config = self.config
         start = time.perf_counter()
         q = self.initial_configuration(q0, rng)
@@ -98,6 +112,10 @@ class IterativeIKSolver(ABC):
         error = float(np.linalg.norm(target - position))
         fk_evaluations = 1
         history = [error] if config.record_history else None
+        if traced:
+            tr.solve_start(self.name, self.chain.dof, target=target,
+                           speculations=self.speculations)
+            tr.count("fk_evaluations")
 
         iterations = 0
         converged = error < config.tolerance
@@ -123,7 +141,28 @@ class IterativeIKSolver(ABC):
             if history is not None:
                 history.append(error)
             converged = error < config.tolerance or outcome.early_exit
+            if traced:
+                # The driver ran one extra FK when the step left position
+                # unset (or limits-clamping invalidated it, which also
+                # resets ``outcome.position`` to None).
+                step_fk = outcome.fk_evaluations + (
+                    1 if outcome.position is None else 0
+                )
+                tr.count("fk_evaluations", step_fk)
+                tr.count("jacobian_builds", self.jacobians_per_step)
+                tr.count("candidate_evaluations", self.speculations)
+                tr.iteration(iterations, error, fk_evaluations=step_fk)
 
+        if traced:
+            tr.solve_end(
+                self.name,
+                converged=bool(error < config.tolerance),
+                iterations=iterations,
+                error=error,
+                fk_evaluations=fk_evaluations,
+                wall_time=time.perf_counter() - start,
+            )
+            self._tracer = NULL_TRACER
         return IKResult(
             q=q,
             converged=bool(error < config.tolerance),
@@ -145,18 +184,27 @@ class IterativeIKSolver(ABC):
         targets: np.ndarray,
         rng: np.random.Generator | None = None,
         q0: np.ndarray | None = None,
-    ) -> list[IKResult]:
+        tracer: Tracer | None = None,
+    ) -> BatchResult:
         """Solve a batch of targets (one random restart each).
 
         The paper's evaluation solves 1K target positions per DOF
-        configuration; this is the entry point the harness uses.
+        configuration; this is the entry point the harness uses.  Returns a
+        :class:`BatchResult` (a sequence of per-target :class:`IKResult`, so
+        callers of the historical ``list[IKResult]`` API are unaffected).
         """
         targets = np.atleast_2d(np.asarray(targets, dtype=float))
         if targets.shape[1] != 3:
             raise ValueError("targets must have shape (M, 3)")
         if rng is None:
             rng = np.random.default_rng()
-        return [self.solve(t, q0=q0, rng=rng) for t in targets]
+        start = time.perf_counter()
+        results = [self.solve(t, q0=q0, rng=rng, tracer=tracer) for t in targets]
+        return BatchResult(
+            results=results,
+            solver=self.name,
+            wall_time=time.perf_counter() - start,
+        )
 
     def __repr__(self) -> str:
         return (

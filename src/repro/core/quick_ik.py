@@ -20,6 +20,8 @@ are evaluated as one batched numpy FK.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
 from repro.core.alpha import ScheduleFn, buss_alpha, get_schedule
@@ -77,10 +79,17 @@ class QuickIKSolver(IterativeIKSolver):
     def _step(
         self, q: np.ndarray, position: np.ndarray, target: np.ndarray
     ) -> StepOutcome:
+        tr = self._tracer
+        timed = tr.enabled
+        if timed:
+            t0 = time.perf_counter()
         error_vec = target - position
         jacobian = self.chain.jacobian_position(q)
         dq_base = jacobian.T @ error_vec  # Algorithm 1 line 4
         jjte = jacobian @ dq_base
+        if timed:
+            t1 = time.perf_counter()
+            tr.add_phase("jacobian", t1 - t0)
         alpha_base = buss_alpha(error_vec, jjte)  # line 5
 
         alphas = self.schedule(alpha_base, self.speculations)  # lines 6-7
@@ -89,7 +98,13 @@ class QuickIKSolver(IterativeIKSolver):
             candidates = np.clip(
                 candidates, self.chain.lower_limits, self.chain.upper_limits
             )
+        if timed:
+            t2 = time.perf_counter()
+            tr.add_phase("alpha", t2 - t1)
         positions = self.chain.end_positions_batch(candidates)  # line 10
+        if timed:
+            t3 = time.perf_counter()
+            tr.add_phase("fk_sweep", t3 - t2)
         errors = np.linalg.norm(target[None, :] - positions, axis=1)  # line 11
 
         below = np.flatnonzero(errors < self.config.tolerance)
@@ -103,6 +118,8 @@ class QuickIKSolver(IterativeIKSolver):
             early = False
         if self.track_chosen:
             self.chosen_history.append(chosen)
+        if timed:
+            tr.add_phase("selection", time.perf_counter() - t3)
         return StepOutcome(
             q=candidates[chosen],
             position=positions[chosen],

@@ -11,11 +11,13 @@ The fields mirror the quantities the paper reports:
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass, field
+from typing import Any, Iterator
 
 import numpy as np
 
-__all__ = ["SolverConfig", "StepOutcome", "IKResult"]
+__all__ = ["SolverConfig", "StepOutcome", "IKResult", "BatchResult"]
 
 #: Paper accuracy constraint: 1e-2 metre (Section 6.1).
 DEFAULT_TOLERANCE = 1e-2
@@ -98,4 +100,69 @@ class IKResult:
             f"{self.solver}: {status} in {self.iterations} iterations, "
             f"error {self.error:.3e} m ({self.dof} DOF, "
             f"{self.fk_evaluations} FK evals)"
+        )
+
+
+@dataclass
+class BatchResult(Sequence):
+    """Outcome of one batch solve: per-problem results plus aggregates.
+
+    Every ``solve_batch`` entry point returns one of these.  It is a
+    :class:`~collections.abc.Sequence` of :class:`IKResult`, so pre-existing
+    callers that iterated/indexed the old ``list[IKResult]`` return value
+    keep working unchanged.
+
+    ``wall_time`` is the *aggregate* wall time of the whole batch (the
+    per-problem ``result.wall_time`` fields amortise it); ``telemetry`` is an
+    optional summary dict attached when the batch ran under a tracer.
+    """
+
+    results: list[IKResult]
+    solver: str
+    wall_time: float = 0.0
+    telemetry: dict[str, Any] | None = None
+
+    # -- sequence protocol ---------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __getitem__(self, index):  # type: ignore[override]
+        return self.results[index]
+
+    def __iter__(self) -> Iterator[IKResult]:
+        return iter(self.results)
+
+    # -- aggregates -----------------------------------------------------
+
+    @property
+    def converged_count(self) -> int:
+        """Number of problems that met the accuracy constraint."""
+        return sum(1 for r in self.results if r.converged)
+
+    @property
+    def convergence_rate(self) -> float:
+        """Fraction of converged problems (NaN for an empty batch)."""
+        if not self.results:
+            return float("nan")
+        return self.converged_count / len(self.results)
+
+    @property
+    def total_iterations(self) -> int:
+        """Outer-loop iterations summed over the batch."""
+        return sum(r.iterations for r in self.results)
+
+    @property
+    def total_fk_evaluations(self) -> int:
+        """FK evaluations summed over the batch."""
+        return sum(r.fk_evaluations for r in self.results)
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        n = len(self.results)
+        return (
+            f"{self.solver}: {self.converged_count}/{n} converged, "
+            f"{self.total_iterations} iterations, "
+            f"{self.total_fk_evaluations} FK evals, "
+            f"{self.wall_time * 1e3:.2f} ms total"
         )

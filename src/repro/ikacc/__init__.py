@@ -16,7 +16,13 @@ from repro.ikacc.scheduler import ParallelSearchScheduler, Wave
 from repro.ikacc.selector import ParameterSelector, SelectionState
 from repro.ikacc.spu import SerialProcessUnit
 from repro.ikacc.ssu import SpeculativeSearchUnit
-from repro.ikacc.trace import IterationTrace, TraceEvent, render_gantt, trace_iteration
+from repro.ikacc.trace import (
+    IterationTrace,
+    TraceEvent,
+    render_gantt,
+    trace_from_telemetry,
+    trace_iteration,
+)
 
 __all__ = [
     "IKAccRunResult",
@@ -42,5 +48,6 @@ __all__ = [
     "IterationTrace",
     "TraceEvent",
     "render_gantt",
+    "trace_from_telemetry",
     "trace_iteration",
 ]

@@ -32,6 +32,7 @@ from repro.ikacc.selector import ParameterSelector, SelectionState
 from repro.ikacc.spu import SerialProcessUnit
 from repro.ikacc.ssu import SpeculativeSearchUnit
 from repro.kinematics.chain import KinematicChain
+from repro.telemetry.tracer import Tracer, get_tracer
 
 __all__ = ["IKAccRunResult", "IKAccSimulator"]
 
@@ -122,6 +123,7 @@ class IKAccSimulator:
         target: np.ndarray,
         q0: np.ndarray | None = None,
         rng: np.random.Generator | None = None,
+        tracer: Tracer | None = None,
     ) -> IKAccRunResult:
         """Run the accelerator on one target position."""
         target = np.asarray(target, dtype=float)
@@ -135,6 +137,8 @@ class IKAccSimulator:
             q = np.asarray(q0, dtype=float).copy()
         q = q.astype(self.ssu.fku.chain32.dtype)
 
+        tr = tracer if tracer is not None else get_tracer()
+        traced = tr.enabled
         wall_start = time.perf_counter()
         tolerance = self.solver_config.tolerance
         breakdown = {"spu": 0, "ssu": 0, "scheduler": 0, "selector": 0, "init": 0}
@@ -145,6 +149,12 @@ class IKAccSimulator:
         breakdown["init"] += fk_report.cycles
         ops = ops + fk_report.ops
         error = float(np.linalg.norm(target - position.astype(float)))
+        if traced:
+            tr.solve_start(
+                "IKAcc", self.chain.dof, target=target,
+                speculations=self.config.speculations, n_ssus=self.config.n_ssus,
+            )
+            tr.count("fk_evaluations")
 
         iterations = 0
         waves_executed = 0
@@ -154,6 +164,7 @@ class IKAccSimulator:
             ops = ops + spu_result.ops
 
             state = SelectionState()
+            wave_index = 0
             for wave in self.scheduler.waves():
                 breakdown["scheduler"] += self.scheduler.broadcast_cycles()
                 results = self.ssu.run_wave(
@@ -169,6 +180,18 @@ class IKAccSimulator:
                     ops = ops + result.ops
                 self.selector.merge_wave(state, results)
                 waves_executed += 1
+                wave_index += 1
+                if traced:
+                    tr.count("fk_evaluations", wave.occupancy)
+                    tr.count("candidate_evaluations", wave.occupancy)
+                    tr.speculation_wave(
+                        wave_index,
+                        wave.occupancy,
+                        iteration=iterations + 1,
+                        hit=state.hit is not None,
+                        broadcast_cycles=self.scheduler.broadcast_cycles(),
+                        ssu_cycles=self.ssu.cycles_per_speculation(),
+                    )
                 if state.hit is not None:
                     break  # threshold met: skip the remaining waves
             breakdown["selector"] += state.cycles
@@ -177,10 +200,31 @@ class IKAccSimulator:
             q = winner.q
             error = winner.error
             iterations += 1
+            if traced:
+                tr.count("jacobian_builds")
+                tr.iteration(
+                    iterations,
+                    error,
+                    spu_cycles=spu_result.cycles,
+                    selector_cycles=state.cycles,
+                    waves=wave_index,
+                )
 
         cycles = sum(breakdown.values())
         seconds = self.config.cycles_to_seconds(cycles)
         energy = self.power_model.energy_j(ops, seconds)
+        if traced:
+            tr.solve_end(
+                "IKAcc",
+                converged=bool(error < tolerance),
+                iterations=iterations,
+                error=error,
+                cycles=cycles,
+                seconds=seconds,
+                energy_j=energy,
+                waves_executed=waves_executed,
+                wall_time=time.perf_counter() - wall_start,
+            )
         return IKAccRunResult(
             q=q.astype(float),
             converged=bool(error < tolerance),
@@ -200,9 +244,10 @@ class IKAccSimulator:
         self,
         targets: np.ndarray,
         rng: np.random.Generator | None = None,
+        tracer: Tracer | None = None,
     ) -> list[IKAccRunResult]:
         """Solve several targets (fresh random restart each)."""
         targets = np.atleast_2d(np.asarray(targets, dtype=float))
         if rng is None:
             rng = np.random.default_rng()
-        return [self.solve(t, rng=rng) for t in targets]
+        return [self.solve(t, rng=rng, tracer=tracer) for t in targets]

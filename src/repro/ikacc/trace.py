@@ -14,7 +14,13 @@ from dataclasses import dataclass
 
 from repro.ikacc.accelerator import IKAccSimulator
 
-__all__ = ["TraceEvent", "IterationTrace", "trace_iteration", "render_gantt"]
+__all__ = [
+    "TraceEvent",
+    "IterationTrace",
+    "trace_iteration",
+    "trace_from_telemetry",
+    "render_gantt",
+]
 
 
 @dataclass(frozen=True)
@@ -104,6 +110,69 @@ def trace_iteration(sim: IKAccSimulator) -> IterationTrace:
         cursor += select
 
     return IterationTrace(dof=sim.chain.dof, events=events, total_cycles=cursor)
+
+
+def trace_from_telemetry(
+    events: list[dict], iteration: int = 1
+) -> IterationTrace:
+    """Rebuild one iteration's timeline from recorded telemetry events.
+
+    ``events`` is a telemetry event stream — the dicts collected by a
+    :class:`~repro.telemetry.SummaryTracer` or parsed back from a JSONL trace
+    (:func:`~repro.telemetry.read_jsonl_trace`) of an
+    :meth:`~repro.ikacc.accelerator.IKAccSimulator.solve` run.  Unlike
+    :func:`trace_iteration`, which charges the static no-early-exit
+    schedule, this reconstructs what the chosen iteration *actually*
+    executed, including wave early exits.
+    """
+    starts = [e for e in events if e["event"] == "solve_start"]
+    dof = int(starts[0]["dof"]) if starts else 0
+    iteration_events = [
+        e for e in events
+        if e["event"] == "iteration" and e["index"] == iteration
+    ]
+    if not iteration_events:
+        raise ValueError(f"no telemetry for iteration {iteration}")
+    summary = iteration_events[0]
+    waves = [
+        e for e in events
+        if e["event"] == "speculation_wave" and e.get("iteration") == iteration
+    ]
+
+    timeline: list[TraceEvent] = []
+    cursor = 0
+    spu_cycles = int(summary.get("spu_cycles", 0))
+    timeline.append(TraceEvent("SPU", cursor, cursor + spu_cycles, "serial block"))
+    cursor += spu_cycles
+    for wave in waves:
+        broadcast = int(wave.get("broadcast_cycles", 0))
+        if broadcast:
+            timeline.append(
+                TraceEvent(
+                    "scheduler",
+                    cursor,
+                    cursor + broadcast,
+                    f"broadcast wave {wave['wave']}",
+                )
+            )
+            cursor += broadcast
+        ssu_cycles = int(wave.get("ssu_cycles", 0))
+        label = f"wave {wave['wave']}: {wave['occupancy']} candidates"
+        if wave.get("hit"):
+            label += " (hit)"
+        timeline.append(
+            TraceEvent("SSU array", cursor, cursor + ssu_cycles, label)
+        )
+        cursor += ssu_cycles
+    selector_cycles = int(summary.get("selector_cycles", 0))
+    if selector_cycles:
+        timeline.append(
+            TraceEvent(
+                "selector", cursor, cursor + selector_cycles, "merge + outcome"
+            )
+        )
+        cursor += selector_cycles
+    return IterationTrace(dof=dof, events=timeline, total_cycles=cursor)
 
 
 def render_gantt(trace: IterationTrace, width: int = 72) -> str:

@@ -7,14 +7,27 @@ re-exported here so ``repro.solvers`` is the one-stop module for every solver.
 from repro.core.base import IterativeIKSolver
 from repro.core.hybrid import HybridSpeculativeSolver
 from repro.core.quick_ik import QuickIKSolver
+from repro.core.result import BatchResult
 from repro.solvers.analytic import PlanarTwoLinkSolver, planar_two_link_ik
-from repro.solvers.batched import BatchedJacobianTranspose, BatchedQuickIK
+from repro.solvers.batched import (
+    BatchedJacobianTranspose,
+    BatchedQuickIK,
+    LockStepEngine,
+)
 from repro.solvers.ccd import CyclicCoordinateDescentSolver
 from repro.solvers.dls import DampedLeastSquaresSolver
 from repro.solvers.jacobian_transpose import JacobianTransposeSolver
 from repro.solvers.nullspace import NullSpaceSolver, limit_centering_gradient
 from repro.solvers.pose_ik import PoseQuickIKSolver
 from repro.solvers.pseudoinverse import PseudoinverseSolver, damped_pinv
+from repro.solvers.registry import (
+    BATCH_REGISTRY,
+    SOLVER_REGISTRY,
+    describe_solver_options,
+    make_batch_solver,
+    make_solver,
+    solver_options,
+)
 from repro.solvers.restarts import RandomRestartSolver
 from repro.solvers.sdls import SelectivelyDampedSolver
 
@@ -24,8 +37,10 @@ __all__ = [
     "HybridSpeculativeSolver",
     "PlanarTwoLinkSolver",
     "planar_two_link_ik",
+    "BatchResult",
     "BatchedJacobianTranspose",
     "BatchedQuickIK",
+    "LockStepEngine",
     "CyclicCoordinateDescentSolver",
     "DampedLeastSquaresSolver",
     "JacobianTransposeSolver",
@@ -37,32 +52,9 @@ __all__ = [
     "RandomRestartSolver",
     "SelectivelyDampedSolver",
     "SOLVER_REGISTRY",
+    "BATCH_REGISTRY",
     "make_solver",
+    "make_batch_solver",
+    "solver_options",
+    "describe_solver_options",
 ]
-
-#: Solver factories keyed by the names used in the paper's Table 1 (plus
-#: extensions).  Each factory takes ``(chain, config=None, **kwargs)``.
-SOLVER_REGISTRY = {
-    "JT-Serial": JacobianTransposeSolver,
-    "J-1-SVD": PseudoinverseSolver,
-    "JT-Speculation": QuickIKSolver,
-    "JT-DLS": DampedLeastSquaresSolver,
-    "JT-SDLS": SelectivelyDampedSolver,
-    "CCD": CyclicCoordinateDescentSolver,
-    "J-1-SVD+nullspace": NullSpaceSolver,
-    "JT-Hybrid": HybridSpeculativeSolver,
-}
-
-
-def make_solver(name, chain, config=None, **kwargs):
-    """Instantiate a solver by its Table 1 name.
-
-    Extra keyword arguments are forwarded to the solver constructor (e.g.
-    ``speculations=64`` for ``"JT-Speculation"``).
-    """
-    try:
-        factory = SOLVER_REGISTRY[name]
-    except KeyError:
-        known = ", ".join(sorted(SOLVER_REGISTRY))
-        raise KeyError(f"unknown solver {name!r}; known: {known}") from None
-    return factory(chain, config=config, **kwargs)

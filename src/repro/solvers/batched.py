@@ -13,6 +13,13 @@ The per-problem semantics match :class:`~repro.core.quick_ik.QuickIKSolver`
 precisely: Buss base step (Eq. 8) with the same degenerate-case fallback, the
 Eq. 9 schedule, first-below-threshold-else-argmin candidate selection, and
 the 10k-iteration cap.
+
+Both engines share the ``solve_batch(targets, q0=None, rng=None,
+tracer=None) -> BatchResult`` signature; :class:`BatchResult` is a sequence
+of per-problem :class:`IKResult`, so callers of the historical
+``list[IKResult]`` return value are unaffected.  The engines are registered
+in :data:`~repro.solvers.registry.BATCH_REGISTRY` under the same Table 1
+names as their scalar counterparts.
 """
 
 from __future__ import annotations
@@ -22,9 +29,10 @@ import time
 import numpy as np
 
 from repro.core.alpha import FALLBACK_ALPHA
-from repro.core.result import IKResult, SolverConfig
+from repro.core.result import BatchResult, IKResult, SolverConfig
+from repro.telemetry.tracer import Tracer, get_tracer
 
-__all__ = ["BatchedQuickIK", "BatchedJacobianTranspose"]
+__all__ = ["BatchedQuickIK", "BatchedJacobianTranspose", "LockStepEngine"]
 
 #: FK rows evaluated per chunk.  Small enough that one chunk's transform
 #: stack (``chunk x N`` 4x4 matrices) stays cache-resident — larger chunks
@@ -32,7 +40,164 @@ __all__ = ["BatchedQuickIK", "BatchedJacobianTranspose"]
 DEFAULT_CHUNK = 128
 
 
-class BatchedQuickIK:
+class LockStepEngine:
+    """Shared scaffolding for the lock-step batch engines.
+
+    Owns the pieces both engines repeat verbatim: target/``q0`` validation
+    and broadcast, chunked batched FK, tracer resolution, and assembling the
+    per-problem :class:`IKResult` list into a :class:`BatchResult`.
+    Subclasses implement one lock-step iteration over the active rows in
+    :meth:`_advance` and set :attr:`name` / :attr:`speculations`.
+    """
+
+    name = "lock-step"
+
+    #: Candidate evaluations per problem per iteration.
+    speculations = 1
+
+    def __init__(
+        self,
+        chain,
+        config: SolverConfig | None = None,
+        chunk: int = DEFAULT_CHUNK,
+    ) -> None:
+        if chunk < 1:
+            raise ValueError("chunk must be >= 1")
+        self.chain = chain
+        self.config = config or SolverConfig()
+        self.chunk = int(chunk)
+
+    def _fk_chunked(self, qs: np.ndarray) -> np.ndarray:
+        if qs.shape[0] <= self.chunk:
+            return self.chain.end_positions_batch(qs)
+        parts = [
+            self.chain.end_positions_batch(qs[i : i + self.chunk])
+            for i in range(0, qs.shape[0], self.chunk)
+        ]
+        return np.concatenate(parts, axis=0)
+
+    def _initial_configurations(
+        self,
+        m: int,
+        q0: np.ndarray | None,
+        rng: np.random.Generator | None,
+    ) -> np.ndarray:
+        dof = self.chain.dof
+        if q0 is None:
+            if rng is None:
+                rng = np.random.default_rng()
+            return np.stack(
+                [self.chain.random_configuration(rng) for _ in range(m)]
+            )
+        q0 = np.asarray(q0, dtype=float)
+        qs = np.tile(q0, (m, 1)) if q0.ndim == 1 else q0.copy()
+        if qs.shape != (m, dof):
+            raise ValueError(f"q0 must broadcast to ({m}, {dof})")
+        return qs
+
+    def _advance(
+        self,
+        active: np.ndarray,
+        qs: np.ndarray,
+        positions: np.ndarray,
+        errors: np.ndarray,
+        targets: np.ndarray,
+        tracer: Tracer,
+    ) -> int:
+        """One lock-step iteration over ``active`` rows (updates in place).
+
+        Returns the FK evaluations charged to each active problem this
+        iteration.
+        """
+        raise NotImplementedError
+
+    def solve_batch(
+        self,
+        targets: np.ndarray,
+        q0: np.ndarray | None = None,
+        rng: np.random.Generator | None = None,
+        tracer: Tracer | None = None,
+    ) -> BatchResult:
+        """Solve all ``targets`` in lock-step.
+
+        ``q0`` may be a single configuration (shared) or one row per target;
+        omitted, each problem gets its own random restart.  ``tracer``
+        defaults to the process-global tracer.
+        """
+        start_time = time.perf_counter()
+        targets = np.atleast_2d(np.asarray(targets, dtype=float))
+        if targets.shape[1] != 3:
+            raise ValueError("targets must have shape (M, 3)")
+        m = targets.shape[0]
+        qs = self._initial_configurations(m, q0, rng)
+
+        tr = tracer if tracer is not None else get_tracer()
+        traced = tr.enabled
+        tolerance = self.config.tolerance
+        positions = self._fk_chunked(qs)
+        errors = np.linalg.norm(targets - positions, axis=1)
+        iterations = np.zeros(m, dtype=int)
+        fk_evaluations = np.ones(m, dtype=int)
+        active = np.flatnonzero(errors >= tolerance)
+        if traced:
+            tr.solve_start(self.name, self.chain.dof, batch=m,
+                           speculations=self.speculations)
+            tr.count("fk_evaluations", m)
+
+        outer = 0
+        while active.size and outer < self.config.max_iterations:
+            outer += 1
+            fk_per_problem = self._advance(
+                active, qs, positions, errors, targets, tr
+            )
+            iterations[active] += 1
+            fk_evaluations[active] += fk_per_problem
+            if traced:
+                tr.count("fk_evaluations", fk_per_problem * active.size)
+                tr.count("jacobian_builds", active.size)
+                tr.count("candidate_evaluations", self.speculations * active.size)
+                tr.iteration(
+                    outer,
+                    float(errors[active].max()),
+                    active=int(active.size),
+                    fk_evaluations=int(fk_per_problem * active.size),
+                )
+            active = active[errors[active] >= tolerance]
+
+        elapsed = time.perf_counter() - start_time
+        results = [
+            IKResult(
+                q=qs[i].copy(),
+                converged=bool(errors[i] < tolerance),
+                iterations=int(iterations[i]),
+                error=float(errors[i]),
+                target=targets[i].copy(),
+                solver=self.name,
+                dof=self.chain.dof,
+                speculations=self.speculations,
+                fk_evaluations=int(fk_evaluations[i]),
+                wall_time=elapsed / m,
+            )
+            for i in range(m)
+        ]
+        batch = BatchResult(results=results, solver=self.name, wall_time=elapsed)
+        if traced:
+            tr.solve_end(
+                self.name,
+                converged=batch.converged_count == m,
+                batch=m,
+                converged_count=batch.converged_count,
+                iterations=int(iterations.sum()),
+                error=float(errors.max()) if m else 0.0,
+                wall_time=elapsed,
+            )
+            summary = getattr(tr, "summary", None)
+            if summary is not None:
+                batch.telemetry = summary().to_dict()
+        return batch
+
+
+class BatchedQuickIK(LockStepEngine):
     """Lock-step Quick-IK over a batch of targets.
 
     Parameters mirror :class:`~repro.core.quick_ik.QuickIKSolver` (linear
@@ -48,123 +213,67 @@ class BatchedQuickIK:
         config: SolverConfig | None = None,
         chunk: int = DEFAULT_CHUNK,
     ) -> None:
+        super().__init__(chain, config=config, chunk=chunk)
         if speculations < 1:
             raise ValueError("speculations must be >= 1")
-        if chunk < 1:
-            raise ValueError("chunk must be >= 1")
-        self.chain = chain
         self.speculations = int(speculations)
-        self.config = config or SolverConfig()
-        self.chunk = int(chunk)
         self._ks = np.arange(1, self.speculations + 1) / self.speculations
 
-    def _fk_chunked(self, qs: np.ndarray) -> np.ndarray:
-        if qs.shape[0] <= self.chunk:
-            return self.chain.end_positions_batch(qs)
-        parts = [
-            self.chain.end_positions_batch(qs[i : i + self.chunk])
-            for i in range(0, qs.shape[0], self.chunk)
-        ]
-        return np.concatenate(parts, axis=0)
-
-    def solve_batch(
-        self,
-        targets: np.ndarray,
-        q0: np.ndarray | None = None,
-        rng: np.random.Generator | None = None,
-    ) -> list[IKResult]:
-        """Solve all ``targets``; returns one :class:`IKResult` per target.
-
-        ``q0`` may be a single configuration (shared) or one row per target;
-        omitted, each problem gets its own random restart.
-        """
-        start_time = time.perf_counter()
-        targets = np.atleast_2d(np.asarray(targets, dtype=float))
-        if targets.shape[1] != 3:
-            raise ValueError("targets must have shape (M, 3)")
-        m = targets.shape[0]
+    def _advance(self, active, qs, positions, errors, targets, tracer) -> int:
+        timed = tracer.enabled
+        if timed:
+            t0 = time.perf_counter()
         dof = self.chain.dof
-        if rng is None:
-            rng = np.random.default_rng()
-        if q0 is None:
-            qs = np.stack([self.chain.random_configuration(rng) for _ in range(m)])
-        else:
-            q0 = np.asarray(q0, dtype=float)
-            qs = np.tile(q0, (m, 1)) if q0.ndim == 1 else q0.copy()
-            if qs.shape != (m, dof):
-                raise ValueError(f"q0 must broadcast to ({m}, {dof})")
+        q_act = qs[active]
+        e_act = targets[active] - positions[active]
 
-        tolerance = self.config.tolerance
-        positions = self._fk_chunked(qs)
-        errors = np.linalg.norm(targets - positions, axis=1)
-        iterations = np.zeros(m, dtype=int)
-        fk_evaluations = np.ones(m, dtype=int)
-        active = np.flatnonzero(errors >= tolerance)
+        jacobians = self.chain.jacobian_position_batch(q_act)  # (A,3,N)
+        dq_base = np.einsum("akn,ak->an", jacobians, e_act)  # J^T e
+        jjte = np.einsum("akn,an->ak", jacobians, dq_base)  # J J^T e
+        if timed:
+            t1 = time.perf_counter()
+            tracer.add_phase("jacobian", t1 - t0)
+        denom = np.einsum("ak,ak->a", jjte, jjte)
+        numer = np.einsum("ak,ak->a", e_act, jjte)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            alpha_base = numer / denom
+        bad = ~np.isfinite(alpha_base) | (alpha_base <= 0.0) | (denom <= 0.0)
+        alpha_base = np.where(bad, FALLBACK_ALPHA, alpha_base)
 
-        outer = 0
-        while active.size and outer < self.config.max_iterations:
-            outer += 1
-            q_act = qs[active]
-            e_act = targets[active] - positions[active]
+        alphas = alpha_base[:, None] * self._ks[None, :]  # (A,Max)
+        candidates = (
+            q_act[:, None, :] + alphas[:, :, None] * dq_base[:, None, :]
+        )  # (A,Max,N)
+        if timed:
+            t2 = time.perf_counter()
+            tracer.add_phase("alpha", t2 - t1)
+        flat = candidates.reshape(-1, dof)
+        cand_positions = self._fk_chunked(flat).reshape(
+            active.size, self.speculations, 3
+        )
+        if timed:
+            t3 = time.perf_counter()
+            tracer.add_phase("fk_sweep", t3 - t2)
+        cand_errors = np.linalg.norm(
+            targets[active][:, None, :] - cand_positions, axis=2
+        )  # (A,Max)
 
-            jacobians = self.chain.jacobian_position_batch(q_act)  # (A,3,N)
-            dq_base = np.einsum("akn,ak->an", jacobians, e_act)  # J^T e
-            jjte = np.einsum("akn,an->ak", jacobians, dq_base)  # J J^T e
-            denom = np.einsum("ak,ak->a", jjte, jjte)
-            numer = np.einsum("ak,ak->a", e_act, jjte)
-            with np.errstate(divide="ignore", invalid="ignore"):
-                alpha_base = numer / denom
-            bad = ~np.isfinite(alpha_base) | (alpha_base <= 0.0) | (denom <= 0.0)
-            alpha_base = np.where(bad, FALLBACK_ALPHA, alpha_base)
+        below = cand_errors < self.config.tolerance
+        any_below = below.any(axis=1)
+        first_hit = below.argmax(axis=1)
+        argmin = cand_errors.argmin(axis=1)
+        chosen = np.where(any_below, first_hit, argmin)
 
-            alphas = alpha_base[:, None] * self._ks[None, :]  # (A,Max)
-            candidates = (
-                q_act[:, None, :] + alphas[:, :, None] * dq_base[:, None, :]
-            )  # (A,Max,N)
-            flat = candidates.reshape(-1, dof)
-            cand_positions = self._fk_chunked(flat).reshape(
-                active.size, self.speculations, 3
-            )
-            cand_errors = np.linalg.norm(
-                targets[active][:, None, :] - cand_positions, axis=2
-            )  # (A,Max)
-
-            below = cand_errors < tolerance
-            any_below = below.any(axis=1)
-            first_hit = below.argmax(axis=1)
-            argmin = cand_errors.argmin(axis=1)
-            chosen = np.where(any_below, first_hit, argmin)
-
-            rows = np.arange(active.size)
-            qs[active] = candidates[rows, chosen]
-            positions[active] = cand_positions[rows, chosen]
-            errors[active] = cand_errors[rows, chosen]
-            iterations[active] += 1
-            fk_evaluations[active] += self.speculations
-
-            active = active[errors[active] >= tolerance]
-
-        elapsed = time.perf_counter() - start_time
-        results = []
-        for i in range(m):
-            results.append(
-                IKResult(
-                    q=qs[i].copy(),
-                    converged=bool(errors[i] < tolerance),
-                    iterations=int(iterations[i]),
-                    error=float(errors[i]),
-                    target=targets[i].copy(),
-                    solver=self.name,
-                    dof=dof,
-                    speculations=self.speculations,
-                    fk_evaluations=int(fk_evaluations[i]),
-                    wall_time=elapsed / m,
-                )
-            )
-        return results
+        rows = np.arange(active.size)
+        qs[active] = candidates[rows, chosen]
+        positions[active] = cand_positions[rows, chosen]
+        errors[active] = cand_errors[rows, chosen]
+        if timed:
+            tracer.add_phase("selection", time.perf_counter() - t3)
+        return self.speculations
 
 
-class BatchedJacobianTranspose:
+class BatchedJacobianTranspose(LockStepEngine):
     """Lock-step JT-Serial (classic constant gain) over a batch of targets.
 
     This is where batching pays off most: the scalar solver spends thousands
@@ -185,85 +294,34 @@ class BatchedJacobianTranspose:
     ) -> None:
         from repro.solvers.jacobian_transpose import classic_transpose_gain
 
-        self.chain = chain
-        self.config = config or SolverConfig()
+        super().__init__(chain, config=config, chunk=chunk)
         self.alpha = (
             fixed_alpha if fixed_alpha is not None else classic_transpose_gain(chain)
         )
         if self.alpha <= 0.0:
             raise ValueError("alpha must be positive")
-        self.chunk = int(chunk)
 
-    def _fk_chunked(self, qs: np.ndarray) -> np.ndarray:
-        if qs.shape[0] <= self.chunk:
-            return self.chain.end_positions_batch(qs)
-        parts = [
-            self.chain.end_positions_batch(qs[i : i + self.chunk])
-            for i in range(0, qs.shape[0], self.chunk)
-        ]
-        return np.concatenate(parts, axis=0)
-
-    def solve_batch(
-        self,
-        targets: np.ndarray,
-        q0: np.ndarray | None = None,
-        rng: np.random.Generator | None = None,
-    ) -> list[IKResult]:
-        """Solve all ``targets``; one :class:`IKResult` per target."""
-        start_time = time.perf_counter()
-        targets = np.atleast_2d(np.asarray(targets, dtype=float))
-        if targets.shape[1] != 3:
-            raise ValueError("targets must have shape (M, 3)")
-        m = targets.shape[0]
-        dof = self.chain.dof
-        if rng is None:
-            rng = np.random.default_rng()
-        if q0 is None:
-            qs = np.stack([self.chain.random_configuration(rng) for _ in range(m)])
-        else:
-            q0 = np.asarray(q0, dtype=float)
-            qs = np.tile(q0, (m, 1)) if q0.ndim == 1 else q0.copy()
-            if qs.shape != (m, dof):
-                raise ValueError(f"q0 must broadcast to ({m}, {dof})")
-
-        tolerance = self.config.tolerance
-        positions = self._fk_chunked(qs)
-        errors = np.linalg.norm(targets - positions, axis=1)
-        iterations = np.zeros(m, dtype=int)
-        fk_evaluations = np.ones(m, dtype=int)
-        active = np.flatnonzero(errors >= tolerance)
-
-        outer = 0
-        while active.size and outer < self.config.max_iterations:
-            outer += 1
-            # Jacobians and positions in one pass (the Jacobian batch already
-            # computes the frames; re-deriving p_ee from FK keeps the scalar
-            # solver's exact operation order).
-            jacobians = self.chain.jacobian_position_batch(qs[active])
-            e_act = targets[active] - positions[active]
-            dq = np.einsum("akn,ak->an", jacobians, e_act)
-            qs[active] = qs[active] + self.alpha * dq
-            positions[active] = self._fk_chunked(qs[active])
-            errors[active] = np.linalg.norm(
-                targets[active] - positions[active], axis=1
-            )
-            iterations[active] += 1
-            fk_evaluations[active] += 1
-            active = active[errors[active] >= tolerance]
-
-        elapsed = time.perf_counter() - start_time
-        return [
-            IKResult(
-                q=qs[i].copy(),
-                converged=bool(errors[i] < tolerance),
-                iterations=int(iterations[i]),
-                error=float(errors[i]),
-                target=targets[i].copy(),
-                solver=self.name,
-                dof=dof,
-                speculations=1,
-                fk_evaluations=int(fk_evaluations[i]),
-                wall_time=elapsed / m,
-            )
-            for i in range(m)
-        ]
+    def _advance(self, active, qs, positions, errors, targets, tracer) -> int:
+        timed = tracer.enabled
+        if timed:
+            t0 = time.perf_counter()
+        # Jacobians and positions in one pass (the Jacobian batch already
+        # computes the frames; re-deriving p_ee from FK keeps the scalar
+        # solver's exact operation order).
+        jacobians = self.chain.jacobian_position_batch(qs[active])
+        e_act = targets[active] - positions[active]
+        dq = np.einsum("akn,ak->an", jacobians, e_act)
+        if timed:
+            t1 = time.perf_counter()
+            tracer.add_phase("jacobian", t1 - t0)
+        qs[active] = qs[active] + self.alpha * dq
+        positions[active] = self._fk_chunked(qs[active])
+        if timed:
+            t2 = time.perf_counter()
+            tracer.add_phase("fk_sweep", t2 - t1)
+        errors[active] = np.linalg.norm(
+            targets[active] - positions[active], axis=1
+        )
+        if timed:
+            tracer.add_phase("selection", time.perf_counter() - t2)
+        return 1

@@ -31,6 +31,9 @@ class CyclicCoordinateDescentSolver(IterativeIKSolver):
     name = "CCD"
     speculations = 1
 
+    #: CCD sweeps joints geometrically; it never builds a full Jacobian.
+    jacobians_per_step = 0
+
     def __init__(
         self, chain: KinematicChain, config: SolverConfig | None = None
     ) -> None:

@@ -1,0 +1,155 @@
+"""Solver registries and validated factories.
+
+Two registries, parallel by name:
+
+* :data:`SOLVER_REGISTRY` — scalar solvers keyed by the paper's Table 1
+  names (plus extensions); built by :func:`make_solver`.
+* :data:`BATCH_REGISTRY` — lock-step batch engines keyed by the scalar name
+  they accelerate; built by :func:`make_batch_solver`, which falls back to
+  the scalar solver's per-target loop for names without a dedicated engine
+  (so every ``SOLVER_REGISTRY`` name is also a valid batch name).
+
+Both factories validate their keyword arguments against the target
+constructor's signature and reject unknown ones with an error naming the
+solver and listing what it accepts — previously a typo like
+``speculation=64`` surfaced as a bare ``TypeError`` from ``__init__``.
+:func:`describe_solver_options` renders the same information as help text
+for ``repro solve --help`` / ``repro robots``.
+"""
+
+from __future__ import annotations
+
+import inspect
+from typing import Any
+
+from repro.core.hybrid import HybridSpeculativeSolver
+from repro.core.quick_ik import QuickIKSolver
+from repro.solvers.batched import BatchedJacobianTranspose, BatchedQuickIK
+from repro.solvers.ccd import CyclicCoordinateDescentSolver
+from repro.solvers.dls import DampedLeastSquaresSolver
+from repro.solvers.jacobian_transpose import JacobianTransposeSolver
+from repro.solvers.nullspace import NullSpaceSolver
+from repro.solvers.pseudoinverse import PseudoinverseSolver
+from repro.solvers.sdls import SelectivelyDampedSolver
+
+__all__ = [
+    "SOLVER_REGISTRY",
+    "BATCH_REGISTRY",
+    "make_solver",
+    "make_batch_solver",
+    "solver_options",
+    "describe_solver_options",
+]
+
+#: Solver factories keyed by the names used in the paper's Table 1 (plus
+#: extensions).  Each factory takes ``(chain, config=None, **kwargs)``.
+SOLVER_REGISTRY = {
+    "JT-Serial": JacobianTransposeSolver,
+    "J-1-SVD": PseudoinverseSolver,
+    "JT-Speculation": QuickIKSolver,
+    "JT-DLS": DampedLeastSquaresSolver,
+    "JT-SDLS": SelectivelyDampedSolver,
+    "CCD": CyclicCoordinateDescentSolver,
+    "J-1-SVD+nullspace": NullSpaceSolver,
+    "JT-Hybrid": HybridSpeculativeSolver,
+}
+
+#: Lock-step batch engines, keyed by the scalar solver they accelerate.
+BATCH_REGISTRY = {
+    "JT-Speculation": BatchedQuickIK,
+    "JT-Serial": BatchedJacobianTranspose,
+}
+
+#: Constructor parameters that are not user-tunable options (the chain is
+#: positional; ``config`` carries the convergence policy).
+_NON_OPTION_PARAMS = ("self", "chain", "config")
+
+
+def solver_options(name: str, registry: dict | None = None) -> dict[str, inspect.Parameter]:
+    """The tunable keyword parameters of a registered solver's constructor.
+
+    Returns ``{parameter name: inspect.Parameter}`` (defaults included),
+    excluding the chain and ``config``.
+    """
+    registry = registry if registry is not None else SOLVER_REGISTRY
+    try:
+        factory = registry[name]
+    except KeyError:
+        known = ", ".join(sorted(registry))
+        raise KeyError(f"unknown solver {name!r}; known: {known}") from None
+    return {
+        pname: param
+        for pname, param in inspect.signature(factory).parameters.items()
+        if pname not in _NON_OPTION_PARAMS
+        and param.kind
+        not in (inspect.Parameter.VAR_POSITIONAL, inspect.Parameter.VAR_KEYWORD)
+    }
+
+
+def _validate_kwargs(name: str, factory: Any, kwargs: dict, registry: dict) -> None:
+    """Reject keyword arguments the solver's constructor does not accept."""
+    params = inspect.signature(factory).parameters
+    if any(p.kind is inspect.Parameter.VAR_KEYWORD for p in params.values()):
+        return
+    accepted = solver_options(name, registry)
+    unknown = sorted(set(kwargs) - set(accepted))
+    if unknown:
+        options = ", ".join(sorted(accepted)) or "(none)"
+        raise TypeError(
+            f"solver {name!r} got unexpected option(s) {unknown}; "
+            f"accepted options: {options}"
+        )
+
+
+def make_solver(name: str, chain, config=None, **kwargs):
+    """Instantiate a scalar solver by its Table 1 name.
+
+    Extra keyword arguments are forwarded to the solver constructor (e.g.
+    ``speculations=64`` for ``"JT-Speculation"``); unknown ones raise a
+    ``TypeError`` naming the solver and its accepted options.
+    """
+    try:
+        factory = SOLVER_REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(SOLVER_REGISTRY))
+        raise KeyError(f"unknown solver {name!r}; known: {known}") from None
+    _validate_kwargs(name, factory, kwargs, SOLVER_REGISTRY)
+    return factory(chain, config=config, **kwargs)
+
+
+def make_batch_solver(name: str, chain, config=None, **kwargs):
+    """Instantiate a batch solver by name.
+
+    Names in :data:`BATCH_REGISTRY` get the dedicated lock-step engine; any
+    other :data:`SOLVER_REGISTRY` name falls back to the scalar solver,
+    whose inherited ``solve_batch`` loops per target.  Either way the result
+    exposes ``solve_batch(targets, q0=None, rng=None, tracer=None) ->
+    BatchResult``.
+    """
+    if name in BATCH_REGISTRY:
+        factory = BATCH_REGISTRY[name]
+        _validate_kwargs(name, factory, kwargs, BATCH_REGISTRY)
+        return factory(chain, config=config, **kwargs)
+    if name in SOLVER_REGISTRY:
+        return make_solver(name, chain, config=config, **kwargs)
+    known = ", ".join(sorted(set(BATCH_REGISTRY) | set(SOLVER_REGISTRY)))
+    raise KeyError(f"unknown batch solver {name!r}; known: {known}")
+
+
+def describe_solver_options(registry: dict | None = None) -> str:
+    """Render every registered solver's options as indented help text."""
+    registry = registry if registry is not None else SOLVER_REGISTRY
+    lines = []
+    for name in sorted(registry):
+        options = solver_options(name, registry)
+        if options:
+            rendered = ", ".join(
+                pname
+                if param.default is inspect.Parameter.empty
+                else f"{pname}={param.default!r}"
+                for pname, param in options.items()
+            )
+        else:
+            rendered = "(no options)"
+        lines.append(f"  {name}: {rendered}")
+    return "\n".join(lines)

@@ -14,6 +14,7 @@ import numpy as np
 
 from repro.core.base import IterativeIKSolver
 from repro.core.result import IKResult
+from repro.telemetry.tracer import Tracer, get_tracer
 
 __all__ = ["RandomRestartSolver"]
 
@@ -48,18 +49,22 @@ class RandomRestartSolver:
         target: np.ndarray,
         q0: np.ndarray | None = None,
         rng: np.random.Generator | None = None,
+        tracer: Tracer | None = None,
     ) -> IKResult:
         """Solve with restarts; returns the first converged result (with
         accumulated cost) or the best failed attempt."""
         if rng is None:
             rng = np.random.default_rng()
+        tr = tracer if tracer is not None else get_tracer()
         total_iterations = 0
         total_fk = 0
         total_time = 0.0
         best: IKResult | None = None
         for attempt in range(self.max_restarts):
+            if attempt and tr.enabled:
+                tr.count("restarts")
             start = q0 if attempt == 0 else None
-            result = self.inner.solve(target, q0=start, rng=rng)
+            result = self.inner.solve(target, q0=start, rng=rng, tracer=tracer)
             total_iterations += result.iterations
             total_fk += result.fk_evaluations
             total_time += result.wall_time

@@ -1,0 +1,69 @@
+"""Solver telemetry: events, counters, phase timers and sinks.
+
+The observability layer for every solve path in the repository.  Solvers emit
+``solve_start`` / ``iteration`` / ``speculation_wave`` / ``solve_end`` events
+plus counters (FK evaluations, Jacobian builds, candidate evaluations,
+restarts) and phase timings (jacobian, alpha, fk_sweep, selection) to a
+:class:`Tracer`; sinks turn the stream into an in-memory summary
+(:class:`SummaryTracer`), a JSONL trace file (:class:`JsonlTracer`) or
+aggregated percentile metrics (:class:`MetricsRegistry`).
+
+Uninstrumented solves pay nothing: the default :data:`NULL_TRACER` is a
+single ``enabled`` attribute check per hook point (see
+``docs/observability.md`` and the overhead guard test).
+
+Usage::
+
+    from repro import api, telemetry
+
+    tracer = telemetry.SummaryTracer()
+    result = api.solve("dadu-25dof", [0.3, 0.2, 0.4], tracer=tracer)
+    print(tracer.summary().counters["fk_evaluations"])
+
+or process-wide (how ``repro bench --metrics-out`` hooks the harness)::
+
+    registry = telemetry.MetricsRegistry()
+    with telemetry.use_tracer(registry):
+        run_benchmarks()
+    print(registry.to_json())
+"""
+
+from repro.telemetry.sinks import (
+    JsonlTracer,
+    MetricsRegistry,
+    SummaryTracer,
+    TelemetrySummary,
+    percentile,
+    read_jsonl_trace,
+)
+from repro.telemetry.tracer import (
+    COUNTER_NAMES,
+    NULL_TRACER,
+    PHASE_NAMES,
+    MultiTracer,
+    NullTracer,
+    Tracer,
+    TracerBase,
+    get_tracer,
+    set_tracer,
+    use_tracer,
+)
+
+__all__ = [
+    "Tracer",
+    "TracerBase",
+    "NullTracer",
+    "NULL_TRACER",
+    "MultiTracer",
+    "COUNTER_NAMES",
+    "PHASE_NAMES",
+    "get_tracer",
+    "set_tracer",
+    "use_tracer",
+    "SummaryTracer",
+    "TelemetrySummary",
+    "JsonlTracer",
+    "read_jsonl_trace",
+    "MetricsRegistry",
+    "percentile",
+]

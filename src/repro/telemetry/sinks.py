@@ -1,0 +1,252 @@
+"""Concrete telemetry sinks: in-memory summary, JSONL traces, metrics.
+
+Three consumers of the event stream defined in :mod:`repro.telemetry.tracer`:
+
+* :class:`SummaryTracer` — keeps every event in memory; the workhorse for
+  tests and interactive inspection.
+* :class:`JsonlTracer` — streams events as JSON lines to a file; the
+  ``--trace-out`` CLI flag builds one.  :func:`read_jsonl_trace` round-trips.
+* :class:`MetricsRegistry` — aggregates ``solve_end`` events across many
+  solves into per-solver latency percentiles and counter totals; the
+  ``--metrics-out`` CLI flag dumps its report.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import IO, Any
+
+import numpy as np
+
+from repro.telemetry.tracer import TracerBase
+
+__all__ = [
+    "SummaryTracer",
+    "TelemetrySummary",
+    "JsonlTracer",
+    "read_jsonl_trace",
+    "MetricsRegistry",
+    "percentile",
+]
+
+#: Latency percentiles reported by :class:`MetricsRegistry`.
+DEFAULT_PERCENTILES = (50.0, 90.0, 99.0)
+
+
+def _jsonable(value: Any) -> Any:
+    """Coerce numpy scalars/arrays (and nested containers) to JSON types."""
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, (np.floating, np.integer, np.bool_)):
+        return value.item()
+    if isinstance(value, dict):
+        return {k: _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    return value
+
+
+def percentile(values: list[float], q: float) -> float:
+    """Percentile with linear interpolation; NaN for an empty sample."""
+    if not values:
+        return math.nan
+    return float(np.percentile(np.asarray(values, dtype=float), q))
+
+
+@dataclass
+class TelemetrySummary:
+    """What one :class:`SummaryTracer` saw, condensed."""
+
+    solves: int
+    iterations: int
+    waves: int
+    counters: dict[str, int]
+    phase_seconds: dict[str, float]
+    events: int
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-dict form (JSON-serialisable)."""
+        return {
+            "solves": self.solves,
+            "iterations": self.iterations,
+            "waves": self.waves,
+            "counters": dict(self.counters),
+            "phase_seconds": dict(self.phase_seconds),
+            "events": self.events,
+        }
+
+
+class SummaryTracer(TracerBase):
+    """In-memory sink: keeps the full event list plus counter/phase totals."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.events: list[dict[str, Any]] = []
+
+    def _record(self, event: dict[str, Any]) -> None:
+        self.events.append(_jsonable(event))
+
+    def events_of(self, name: str) -> list[dict[str, Any]]:
+        """All recorded events of one type, in emission order."""
+        return [e for e in self.events if e["event"] == name]
+
+    def summary(self) -> TelemetrySummary:
+        """Condense the stream into a :class:`TelemetrySummary`."""
+        return TelemetrySummary(
+            solves=len(self.events_of("solve_end")),
+            iterations=len(self.events_of("iteration")),
+            waves=len(self.events_of("speculation_wave")),
+            counters=dict(self.counters),
+            phase_seconds=dict(self.phase_seconds),
+            events=len(self.events),
+        )
+
+
+class JsonlTracer(TracerBase):
+    """Stream every event as one JSON object per line.
+
+    Accepts a path (opened and owned; call :meth:`close` or use as a context
+    manager) or any writable text file object (borrowed, left open).
+    """
+
+    def __init__(self, destination: str | Path | IO[str]) -> None:
+        super().__init__()
+        if hasattr(destination, "write"):
+            self._file: IO[str] = destination  # type: ignore[assignment]
+            self._owns_file = False
+        else:
+            self._file = open(destination, "w", encoding="utf-8")
+            self._owns_file = True
+        self.lines_written = 0
+
+    def _record(self, event: dict[str, Any]) -> None:
+        json.dump(_jsonable(event), self._file, separators=(",", ":"))
+        self._file.write("\n")
+        self.lines_written += 1
+
+    def solve_end(self, solver: str, **fields: Any) -> None:
+        # Attach the running counter/phase totals so a trace file is
+        # self-contained, then flush: a crash mid-batch keeps whole lines.
+        fields.setdefault("counters", dict(self.counters))
+        fields.setdefault("phase_seconds", dict(self.phase_seconds))
+        super().solve_end(solver, **fields)
+        self._file.flush()
+
+    def close(self) -> None:
+        """Flush and (when owned) close the underlying file."""
+        self._file.flush()
+        if self._owns_file:
+            self._file.close()
+
+    def __enter__(self) -> "JsonlTracer":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+
+def read_jsonl_trace(path: str | Path) -> list[dict[str, Any]]:
+    """Parse a :class:`JsonlTracer` file back into its event dicts."""
+    events = []
+    with open(path, encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                events.append(json.loads(line))
+    return events
+
+
+@dataclass
+class _SolverSeries:
+    """Per-solver accumulation inside :class:`MetricsRegistry`."""
+
+    latencies_s: list[float] = field(default_factory=list)
+    iterations: list[int] = field(default_factory=list)
+    errors: list[float] = field(default_factory=list)
+    converged: int = 0
+    solves: int = 0
+
+
+class MetricsRegistry(TracerBase):
+    """Aggregate solve outcomes across a batch/benchmark run.
+
+    Consumes ``solve_end`` events (either as an installed tracer or via
+    :meth:`record_result` for code that already holds ``IKResult``s) and
+    reports per-solver convergence rates, latency percentiles and the global
+    counter totals.
+    """
+
+    def __init__(self, percentiles: tuple[float, ...] = DEFAULT_PERCENTILES) -> None:
+        super().__init__()
+        self.percentiles = percentiles
+        self.series: dict[str, _SolverSeries] = {}
+
+    def _record(self, event: dict[str, Any]) -> None:
+        if event["event"] != "solve_end":
+            return
+        series = self.series.setdefault(event["solver"], _SolverSeries())
+        series.solves += 1
+        if event.get("converged"):
+            series.converged += 1
+        if "wall_time" in event:
+            series.latencies_s.append(float(event["wall_time"]))
+        if "iterations" in event:
+            series.iterations.append(int(event["iterations"]))
+        if "error" in event:
+            series.errors.append(float(event["error"]))
+
+    def record_result(self, result: Any) -> None:
+        """Feed an ``IKResult``-shaped object directly (no tracer wiring)."""
+        self.solve_end(
+            result.solver,
+            converged=bool(result.converged),
+            iterations=int(result.iterations),
+            error=float(result.error),
+            wall_time=float(result.wall_time),
+        )
+
+    def report(self) -> dict[str, Any]:
+        """Aggregated metrics: per-solver stats plus global counters."""
+        solvers: dict[str, Any] = {}
+        for name, series in sorted(self.series.items()):
+            entry: dict[str, Any] = {
+                "solves": series.solves,
+                "converged": series.converged,
+                "convergence_rate": (
+                    series.converged / series.solves if series.solves else math.nan
+                ),
+            }
+            if series.latencies_s:
+                entry["latency_s"] = {
+                    "mean": float(np.mean(series.latencies_s)),
+                    **{
+                        f"p{q:g}": percentile(series.latencies_s, q)
+                        for q in self.percentiles
+                    },
+                }
+            if series.iterations:
+                entry["iterations"] = {
+                    "mean": float(np.mean(series.iterations)),
+                    "max": int(max(series.iterations)),
+                }
+            if series.errors:
+                entry["error_m"] = {
+                    "mean": float(np.mean(series.errors)),
+                    "max": float(max(series.errors)),
+                }
+            solvers[name] = entry
+        return {
+            "solvers": solvers,
+            "counters": dict(self.counters),
+            "phase_seconds": dict(self.phase_seconds),
+        }
+
+    def to_json(self, path: str | Path | None = None, indent: int = 2) -> str:
+        """Serialise :meth:`report` (optionally writing it to ``path``)."""
+        text = json.dumps(self.report(), indent=indent, sort_keys=True)
+        if path is not None:
+            Path(path).write_text(text + "\n", encoding="utf-8")
+        return text

@@ -1,12 +1,21 @@
-"""Tests for the solver registry / factory."""
+"""Tests for the solver registries / factories."""
 
 import numpy as np
 import pytest
 
 from repro.core.quick_ik import QuickIKSolver
-from repro.core.result import SolverConfig
+from repro.core.result import BatchResult, SolverConfig
 from repro.kinematics.robots import paper_chain
-from repro.solvers import SOLVER_REGISTRY, make_solver
+from repro.solvers import (
+    BATCH_REGISTRY,
+    BatchedJacobianTranspose,
+    BatchedQuickIK,
+    SOLVER_REGISTRY,
+    describe_solver_options,
+    make_batch_solver,
+    make_solver,
+    solver_options,
+)
 
 
 class TestRegistry:
@@ -41,3 +50,65 @@ class TestRegistry:
             result = solver.solve(target, rng=np.random.default_rng(11))
             assert result.converged, f"{name} failed"
             assert result.solver == name
+
+
+class TestKwargValidation:
+    def test_unknown_kwarg_names_solver_and_options(self):
+        chain = paper_chain(12)
+        with pytest.raises(TypeError) as excinfo:
+            make_solver("JT-DLS", chain, dampling=0.2)
+        message = str(excinfo.value)
+        assert "JT-DLS" in message
+        assert "dampling" in message
+        assert "damping" in message  # the accepted options are listed
+
+    def test_known_kwargs_still_forwarded(self):
+        chain = paper_chain(12)
+        solver = make_solver("JT-DLS", chain, damping=0.3, adaptive=True)
+        assert solver.damping == 0.3
+        assert solver.adaptive
+
+    def test_solver_options_exposes_defaults(self):
+        options = solver_options("JT-Speculation")
+        assert set(options) == {"speculations", "schedule", "track_chosen"}
+        assert options["speculations"].default == 64
+
+    def test_solver_options_unknown_name(self):
+        with pytest.raises(KeyError):
+            solver_options("JT-Quantum")
+
+    def test_describe_covers_every_solver(self):
+        text = describe_solver_options()
+        for name in SOLVER_REGISTRY:
+            assert name in text
+
+
+class TestBatchRegistry:
+    def test_parallel_names(self):
+        assert set(BATCH_REGISTRY) <= set(SOLVER_REGISTRY)
+
+    def test_make_batch_solver_builds_engines(self):
+        chain = paper_chain(12)
+        assert isinstance(
+            make_batch_solver("JT-Speculation", chain, speculations=8),
+            BatchedQuickIK,
+        )
+        assert isinstance(
+            make_batch_solver("JT-Serial", chain), BatchedJacobianTranspose
+        )
+
+    def test_scalar_fallback_has_solve_batch(self, rng):
+        chain = paper_chain(12)
+        solver = make_batch_solver("CCD", chain)
+        target = chain.end_position(chain.random_configuration(rng))
+        batch = solver.solve_batch(np.atleast_2d(target), rng=rng)
+        assert isinstance(batch, BatchResult)
+        assert len(batch) == 1
+
+    def test_unknown_batch_kwarg_rejected(self):
+        with pytest.raises(TypeError, match="JT-Serial"):
+            make_batch_solver("JT-Serial", paper_chain(12), alpha=0.1)
+
+    def test_unknown_batch_name(self):
+        with pytest.raises(KeyError):
+            make_batch_solver("JT-Quantum", paper_chain(12))

@@ -1,0 +1,169 @@
+"""Event ordering and counter correctness for instrumented solves."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.quick_ik import QuickIKSolver
+from repro.core.result import SolverConfig
+from repro.kinematics import paper_chain, planar_chain
+from repro.solvers import (
+    BatchedQuickIK,
+    JacobianTransposeSolver,
+    RandomRestartSolver,
+)
+from repro.telemetry import (
+    NULL_TRACER,
+    SummaryTracer,
+    get_tracer,
+    set_tracer,
+    use_tracer,
+)
+
+
+@pytest.fixture
+def two_link():
+    """Two-link planar arm: the scripted solve of the telemetry spec."""
+    return planar_chain(2, total_reach=1.0)
+
+
+class TestEventStream:
+    def test_event_ordering(self, two_link):
+        tracer = SummaryTracer()
+        solver = QuickIKSolver(two_link, speculations=4)
+        result = solver.solve(
+            np.array([0.6, 0.3, 0.0]), q0=np.array([0.1, 0.1]), tracer=tracer
+        )
+        assert result.converged
+        kinds = [e["event"] for e in tracer.events]
+        assert kinds[0] == "solve_start"
+        assert kinds[-1] == "solve_end"
+        assert set(kinds[1:-1]) == {"iteration"}
+        # Iteration indices are 1..N in order, one event per outer iteration.
+        indices = [e["index"] for e in tracer.events_of("iteration")]
+        assert indices == list(range(1, result.iterations + 1))
+        # Event timestamps are monotone.
+        stamps = [e["t"] for e in tracer.events]
+        assert stamps == sorted(stamps)
+
+    def test_exact_fk_counts_quick_ik(self, two_link):
+        """Quick-IK with Max=4: 1 seed FK + exactly 4 FK per iteration."""
+        tracer = SummaryTracer()
+        solver = QuickIKSolver(two_link, speculations=4)
+        result = solver.solve(
+            np.array([0.6, 0.3, 0.0]), q0=np.array([0.1, 0.1]), tracer=tracer
+        )
+        expected_fk = 1 + 4 * result.iterations
+        assert result.fk_evaluations == expected_fk
+        assert tracer.counters["fk_evaluations"] == expected_fk
+        assert tracer.counters["jacobian_builds"] == result.iterations
+        assert tracer.counters["candidate_evaluations"] == 4 * result.iterations
+        # Per-iteration events carry the per-step FK cost.
+        per_step = [e["fk_evaluations"] for e in tracer.events_of("iteration")]
+        assert per_step == [4] * result.iterations
+
+    def test_exact_fk_counts_jt_serial(self, two_link):
+        """JT-Serial: 1 seed FK + exactly 1 driver FK per iteration."""
+        tracer = SummaryTracer()
+        solver = JacobianTransposeSolver(
+            two_link, config=SolverConfig(max_iterations=5000)
+        )
+        result = solver.solve(
+            np.array([0.6, 0.3, 0.0]), q0=np.array([0.1, 0.1]), tracer=tracer
+        )
+        assert result.converged
+        assert tracer.counters["fk_evaluations"] == 1 + result.iterations
+        assert tracer.counters["fk_evaluations"] == result.fk_evaluations
+        assert tracer.counters["candidate_evaluations"] == result.iterations
+
+    def test_solve_end_matches_result(self, two_link):
+        tracer = SummaryTracer()
+        solver = QuickIKSolver(two_link, speculations=4)
+        result = solver.solve(
+            np.array([0.6, 0.3, 0.0]), q0=np.array([0.1, 0.1]), tracer=tracer
+        )
+        (end,) = tracer.events_of("solve_end")
+        assert end["solver"] == result.solver
+        assert end["converged"] == result.converged
+        assert end["iterations"] == result.iterations
+        assert end["error"] == pytest.approx(result.error)
+        assert end["fk_evaluations"] == result.fk_evaluations
+
+    def test_phase_timers_populated(self, two_link):
+        tracer = SummaryTracer()
+        QuickIKSolver(two_link, speculations=4).solve(
+            np.array([0.6, 0.3, 0.0]), q0=np.array([0.1, 0.1]), tracer=tracer
+        )
+        for phase in ("jacobian", "alpha", "fk_sweep", "selection"):
+            assert tracer.phase_seconds[phase] >= 0.0
+
+    def test_untraced_solve_emits_nothing(self, two_link):
+        """No tracer, no global tracer: results identical, stream empty."""
+        tracer = SummaryTracer()
+        solver = QuickIKSolver(two_link, speculations=4)
+        traced = solver.solve(
+            np.array([0.6, 0.3, 0.0]), q0=np.array([0.1, 0.1]), tracer=tracer
+        )
+        plain = solver.solve(np.array([0.6, 0.3, 0.0]), q0=np.array([0.1, 0.1]))
+        assert plain.iterations == traced.iterations
+        assert np.allclose(plain.q, traced.q)
+
+
+class TestBatchTelemetry:
+    def test_lockstep_counters_match_results(self, two_link):
+        tracer = SummaryTracer()
+        rng = np.random.default_rng(3)
+        chain = paper_chain(12)
+        targets = np.stack(
+            [
+                chain.end_position(chain.random_configuration(rng))
+                for _ in range(5)
+            ]
+        )
+        batch = BatchedQuickIK(chain, speculations=8).solve_batch(
+            targets, rng=rng, tracer=tracer
+        )
+        assert tracer.counters["fk_evaluations"] == batch.total_fk_evaluations
+        starts = tracer.events_of("solve_start")
+        assert len(starts) == 1 and starts[0]["batch"] == 5
+        assert batch.telemetry is not None
+        assert batch.telemetry["counters"]["fk_evaluations"] == (
+            batch.total_fk_evaluations
+        )
+
+    def test_restart_counter(self, two_link):
+        tracer = SummaryTracer()
+        inner = QuickIKSolver(
+            two_link, speculations=4, config=SolverConfig(max_iterations=1)
+        )
+        # Unreachable target: every attempt fails, all restarts are spent.
+        RandomRestartSolver(inner, max_restarts=4).solve(
+            np.array([5.0, 0.0, 0.0]),
+            rng=np.random.default_rng(0),
+            tracer=tracer,
+        )
+        assert tracer.counters["restarts"] == 3
+        assert len(tracer.events_of("solve_start")) == 4
+
+
+class TestGlobalTracer:
+    def test_use_tracer_scopes_installation(self, two_link):
+        tracer = SummaryTracer()
+        assert get_tracer() is NULL_TRACER
+        with use_tracer(tracer):
+            assert get_tracer() is tracer
+            QuickIKSolver(two_link, speculations=4).solve(
+                np.array([0.6, 0.3, 0.0]), q0=np.array([0.1, 0.1])
+            )
+        assert get_tracer() is NULL_TRACER
+        assert tracer.summary().solves == 1
+
+    def test_set_tracer_returns_previous(self):
+        tracer = SummaryTracer()
+        previous = set_tracer(tracer)
+        try:
+            assert previous is NULL_TRACER
+            assert get_tracer() is tracer
+        finally:
+            set_tracer(previous)

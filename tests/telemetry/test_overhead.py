@@ -1,0 +1,91 @@
+"""Null-tracer overhead guard: instrumentation must cost nothing when off.
+
+Compares the instrumented driver (``tracer=None`` resolves to the null
+tracer) against a faithful replica of the pre-telemetry seed loop on the
+25-DOF headline path.  The acceptance bound is <5% slowdown; the solve is
+deterministic (fixed ``q0``/target), so both sides execute the identical
+numeric trajectory and the only difference is the telemetry guard checks.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.alpha import buss_alpha
+from repro.core.quick_ik import QuickIKSolver
+from repro.core.result import SolverConfig
+from repro.kinematics import paper_chain
+
+#: Acceptance bound from the telemetry design: null path within 5% of seed.
+MAX_OVERHEAD = 1.05
+
+#: Timing samples per side; the minimum is compared (robust to scheduler
+#: noise — the true cost is the fastest observed run).
+SAMPLES = 5
+
+
+def _seed_loop(solver: QuickIKSolver, target: np.ndarray, q0: np.ndarray) -> int:
+    """The seed repository's driver + Quick-IK step, uninstrumented."""
+    chain = solver.chain
+    config = solver.config
+    q = q0.copy()
+    position = chain.end_position(q)
+    error = float(np.linalg.norm(target - position))
+    iterations = 0
+    while error >= config.tolerance and iterations < config.max_iterations:
+        error_vec = target - position
+        jacobian = chain.jacobian_position(q)
+        dq_base = jacobian.T @ error_vec
+        alpha_base = buss_alpha(error_vec, jacobian @ dq_base)
+        alphas = solver.schedule(alpha_base, solver.speculations)
+        candidates = q[None, :] + alphas[:, None] * dq_base[None, :]
+        positions = chain.end_positions_batch(candidates)
+        errors = np.linalg.norm(target[None, :] - positions, axis=1)
+        below = np.flatnonzero(errors < config.tolerance)
+        early = bool(below.size)
+        chosen = int(below[0]) if early else int(np.argmin(errors))
+        q = candidates[chosen]
+        position = positions[chosen]
+        error = float(errors[chosen])
+        iterations += 1
+        if early:
+            break
+    return iterations
+
+
+@pytest.mark.slow
+def test_null_tracer_overhead_within_noise():
+    chain = paper_chain(25)
+    config = SolverConfig(record_history=False)
+    solver = QuickIKSolver(chain, speculations=64, config=config)
+    rng = np.random.default_rng(7)
+    q0 = chain.random_configuration(rng)
+    target = chain.end_position(chain.random_configuration(rng))
+
+    # Both sides must walk the identical trajectory.
+    instrumented = solver.solve(target, q0=q0)
+    assert instrumented.converged
+    assert _seed_loop(solver, target, q0) == instrumented.iterations
+
+    # Warm-up, then interleave samples so drift hits both sides equally.
+    solver.solve(target, q0=q0)
+    _seed_loop(solver, target, q0)
+    seed_times, null_times = [], []
+    for _ in range(SAMPLES):
+        start = time.perf_counter()
+        _seed_loop(solver, target, q0)
+        seed_times.append(time.perf_counter() - start)
+
+        start = time.perf_counter()
+        solver.solve(target, q0=q0)
+        null_times.append(time.perf_counter() - start)
+
+    ratio = min(null_times) / min(seed_times)
+    assert ratio < MAX_OVERHEAD, (
+        f"null-tracer path is {ratio:.3f}x the seed loop "
+        f"(bound {MAX_OVERHEAD}); seed={min(seed_times):.4f}s "
+        f"null={min(null_times):.4f}s"
+    )

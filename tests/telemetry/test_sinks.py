@@ -1,0 +1,136 @@
+"""JSONL round-trip, metrics aggregation and the multi-sink fan-out."""
+
+from __future__ import annotations
+
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.quick_ik import QuickIKSolver
+from repro.ikacc import IKAccSimulator, trace_from_telemetry
+from repro.kinematics import paper_chain, planar_chain
+from repro.telemetry import (
+    JsonlTracer,
+    MetricsRegistry,
+    MultiTracer,
+    SummaryTracer,
+    percentile,
+    read_jsonl_trace,
+)
+
+
+@pytest.fixture
+def two_link():
+    return planar_chain(2, total_reach=1.0)
+
+
+class TestJsonlRoundTrip:
+    def test_round_trip(self, two_link, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with JsonlTracer(path) as tracer:
+            result = QuickIKSolver(two_link, speculations=4).solve(
+                np.array([0.6, 0.3, 0.0]), q0=np.array([0.1, 0.1]),
+                tracer=tracer,
+            )
+        events = read_jsonl_trace(path)
+        assert len(events) == result.iterations + 2
+        assert events[0]["event"] == "solve_start"
+        assert events[0]["dof"] == 2
+        assert events[0]["target"] == [0.6, 0.3, 0.0]
+        assert events[-1]["event"] == "solve_end"
+        # The final line is self-contained: counters ride along.
+        assert events[-1]["counters"]["fk_evaluations"] == result.fk_evaluations
+        # Every line is independently parseable JSON (no numpy leakage).
+        for line in path.read_text().splitlines():
+            json.loads(line)
+
+    def test_borrowed_stream_left_open(self, two_link, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with open(path, "w", encoding="utf-8") as fh:
+            tracer = JsonlTracer(fh)
+            QuickIKSolver(two_link, speculations=4).solve(
+                np.array([0.6, 0.3, 0.0]), q0=np.array([0.1, 0.1]),
+                tracer=tracer,
+            )
+            tracer.close()
+            assert not fh.closed
+        assert read_jsonl_trace(path)
+
+    def test_ikacc_trace_reconstruction(self, tmp_path):
+        """A JSONL trace of an IKAcc solve rebuilds a Gantt timeline."""
+        path = tmp_path / "ikacc.jsonl"
+        chain = paper_chain(12)
+        sim = IKAccSimulator(chain)
+        with JsonlTracer(path) as tracer:
+            run = sim.solve(
+                np.array([0.3, 0.2, 0.4]),
+                rng=np.random.default_rng(5),
+                tracer=tracer,
+            )
+        assert run.converged
+        events = read_jsonl_trace(path)
+        assert any(e["event"] == "speculation_wave" for e in events)
+        timeline = trace_from_telemetry(events, iteration=1)
+        assert timeline.dof == 12
+        assert "SPU" in timeline.unit_names()
+        assert "SSU array" in timeline.unit_names()
+        assert timeline.total_cycles > 0
+
+
+class TestMetricsRegistry:
+    def test_percentiles_and_rates(self, two_link):
+        registry = MetricsRegistry()
+        solver = QuickIKSolver(two_link, speculations=4)
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            target = two_link.end_position(two_link.random_configuration(rng))
+            registry.record_result(solver.solve(target, rng=rng))
+        report = registry.report()
+        stats = report["solvers"]["JT-Speculation"]
+        assert stats["solves"] == 10
+        assert 0.0 <= stats["convergence_rate"] <= 1.0
+        latency = stats["latency_s"]
+        assert latency["p50"] <= latency["p90"] <= latency["p99"]
+        assert latency["mean"] > 0.0
+
+    def test_as_tracer_sink(self, two_link):
+        registry = MetricsRegistry()
+        QuickIKSolver(two_link, speculations=4).solve(
+            np.array([0.6, 0.3, 0.0]), q0=np.array([0.1, 0.1]),
+            tracer=registry,
+        )
+        report = registry.report()
+        assert report["solvers"]["JT-Speculation"]["solves"] == 1
+        assert report["counters"]["fk_evaluations"] > 0
+
+    def test_to_json_writes_file(self, two_link, tmp_path):
+        registry = MetricsRegistry()
+        QuickIKSolver(two_link, speculations=4).solve(
+            np.array([0.6, 0.3, 0.0]), q0=np.array([0.1, 0.1]),
+            tracer=registry,
+        )
+        path = tmp_path / "metrics.json"
+        text = registry.to_json(path)
+        assert json.loads(path.read_text()) == json.loads(text)
+
+    def test_percentile_empty_is_nan(self):
+        assert math.isnan(percentile([], 50.0))
+
+
+class TestMultiTracer:
+    def test_fan_out(self, two_link, tmp_path):
+        summary = SummaryTracer()
+        registry = MetricsRegistry()
+        with JsonlTracer(tmp_path / "t.jsonl") as jsonl:
+            fan = MultiTracer(summary, jsonl, registry)
+            QuickIKSolver(two_link, speculations=4).solve(
+                np.array([0.6, 0.3, 0.0]), q0=np.array([0.1, 0.1]), tracer=fan
+            )
+        assert summary.summary().solves == 1
+        assert registry.report()["solvers"]["JT-Speculation"]["solves"] == 1
+        assert read_jsonl_trace(tmp_path / "t.jsonl")
+
+    def test_empty_multi_tracer_is_disabled(self):
+        assert not MultiTracer().enabled
