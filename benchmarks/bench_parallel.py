@@ -1,0 +1,139 @@
+"""Scaling curve of the process-sharded batch layer → BENCH_parallel.json.
+
+Runs the paper-scale suite (1K targets, 50 DOF by default) through
+``repro.parallel`` at increasing worker counts, verifies every run is
+bit-identical to the ``workers=1`` baseline, and records the wall-clock
+curve::
+
+    PYTHONPATH=src python benchmarks/bench_parallel.py
+    PYTHONPATH=src python benchmarks/bench_parallel.py \
+        --dof 50 --targets 1000 --workers 1,2,4,8 --out BENCH_parallel.json
+
+Speedup is shared-nothing, so it tracks the usable core count: expect ~2x+
+at ``workers=4`` on a 4-core host, and ~1x on a single-core container (the
+JSON records ``cpu_count`` so a flat curve is self-explaining).
+
+Also collected by ``pytest benchmarks`` as a miniature smoke test.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.parallel import default_workers, solve_batch_sharded
+from repro.solvers.registry import make_batch_solver
+from repro.workloads.suite import EvaluationSuite
+
+DEFAULT_WORKERS = (1, 2, 4)
+
+
+def _identical(batch_a, batch_b) -> bool:
+    return all(
+        a.iterations == b.iterations
+        and np.array_equal(a.q, b.q)
+        and a.error == b.error
+        for a, b in zip(batch_a, batch_b)
+    ) and len(batch_a) == len(batch_b)
+
+
+def run_scaling(
+    dof: int = 50,
+    targets: int = 1000,
+    workers: tuple[int, ...] = DEFAULT_WORKERS,
+    solver: str = "JT-Speculation",
+    seed: int = 2017,
+) -> dict:
+    """Measure the scaling curve; returns the JSON-ready payload."""
+    suite = EvaluationSuite(dofs=(dof,), targets_per_dof=targets, seed=seed)
+    chain = suite.chain(dof)
+    target_set = suite.targets(dof)
+    engine = make_batch_solver(solver, chain)
+
+    runs = []
+    baseline = None
+    baseline_s = None
+    for count in workers:
+        rng = suite.solver_rng(dof, solver)
+        start = time.perf_counter()
+        batch = solve_batch_sharded(engine, target_set, workers=count, rng=rng)
+        elapsed = time.perf_counter() - start
+        if baseline is None:
+            baseline, baseline_s = batch, elapsed
+        runs.append(
+            {
+                "workers": count,
+                "wall_s": elapsed,
+                "speedup_vs_1": baseline_s / elapsed,
+                "targets_per_s": len(batch) / elapsed,
+                "converged": batch.converged_count,
+                "total_iterations": batch.total_iterations,
+                "identical_to_baseline": _identical(batch, baseline),
+            }
+        )
+        print(
+            f"workers={count}: {elapsed:.2f} s "
+            f"({runs[-1]['speedup_vs_1']:.2f}x, "
+            f"{runs[-1]['targets_per_s']:.0f} targets/s, "
+            f"identical={runs[-1]['identical_to_baseline']})"
+        )
+
+    return {
+        "benchmark": "parallel-scaling",
+        "solver": solver,
+        "engine": engine.name,
+        "dof": dof,
+        "targets": targets,
+        "seed": seed,
+        "cpu_count": default_workers(),
+        "runs": runs,
+        "notes": (
+            "shared-nothing process sharding; all runs verified bit-identical "
+            "to the workers=1 baseline. Speedup is bounded by cpu_count: a "
+            "single-core host shows a flat (~1x) curve by construction."
+        ),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--dof", type=int, default=50)
+    parser.add_argument("--targets", type=int, default=1000)
+    parser.add_argument("--workers", default="1,2,4",
+                        help="comma list of worker counts (first is baseline)")
+    parser.add_argument("--solver", default="JT-Speculation")
+    parser.add_argument("--seed", type=int, default=2017)
+    parser.add_argument("--out", default="BENCH_parallel.json")
+    args = parser.parse_args(argv)
+
+    counts = tuple(int(w) for w in args.workers.split(",") if w.strip())
+    payload = run_scaling(
+        dof=args.dof,
+        targets=args.targets,
+        workers=counts,
+        solver=args.solver,
+        seed=args.seed,
+    )
+    Path(args.out).write_text(
+        json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+    )
+    print(f"wrote {args.out}")
+    bad = [r for r in payload["runs"] if not r["identical_to_baseline"]]
+    return 1 if bad else 0
+
+
+def test_parallel_scaling_smoke(tmp_path):
+    """Miniature scaling run: identity must hold at every worker count."""
+    payload = run_scaling(dof=12, targets=24, workers=(1, 2, 4))
+    assert all(r["identical_to_baseline"] for r in payload["runs"])
+    out = tmp_path / "bench.json"
+    out.write_text(json.dumps(payload))
+    assert json.loads(out.read_text())["benchmark"] == "parallel-scaling"
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -146,6 +146,8 @@ def solve_batch(
     tolerance: float | None = None,
     max_iterations: int | None = None,
     tracer: Tracer | None = None,
+    workers: int | None = None,
+    timeout: float | None = None,
     **options,
 ) -> BatchResult:
     """Solve a batch of IK targets; returns a :class:`BatchResult`.
@@ -154,10 +156,18 @@ def solve_batch(
     Solvers with a lock-step engine in ``BATCH_REGISTRY`` (Quick-IK,
     JT-Serial) advance all unconverged problems simultaneously; every other
     ``SOLVER_REGISTRY`` name solves per target through the shared driver.
+
+    ``workers`` shards the batch across that many subprocesses
+    (:mod:`repro.parallel`); results are bit-identical for any worker count
+    under the same seed, and identical to the unsharded default.
+    ``timeout`` bounds one pooled batch in seconds — on expiry, every
+    unfinished shard is reported in a
+    :class:`~repro.parallel.ParallelExecutionError`.
     """
     chain = resolve_robot(robot)
     engine = make_batch_solver(
         solver, chain, config=_resolve_config(config, tolerance, max_iterations),
+        workers=workers, timeout=timeout,
         **options,
     )
     return engine.solve_batch(

@@ -29,6 +29,13 @@ from repro.solvers import (
 __all__ = ["build_parser", "main"]
 
 
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The argparse tree for ``python -m repro``."""
     parser = argparse.ArgumentParser(
@@ -66,6 +73,10 @@ def build_parser() -> argparse.ArgumentParser:
     solve.add_argument("--solver", default="JT-Speculation",
                        choices=sorted(SOLVER_REGISTRY))
     solve.add_argument("--speculations", type=int, default=64)
+    solve.add_argument("--workers", type=_positive_int, default=1,
+                       help="solve through the process-sharded batch layer "
+                            "with this many workers (results are identical "
+                            "for any worker count; see docs/parallel.md)")
     solve.add_argument("--opt", action="append", default=[], metavar="NAME=VALUE",
                        help="extra solver option (repeatable); values are "
                             "parsed as Python literals, unknown names are "
@@ -92,6 +103,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="targets per DOF (default: REPRO_TARGETS or 20)")
     bench.add_argument("--dofs", default=None,
                        help="comma list, e.g. 12,25 (default: REPRO_DOFS or paper sweep)")
+    bench.add_argument("--workers", type=_positive_int, default=1,
+                       help="shard each solver's target batch across this "
+                            "many worker processes (default 1; results are "
+                            "identical for any worker count)")
     add_telemetry(bench)
 
     report = sub.add_parser("report", help="write the EXPERIMENTS.md report")
@@ -174,11 +189,21 @@ def _cmd_solve(args) -> int:
     solver = make_solver(args.solver, chain, config=config, **kwargs)
     target = _resolve_target(chain, args)
     telemetry = _TelemetryOutputs(args)
-    result = solver.solve(
-        target,
-        rng=np.random.default_rng(args.seed + 1),
-        tracer=telemetry.tracer if telemetry.requested else None,
-    )
+    if args.workers > 1:
+        from repro.parallel import ShardedBatchSolver
+
+        batch = ShardedBatchSolver(solver, workers=args.workers).solve_batch(
+            [target],
+            rng=np.random.default_rng(args.seed + 1),
+            tracer=telemetry.tracer if telemetry.requested else None,
+        )
+        result = batch[0]
+    else:
+        result = solver.solve(
+            target,
+            rng=np.random.default_rng(args.seed + 1),
+            tracer=telemetry.tracer if telemetry.requested else None,
+        )
     print(result.summary())
     print(f"wall time: {result.wall_time * 1e3:.2f} ms (this Python substrate)")
     if telemetry.requested:
@@ -230,7 +255,9 @@ def _cmd_bench(args) -> int:
     from repro.workloads.suite import EvaluationSuite
 
     dofs = tuple(int(d) for d in args.dofs.split(",")) if args.dofs else None
-    suite = EvaluationSuite(dofs=dofs, targets_per_dof=args.targets)
+    suite = EvaluationSuite(
+        dofs=dofs, targets_per_dof=args.targets, workers=args.workers
+    )
     experiments = PaperExperiments(suite=suite)
     from repro.telemetry import NULL_TRACER
 

@@ -44,6 +44,11 @@ class PaperExperiments:
         Quick-IK ``Max`` (paper operating point: 64).
     ikacc_config:
         Accelerator configuration (paper design point: 32 SSUs, 1 GHz).
+    workers:
+        Worker processes for the solver runs when building the default
+        suite (ignored when an explicit ``suite`` is passed — the suite
+        carries its own ``workers``).  Statistics are identical for any
+        worker count; only wall-clock changes.
     """
 
     def __init__(
@@ -51,8 +56,9 @@ class PaperExperiments:
         suite: EvaluationSuite | None = None,
         speculations: int = 64,
         ikacc_config: IKAccConfig | None = None,
+        workers: int = 1,
     ) -> None:
-        self.suite = suite or EvaluationSuite()
+        self.suite = suite or EvaluationSuite(workers=workers)
         self.speculations = speculations
         self.solver_config = SolverConfig(
             tolerance=paper_data.ACCURACY_M,

@@ -74,7 +74,7 @@ def generate_report(
     include_ablations: bool = True,
 ) -> str:
     """Run every experiment and return the markdown report."""
-    start = time.time()
+    start = time.perf_counter()
     experiments = PaperExperiments(suite=suite)
     sections: list[str] = [_PREAMBLE]
 
@@ -88,7 +88,7 @@ def generate_report(
         for key, table in all_ablations(experiments.suite).items():
             sections.append(_render(key, table))
     sections.append(
-        f"\n*Report generated in {time.time() - start:.1f} s.*\n"
+        f"\n*Report generated in {time.perf_counter() - start:.1f} s.*\n"
     )
     return "\n\n".join(sections)
 

@@ -1,0 +1,55 @@
+"""Process-parallel sharded batch solving.
+
+Shards a target batch across worker subprocesses — each shard running the
+existing scalar or lock-step engines unchanged — and merges the per-shard
+results into one order-preserving :class:`~repro.core.result.BatchResult`
+with merged telemetry.  ``workers=1`` and ``workers=N`` are bit-identical
+under the same seed (see :mod:`repro.parallel.sharding` for why), and both
+match the unsharded engines.
+
+Usage::
+
+    from repro import api
+
+    batch = api.solve_batch("dadu-50dof", targets, workers=4, seed=7)
+
+or at the layer below::
+
+    from repro.parallel import ShardedBatchSolver
+    from repro.solvers.registry import make_batch_solver
+
+    engine = make_batch_solver("JT-Speculation", chain)
+    sharded = ShardedBatchSolver(engine, workers=4, timeout=120.0)
+    batch = sharded.solve_batch(targets, rng=np.random.default_rng(7))
+
+See ``docs/parallel.md`` for the seeding/merge semantics and the failure
+model.
+"""
+
+from repro.parallel.pool import (
+    ParallelExecutionError,
+    ShardedBatchSolver,
+    ShardError,
+    ShardOutcome,
+    ShardTask,
+    default_workers,
+    solve_batch_sharded,
+)
+from repro.parallel.sharding import (
+    resolve_batch_q0,
+    shard_slices,
+    spawn_problem_seeds,
+)
+
+__all__ = [
+    "ParallelExecutionError",
+    "ShardedBatchSolver",
+    "ShardError",
+    "ShardOutcome",
+    "ShardTask",
+    "default_workers",
+    "solve_batch_sharded",
+    "resolve_batch_q0",
+    "shard_slices",
+    "spawn_problem_seeds",
+]

@@ -1,0 +1,386 @@
+"""Process-pool execution layer: shard a target batch across workers.
+
+The paper's evaluation solves 1K targets per manipulator; the lock-step
+engines vectorise *within* one process but leave every other core idle.
+This layer shards a batch across subprocesses — each shard runs the
+existing scalar or lock-step engine untouched — and merges the per-shard
+results back into one order-preserving :class:`~repro.core.result.BatchResult`.
+
+Guarantees, in order of importance:
+
+* **Determinism.**  ``workers=1`` and ``workers=8`` produce bit-identical
+  trajectories, and both match the unsharded engine under the same seed:
+  initial configurations are drawn in the parent in problem order and
+  per-problem RNG streams are spawned from one
+  ``np.random.SeedSequence.spawn`` (see :mod:`repro.parallel.sharding`).
+* **No hung pools.**  A configurable ``timeout`` bounds the whole batch;
+  worker failures come back as structured :class:`ShardError` records inside
+  one :class:`ParallelExecutionError` instead of a deadlock or a bare
+  traceback from a random process.
+* **Telemetry merges.**  Each worker aggregates its shard into an in-memory
+  summary; the parent folds them together
+  (:func:`repro.telemetry.merge_summaries`), forwards counter/phase totals
+  into the caller's tracer, and emits one ``solve_start``/``solve_end`` pair
+  for the merged batch — so ``MetricsRegistry``/``--metrics-out`` see the
+  sharded run exactly like a single batch solve.
+
+Workers receive the solver *instance* (pickled; ``fork`` start method is
+preferred where available) plus explicit ``q0`` rows and per-problem seed
+sequences, so a shard is a pure function of its slice.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import os
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.core.result import BatchResult, IKResult
+from repro.parallel.sharding import (
+    resolve_batch_q0,
+    shard_slices,
+    spawn_problem_seeds,
+)
+from repro.solvers.batched import LockStepEngine
+from repro.telemetry.sinks import SummaryTracer, merge_summaries
+from repro.telemetry.tracer import Tracer, get_tracer
+
+__all__ = [
+    "ShardTask",
+    "ShardOutcome",
+    "ShardError",
+    "ParallelExecutionError",
+    "ShardedBatchSolver",
+    "solve_batch_sharded",
+    "default_workers",
+]
+
+#: Pool start method preference: ``fork`` (cheap, inherits the loaded numpy)
+#: where the platform offers it, else the platform default.
+_PREFERRED_START = "fork"
+
+
+def default_workers() -> int:
+    """Usable CPU count (honours the scheduler affinity mask when set)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):
+        return os.cpu_count() or 1
+
+
+@dataclass
+class ShardTask:
+    """Everything one worker needs to solve problems ``[start, stop)``."""
+
+    index: int
+    start: int
+    stop: int
+    solver: Any
+    targets: np.ndarray
+    q0: np.ndarray
+    seeds: list[np.random.SeedSequence]
+    trace: bool = False
+
+
+@dataclass
+class ShardOutcome:
+    """A shard's results plus its telemetry aggregates."""
+
+    index: int
+    start: int
+    stop: int
+    results: list[IKResult]
+    wall_time: float
+    summary: dict[str, Any] | None = None
+    counters: dict[str, int] = field(default_factory=dict)
+    phase_seconds: dict[str, float] = field(default_factory=dict)
+
+
+@dataclass
+class ShardError:
+    """Structured record of one shard's failure (exception or timeout)."""
+
+    index: int
+    start: int
+    stop: int
+    kind: str  # "exception" | "timeout" | "pool"
+    exc_type: str = ""
+    message: str = ""
+    traceback: str = ""
+
+    def describe(self) -> str:
+        span = f"problems [{self.start}:{self.stop})"
+        if self.kind == "timeout":
+            return f"shard {self.index} ({span}): timed out"
+        return (
+            f"shard {self.index} ({span}): {self.kind} "
+            f"{self.exc_type}: {self.message}"
+        )
+
+
+class ParallelExecutionError(RuntimeError):
+    """One or more shards failed; carries the per-shard error records."""
+
+    def __init__(self, shard_errors: list[ShardError]) -> None:
+        self.shard_errors = shard_errors
+        lines = "\n  ".join(e.describe() for e in shard_errors)
+        super().__init__(
+            f"{len(shard_errors)} shard(s) failed:\n  {lines}"
+        )
+
+
+def _run_shard(task: ShardTask) -> ShardOutcome | ShardError:
+    """Worker entry point: solve one shard, never raise.
+
+    Failures come back as :class:`ShardError` values so the pool stays
+    healthy and the parent can report every failing shard at once.
+    """
+    try:
+        tracer = SummaryTracer() if task.trace else None
+        start_time = time.perf_counter()
+        solver = task.solver
+        if isinstance(solver, LockStepEngine):
+            batch = solver.solve_batch(task.targets, q0=task.q0, tracer=tracer)
+            results = list(batch.results)
+        else:
+            results = []
+            for i in range(task.targets.shape[0]):
+                rng = np.random.default_rng(task.seeds[i]) if task.seeds else None
+                results.append(
+                    solver.solve(
+                        task.targets[i], q0=task.q0[i], rng=rng, tracer=tracer
+                    )
+                )
+        return ShardOutcome(
+            index=task.index,
+            start=task.start,
+            stop=task.stop,
+            results=results,
+            wall_time=time.perf_counter() - start_time,
+            summary=tracer.summary().to_dict() if tracer is not None else None,
+            counters=dict(tracer.counters) if tracer is not None else {},
+            phase_seconds=dict(tracer.phase_seconds) if tracer is not None else {},
+        )
+    except Exception as exc:  # pragma: no cover - exercised via pool tests
+        return ShardError(
+            index=task.index,
+            start=task.start,
+            stop=task.stop,
+            kind="exception",
+            exc_type=type(exc).__name__,
+            message=str(exc),
+            traceback=traceback.format_exc(),
+        )
+
+
+def _pool_context():
+    import multiprocessing as mp
+
+    methods = mp.get_all_start_methods()
+    if _PREFERRED_START in methods:
+        return mp.get_context(_PREFERRED_START)
+    return mp.get_context()
+
+
+def _run_tasks(
+    tasks: list[ShardTask], workers: int, timeout: float | None
+) -> list[ShardOutcome | ShardError]:
+    """Run shard tasks inline (single worker) or on a process pool."""
+    n_procs = min(workers, len(tasks))
+    if n_procs <= 1:
+        return [_run_shard(task) for task in tasks]
+
+    outcomes: dict[int, ShardOutcome | ShardError] = {}
+    pool = concurrent.futures.ProcessPoolExecutor(
+        max_workers=n_procs, mp_context=_pool_context()
+    )
+    try:
+        futures = {pool.submit(_run_shard, task): task for task in tasks}
+        done, pending = concurrent.futures.wait(futures, timeout=timeout)
+        for future in done:
+            task = futures[future]
+            try:
+                outcomes[task.index] = future.result()
+            except Exception as exc:  # BrokenProcessPool, pickling, ...
+                outcomes[task.index] = ShardError(
+                    index=task.index,
+                    start=task.start,
+                    stop=task.stop,
+                    kind="pool",
+                    exc_type=type(exc).__name__,
+                    message=str(exc),
+                )
+        for future in pending:
+            task = futures[future]
+            future.cancel()
+            outcomes[task.index] = ShardError(
+                index=task.index,
+                start=task.start,
+                stop=task.stop,
+                kind="timeout",
+            )
+        if pending:
+            # A running shard cannot be cancelled; hard-kill the workers so
+            # neither this call nor interpreter exit blocks on a hung shard.
+            for process in list(getattr(pool, "_processes", {}).values()):
+                process.terminate()
+            pool.shutdown(wait=False, cancel_futures=True)
+        else:
+            pool.shutdown(wait=True)
+    except BaseException:
+        pool.shutdown(wait=False, cancel_futures=True)
+        raise
+    return [outcomes[task.index] for task in tasks]
+
+
+class ShardedBatchSolver:
+    """Wrap any batch-capable solver with process-pool sharding.
+
+    Drop-in for the lock-step engines: exposes the same
+    ``solve_batch(targets, q0=None, rng=None, tracer=None)`` signature and
+    the same ``name``/``chain``/``config`` attributes, so the evaluation
+    suite and the CLI treat a sharded solver like any other engine.
+
+    Parameters
+    ----------
+    solver:
+        A lock-step engine (sharded ``solve_batch`` per shard) or any scalar
+        :class:`~repro.core.base.IterativeIKSolver` (per-problem loop per
+        shard).  Must be picklable.
+    workers:
+        Subprocess count; ``1`` runs the identical shard code inline (no
+        pool), which is also the fallback when a batch has a single shard.
+    timeout:
+        Seconds allowed for the whole batch once dispatched to a pool;
+        ``None`` waits indefinitely.  On expiry every unfinished shard is
+        reported in a :class:`ParallelExecutionError` (inline runs are not
+        interruptible and ignore the timeout).
+    """
+
+    def __init__(
+        self,
+        solver: Any,
+        workers: int,
+        timeout: float | None = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if timeout is not None and timeout <= 0:
+            raise ValueError("timeout must be positive (or None)")
+        self.solver = solver
+        self.workers = int(workers)
+        self.timeout = timeout
+
+    @property
+    def name(self) -> str:
+        return self.solver.name
+
+    @property
+    def chain(self):
+        return self.solver.chain
+
+    @property
+    def config(self):
+        return self.solver.config
+
+    def solve_batch(
+        self,
+        targets: np.ndarray,
+        q0: np.ndarray | None = None,
+        rng: np.random.Generator | None = None,
+        tracer: Tracer | None = None,
+    ) -> BatchResult:
+        """Shard ``targets`` across the pool and merge, preserving order."""
+        targets = np.atleast_2d(np.asarray(targets, dtype=float))
+        if targets.shape[1] != 3:
+            raise ValueError("targets must have shape (M, 3)")
+        m = targets.shape[0]
+        tr = tracer if tracer is not None else get_tracer()
+        traced = tr.enabled
+        start_time = time.perf_counter()
+
+        qs = resolve_batch_q0(self.chain, m, q0, rng)
+        seeds = spawn_problem_seeds(m, rng)
+        slices = shard_slices(m, self.workers)
+        tasks = [
+            ShardTask(
+                index=i,
+                start=lo,
+                stop=hi,
+                solver=self.solver,
+                targets=targets[lo:hi],
+                q0=qs[lo:hi],
+                seeds=seeds[lo:hi],
+                trace=traced,
+            )
+            for i, (lo, hi) in enumerate(slices)
+        ]
+        if traced:
+            tr.solve_start(
+                self.name,
+                self.chain.dof,
+                batch=m,
+                workers=self.workers,
+                shards=len(tasks),
+            )
+
+        outcomes = _run_tasks(tasks, self.workers, self.timeout)
+        errors = [o for o in outcomes if isinstance(o, ShardError)]
+        if errors:
+            raise ParallelExecutionError(errors)
+
+        results: list[IKResult] = []
+        for outcome in outcomes:
+            results.extend(outcome.results)
+        elapsed = time.perf_counter() - start_time
+        batch = BatchResult(results=results, solver=self.name, wall_time=elapsed)
+        if traced:
+            for outcome in outcomes:
+                for counter, value in outcome.counters.items():
+                    tr.count(counter, value)
+                for phase, seconds in outcome.phase_seconds.items():
+                    tr.add_phase(phase, seconds)
+            tr.solve_end(
+                self.name,
+                converged=batch.converged_count == m,
+                batch=m,
+                converged_count=batch.converged_count,
+                iterations=batch.total_iterations,
+                error=float(max((r.error for r in results), default=0.0)),
+                wall_time=elapsed,
+                workers=self.workers,
+                shards=len(tasks),
+            )
+            shard_summaries = [
+                o.summary for o in outcomes if o.summary is not None
+            ]
+            if shard_summaries:
+                batch.telemetry = merge_summaries(shard_summaries).to_dict()
+        return batch
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardedBatchSolver({self.solver!r}, workers={self.workers}, "
+            f"timeout={self.timeout})"
+        )
+
+
+def solve_batch_sharded(
+    solver: Any,
+    targets: np.ndarray,
+    *,
+    workers: int,
+    q0: np.ndarray | None = None,
+    rng: np.random.Generator | None = None,
+    tracer: Tracer | None = None,
+    timeout: float | None = None,
+) -> BatchResult:
+    """Functional form: shard ``targets`` over ``workers`` and merge."""
+    return ShardedBatchSolver(solver, workers=workers, timeout=timeout).solve_batch(
+        targets, q0=q0, rng=rng, tracer=tracer
+    )

@@ -1,0 +1,99 @@
+"""Deterministic batch partitioning and seeding for sharded execution.
+
+The invariant everything here serves: **the partition must never influence
+the numerics**.  Results for ``workers=1`` and ``workers=8`` have to be
+bit-for-bit identical, and identical to the in-process engines given the
+same seed.  Two mechanisms guarantee it:
+
+1. **Initial configurations are resolved in the parent, before sharding**,
+   by :func:`resolve_batch_q0` — drawing ``chain.random_configuration(rng)``
+   once per problem *in problem order*, which is exactly the draw sequence
+   both the scalar driver loop and the lock-step engines perform.  Shards
+   then receive explicit per-problem ``q0`` rows, so no worker ever touches
+   the shared stream.
+2. **Per-problem RNG streams are spawned, not split**, by
+   :func:`spawn_problem_seeds`: one ``np.random.SeedSequence.spawn(m)`` call
+   derives an independent child per *problem index*.  A shard covering
+   problems ``[lo, hi)`` receives children ``lo..hi-1``, so any solver-side
+   randomness (e.g. future restart support) is keyed to the problem, never
+   to the shard layout.
+
+Shards themselves (:func:`shard_slices`) are contiguous, balanced,
+order-preserving index ranges — merging is a plain concatenation by shard
+index.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["shard_slices", "resolve_batch_q0", "spawn_problem_seeds"]
+
+
+def shard_slices(m: int, shards: int) -> list[tuple[int, int]]:
+    """Split ``m`` problems into ``<= shards`` contiguous ``(start, stop)`` ranges.
+
+    Balanced to within one problem (the first ``m % shards`` ranges are one
+    longer), order-preserving, and never empty: with ``m < shards`` you get
+    ``m`` singleton ranges.
+    """
+    if m < 0:
+        raise ValueError("m must be >= 0")
+    if shards < 1:
+        raise ValueError("shards must be >= 1")
+    if m == 0:
+        return []
+    shards = min(shards, m)
+    base, extra = divmod(m, shards)
+    slices = []
+    start = 0
+    for index in range(shards):
+        stop = start + base + (1 if index < extra else 0)
+        slices.append((start, stop))
+        start = stop
+    return slices
+
+
+def resolve_batch_q0(
+    chain,
+    m: int,
+    q0: np.ndarray | None,
+    rng: np.random.Generator | None,
+) -> np.ndarray:
+    """Per-problem initial configurations, shape ``(m, dof)``.
+
+    Mirrors the lock-step engines' ``_initial_configurations`` exactly: an
+    explicit ``q0`` is broadcast ((dof,) shared or (m, dof) per problem);
+    otherwise each problem draws ``chain.random_configuration(rng)`` in
+    problem order — the same stream consumption as an unsharded run, which
+    is what makes sharded and in-process results identical under one seed.
+    """
+    dof = chain.dof
+    if q0 is None:
+        if rng is None:
+            rng = np.random.default_rng()
+        return np.stack([chain.random_configuration(rng) for _ in range(m)])
+    q0 = np.asarray(q0, dtype=float)
+    qs = np.tile(q0, (m, 1)) if q0.ndim == 1 else q0.copy()
+    if qs.shape != (m, dof):
+        raise ValueError(f"q0 must broadcast to ({m}, {dof})")
+    return qs
+
+
+def spawn_problem_seeds(
+    m: int, rng: np.random.Generator | None
+) -> list[np.random.SeedSequence]:
+    """One independent :class:`~numpy.random.SeedSequence` per problem.
+
+    Children derive from the generator's own seed sequence when available
+    (``default_rng(seed)`` carries one), so the spawn is reproducible from
+    the caller's seed; an unseeded call gets fresh entropy.  Because the
+    spawn is per problem — not per shard — regrouping problems into a
+    different number of shards cannot change any problem's stream.
+    """
+    root = None
+    if rng is not None:
+        root = getattr(rng.bit_generator, "seed_seq", None)
+    if root is None:
+        root = np.random.SeedSequence()
+    return list(root.spawn(m)) if m else []

@@ -23,22 +23,29 @@ from repro.core.result import SolverConfig, StepOutcome
 from repro.kinematics.chain import KinematicChain
 from repro.solvers.pseudoinverse import damped_pinv
 
-__all__ = ["NullSpaceSolver", "limit_centering_gradient"]
+__all__ = ["NullSpaceSolver", "LimitCenteringGradient", "limit_centering_gradient"]
 
 
-def limit_centering_gradient(chain: KinematicChain) -> Callable[[np.ndarray], np.ndarray]:
+class LimitCenteringGradient:
     """Gradient of ``H(theta) = -1/2 ||(theta - mid) / span||^2``.
 
     Ascending this objective pulls every joint toward the middle of its
-    limit interval — the textbook joint-limit-avoidance criterion.
+    limit interval — the textbook joint-limit-avoidance criterion.  A class
+    rather than a closure so solvers holding it stay picklable (the
+    process-pool batch layer ships solver instances to workers).
     """
-    mid = 0.5 * (chain.lower_limits + chain.upper_limits)
-    span = np.maximum(chain.upper_limits - chain.lower_limits, 1e-9)
 
-    def gradient(q: np.ndarray) -> np.ndarray:
-        return -(q - mid) / span**2
+    def __init__(self, chain: KinematicChain) -> None:
+        self.mid = 0.5 * (chain.lower_limits + chain.upper_limits)
+        self.span = np.maximum(chain.upper_limits - chain.lower_limits, 1e-9)
 
-    return gradient
+    def __call__(self, q: np.ndarray) -> np.ndarray:
+        return -(q - self.mid) / self.span**2
+
+
+def limit_centering_gradient(chain: KinematicChain) -> Callable[[np.ndarray], np.ndarray]:
+    """Factory form of :class:`LimitCenteringGradient` (kept for callers)."""
+    return LimitCenteringGradient(chain)
 
 
 class NullSpaceSolver(IterativeIKSolver):

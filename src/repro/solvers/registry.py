@@ -117,7 +117,9 @@ def make_solver(name: str, chain, config=None, **kwargs):
     return factory(chain, config=config, **kwargs)
 
 
-def make_batch_solver(name: str, chain, config=None, **kwargs):
+def make_batch_solver(
+    name: str, chain, config=None, workers=None, timeout=None, **kwargs
+):
     """Instantiate a batch solver by name.
 
     Names in :data:`BATCH_REGISTRY` get the dedicated lock-step engine; any
@@ -125,15 +127,27 @@ def make_batch_solver(name: str, chain, config=None, **kwargs):
     whose inherited ``solve_batch`` loops per target.  Either way the result
     exposes ``solve_batch(targets, q0=None, rng=None, tracer=None) ->
     BatchResult``.
+
+    With ``workers`` set, the solver is wrapped in a
+    :class:`~repro.parallel.ShardedBatchSolver` that shards every batch
+    across that many subprocesses (``workers=1`` runs the identical shard
+    path inline); results are bit-identical for any worker count under the
+    same seed.  ``timeout`` bounds one pooled batch in seconds.
     """
     if name in BATCH_REGISTRY:
         factory = BATCH_REGISTRY[name]
         _validate_kwargs(name, factory, kwargs, BATCH_REGISTRY)
-        return factory(chain, config=config, **kwargs)
-    if name in SOLVER_REGISTRY:
-        return make_solver(name, chain, config=config, **kwargs)
-    known = ", ".join(sorted(set(BATCH_REGISTRY) | set(SOLVER_REGISTRY)))
-    raise KeyError(f"unknown batch solver {name!r}; known: {known}")
+        solver = factory(chain, config=config, **kwargs)
+    elif name in SOLVER_REGISTRY:
+        solver = make_solver(name, chain, config=config, **kwargs)
+    else:
+        known = ", ".join(sorted(set(BATCH_REGISTRY) | set(SOLVER_REGISTRY)))
+        raise KeyError(f"unknown batch solver {name!r}; known: {known}")
+    if workers is None:
+        return solver
+    from repro.parallel import ShardedBatchSolver
+
+    return ShardedBatchSolver(solver, workers=workers, timeout=timeout)
 
 
 def describe_solver_options(registry: dict | None = None) -> str:

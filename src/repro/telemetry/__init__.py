@@ -33,6 +33,7 @@ from repro.telemetry.sinks import (
     MetricsRegistry,
     SummaryTracer,
     TelemetrySummary,
+    merge_summaries,
     percentile,
     read_jsonl_trace,
 )
@@ -65,5 +66,6 @@ __all__ = [
     "JsonlTracer",
     "read_jsonl_trace",
     "MetricsRegistry",
+    "merge_summaries",
     "percentile",
 ]

@@ -29,6 +29,7 @@ __all__ = [
     "JsonlTracer",
     "read_jsonl_trace",
     "MetricsRegistry",
+    "merge_summaries",
     "percentile",
 ]
 
@@ -77,6 +78,48 @@ class TelemetrySummary:
             "phase_seconds": dict(self.phase_seconds),
             "events": self.events,
         }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "TelemetrySummary":
+        """Inverse of :meth:`to_dict` (e.g. a summary shipped from a worker)."""
+        return cls(
+            solves=int(data.get("solves", 0)),
+            iterations=int(data.get("iterations", 0)),
+            waves=int(data.get("waves", 0)),
+            counters=dict(data.get("counters", {})),
+            phase_seconds=dict(data.get("phase_seconds", {})),
+            events=int(data.get("events", 0)),
+        )
+
+    @classmethod
+    def merge(
+        cls, parts: "list[TelemetrySummary | dict[str, Any]]"
+    ) -> "TelemetrySummary":
+        """Combine per-shard summaries into one (counts and totals add)."""
+        merged = cls(
+            solves=0, iterations=0, waves=0, counters={}, phase_seconds={}, events=0
+        )
+        for part in parts:
+            if isinstance(part, dict):
+                part = cls.from_dict(part)
+            merged.solves += part.solves
+            merged.iterations += part.iterations
+            merged.waves += part.waves
+            merged.events += part.events
+            for name, value in part.counters.items():
+                merged.counters[name] = merged.counters.get(name, 0) + value
+            for name, value in part.phase_seconds.items():
+                merged.phase_seconds[name] = (
+                    merged.phase_seconds.get(name, 0.0) + value
+                )
+        return merged
+
+
+def merge_summaries(
+    parts: "list[TelemetrySummary | dict[str, Any]]",
+) -> TelemetrySummary:
+    """Module-level alias of :meth:`TelemetrySummary.merge`."""
+    return TelemetrySummary.merge(parts)
 
 
 class SummaryTracer(TracerBase):
@@ -207,6 +250,26 @@ class MetricsRegistry(TracerBase):
             error=float(result.error),
             wall_time=float(result.wall_time),
         )
+
+    def merge(self, other: "MetricsRegistry") -> "MetricsRegistry":
+        """Fold ``other``'s series, counters and phase totals into this one.
+
+        The merge path for sharded execution: each worker process aggregates
+        its shard into its own registry, and the parent folds them together
+        so :meth:`report` covers the whole batch.  Returns ``self``.
+        """
+        for name, series in other.series.items():
+            mine = self.series.setdefault(name, _SolverSeries())
+            mine.latencies_s.extend(series.latencies_s)
+            mine.iterations.extend(series.iterations)
+            mine.errors.extend(series.errors)
+            mine.converged += series.converged
+            mine.solves += series.solves
+        for name, value in other.counters.items():
+            self.counters[name] = self.counters.get(name, 0) + value
+        for name, value in other.phase_seconds.items():
+            self.phase_seconds[name] = self.phase_seconds.get(name, 0.0) + value
+        return self
 
     def report(self) -> dict[str, Any]:
         """Aggregated metrics: per-solver stats plus global counters."""

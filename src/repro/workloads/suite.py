@@ -136,6 +136,10 @@ class EvaluationSuite:
         Master seed; targets and solver restarts derive from it.
     total_reach:
         Reach of the generated manipulators (metres).
+    workers:
+        Worker processes per solver run (default 1: in-process).  Any value
+        produces identical per-target results — the sharded path draws the
+        same restart stream (see :mod:`repro.parallel`).
     """
 
     def __init__(
@@ -145,6 +149,7 @@ class EvaluationSuite:
         target_kind: str = "reachable",
         seed: int = 2017,
         total_reach: float = 1.2,
+        workers: int = 1,
     ) -> None:
         if dofs is None:
             dofs = default_dofs()
@@ -159,6 +164,9 @@ class EvaluationSuite:
         self.target_kind = target_kind
         self.seed = seed
         self.total_reach = total_reach
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.workers = int(workers)
         self._chains: dict[int, KinematicChain] = {}
         self._targets: dict[int, np.ndarray] = {}
 
@@ -192,13 +200,23 @@ class EvaluationSuite:
             raise ValueError(
                 "solver was built for a different chain; use suite.chain(dof)"
             )
-        rng = self.solver_rng(dof, solver.name)
-        results = [solver.solve(t, rng=rng) for t in self.targets(dof)]
-        return aggregate_results(results)
+        return aggregate_results(self.run_results(solver, dof))
 
     def run_results(self, solver: IterativeIKSolver, dof: int) -> list[IKResult]:
-        """Like :meth:`run_solver` but returning the raw per-target results."""
+        """Like :meth:`run_solver` but returning the raw per-target results.
+
+        With ``workers > 1`` the target batch is sharded across worker
+        processes; the per-target results are identical to the in-process
+        run (the parent draws the same restart stream in target order).
+        """
         rng = self.solver_rng(dof, solver.name)
+        if self.workers > 1:
+            from repro.parallel import solve_batch_sharded
+
+            batch = solve_batch_sharded(
+                solver, self.targets(dof), workers=self.workers, rng=rng
+            )
+            return list(batch.results)
         return [solver.solve(t, rng=rng) for t in self.targets(dof)]
 
     def __repr__(self) -> str:

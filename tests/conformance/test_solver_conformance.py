@@ -1,0 +1,156 @@
+"""Differential conformance tier: every batch path computes the same solves.
+
+Three execution paths exist for a batch of IK problems — the scalar driver
+loop, the lock-step vectorised engines, and the process-sharded pool — and
+they must agree per problem:
+
+* across *worker counts* (sharded ``workers=2`` vs ``workers=1`` vs the
+  unsharded engine): **bit-for-bit identical** — same iteration counts,
+  same final ``q`` arrays, same error floats, same FK-evaluation counts;
+* across *engines* (lock-step vs scalar driver): identical iteration
+  counts and trajectories up to floating-point associativity (the batched
+  einsum contractions reorder additions; 1e-9 on ``q``).
+
+Chains are seeded random geometries at 12/25/50 DOF, so conformance is not
+an artefact of one benign manipulator.  ``max_iterations`` is capped well
+below convergence for the slow serial methods: agreement of *unconverged*
+trajectories is exactly as binding.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.result import SolverConfig
+from repro.parallel import ShardedBatchSolver
+from repro.solvers.registry import (
+    BATCH_REGISTRY,
+    SOLVER_REGISTRY,
+    make_batch_solver,
+    make_solver,
+)
+from repro.kinematics.robots import random_chain
+
+DOFS = (12, 25, 50)
+N_TARGETS = 6
+CONFIG = SolverConfig(tolerance=1e-2, max_iterations=120, record_history=False)
+SEED = 20170618
+
+
+def _workload(dof: int, n: int = N_TARGETS):
+    """Seeded random chain plus reachable targets for it."""
+    chain = random_chain(dof, np.random.default_rng((SEED, dof)))
+    rng = np.random.default_rng((SEED + 1, dof))
+    targets = np.stack(
+        [chain.end_position(chain.random_configuration(rng)) for _ in range(n)]
+    )
+    return chain, targets
+
+
+def _assert_bit_identical(batch_a, batch_b):
+    """Same solves, bit for bit (the cross-worker-count guarantee)."""
+    assert len(batch_a) == len(batch_b)
+    for a, b in zip(batch_a, batch_b):
+        assert a.iterations == b.iterations
+        assert np.array_equal(a.q, b.q)
+        assert a.error == b.error
+        assert a.converged == b.converged
+        assert a.fk_evaluations == b.fk_evaluations
+        assert np.array_equal(a.target, b.target)
+
+
+def _assert_equivalent(batch_a, batch_b, q_atol=1e-9):
+    """Same solves up to float associativity (the cross-engine guarantee)."""
+    assert len(batch_a) == len(batch_b)
+    for a, b in zip(batch_a, batch_b):
+        assert a.iterations == b.iterations
+        assert np.allclose(a.q, b.q, atol=q_atol)
+        assert a.error == pytest.approx(b.error, abs=1e-9)
+        assert a.converged == b.converged
+
+
+@pytest.mark.parametrize("dof", DOFS)
+@pytest.mark.parametrize("name", sorted(SOLVER_REGISTRY))
+def test_sharded_pool_matches_workers_1(name, dof):
+    """Every SOLVER_REGISTRY name: workers=2 == workers=1 == unsharded."""
+    chain, targets = _workload(dof)
+    seed = (SEED + 2, dof)
+
+    unsharded = make_batch_solver(name, chain, config=CONFIG).solve_batch(
+        targets, rng=np.random.default_rng(seed)
+    )
+    inline = ShardedBatchSolver(
+        make_batch_solver(name, chain, config=CONFIG), workers=1
+    ).solve_batch(targets, rng=np.random.default_rng(seed))
+    pooled = ShardedBatchSolver(
+        make_batch_solver(name, chain, config=CONFIG), workers=2
+    ).solve_batch(targets, rng=np.random.default_rng(seed))
+
+    _assert_bit_identical(unsharded, inline)
+    _assert_bit_identical(inline, pooled)
+
+
+@pytest.mark.parametrize("dof", DOFS)
+@pytest.mark.parametrize("name", sorted(BATCH_REGISTRY))
+def test_lockstep_engine_matches_scalar_driver_and_pool(name, dof):
+    """BATCH_REGISTRY names: lock-step == scalar driver == sharded pool."""
+    chain, targets = _workload(dof)
+    seed = (SEED + 3, dof)
+
+    scalar = make_solver(name, chain, config=CONFIG).solve_batch(
+        targets, rng=np.random.default_rng(seed)
+    )
+    lockstep = make_batch_solver(name, chain, config=CONFIG).solve_batch(
+        targets, rng=np.random.default_rng(seed)
+    )
+    pooled = ShardedBatchSolver(
+        make_batch_solver(name, chain, config=CONFIG), workers=2
+    ).solve_batch(targets, rng=np.random.default_rng(seed))
+
+    _assert_equivalent(scalar, lockstep)
+    _assert_bit_identical(lockstep, pooled)
+
+
+@pytest.mark.parametrize("name", sorted(SOLVER_REGISTRY))
+def test_api_workers_identical(name):
+    """api.solve_batch(workers=4) == api.solve_batch(workers=1), all solvers."""
+    from repro import api
+
+    chain, targets = _workload(25)
+    kwargs = dict(
+        solver=name, seed=11, tolerance=1e-2, max_iterations=120
+    )
+    one = api.solve_batch(chain, targets, workers=1, **kwargs)
+    four = api.solve_batch(chain, targets, workers=4, **kwargs)
+    _assert_bit_identical(one, four)
+
+
+def test_order_preserved_under_sharding():
+    """Merged results keep input order: result[i].target is targets[i]."""
+    chain, targets = _workload(12, n=9)
+    batch = ShardedBatchSolver(
+        make_batch_solver("JT-Speculation", chain, config=CONFIG), workers=4
+    ).solve_batch(targets, rng=np.random.default_rng(0))
+    for i, result in enumerate(batch):
+        assert np.array_equal(result.target, targets[i])
+
+
+def test_explicit_q0_rows_conform_across_all_paths():
+    """Per-problem q0 rows: scalar loop, lock-step and pool all agree."""
+    chain, targets = _workload(12)
+    q0 = np.stack(
+        [
+            chain.random_configuration(np.random.default_rng((SEED + 4, i)))
+            for i in range(len(targets))
+        ]
+    )
+    lockstep = make_batch_solver("JT-Speculation", chain, config=CONFIG).solve_batch(
+        targets, q0=q0
+    )
+    pooled = ShardedBatchSolver(
+        make_batch_solver("JT-Speculation", chain, config=CONFIG), workers=3
+    ).solve_batch(targets, q0=q0)
+    scalar_solver = make_solver("JT-Speculation", chain, config=CONFIG)
+    scalar = [scalar_solver.solve(t, q0=q0[i]) for i, t in enumerate(targets)]
+
+    _assert_bit_identical(lockstep, pooled)
+    _assert_equivalent(scalar, lockstep)

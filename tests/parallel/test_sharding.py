@@ -1,0 +1,86 @@
+"""Unit tests for the deterministic partition/seeding helpers."""
+
+import numpy as np
+import pytest
+
+from repro.kinematics.robots import paper_chain
+from repro.parallel import resolve_batch_q0, shard_slices, spawn_problem_seeds
+
+
+class TestShardSlices:
+    def test_covers_everything_in_order(self):
+        for m in (1, 2, 7, 100, 1001):
+            for shards in (1, 2, 3, 8, 64):
+                slices = shard_slices(m, shards)
+                flat = [i for lo, hi in slices for i in range(lo, hi)]
+                assert flat == list(range(m))
+
+    def test_balanced_within_one(self):
+        slices = shard_slices(10, 4)
+        sizes = [hi - lo for lo, hi in slices]
+        assert sizes == [3, 3, 2, 2]
+
+    def test_never_empty_shards(self):
+        assert shard_slices(3, 8) == [(0, 1), (1, 2), (2, 3)]
+
+    def test_empty_batch(self):
+        assert shard_slices(0, 4) == []
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            shard_slices(5, 0)
+        with pytest.raises(ValueError):
+            shard_slices(-1, 2)
+
+
+class TestResolveBatchQ0:
+    def test_draws_match_engine_order(self):
+        """Parent-side drawing consumes the stream exactly like the engines."""
+        chain = paper_chain(12)
+        a = resolve_batch_q0(chain, 5, None, np.random.default_rng(3))
+        rng = np.random.default_rng(3)
+        b = np.stack([chain.random_configuration(rng) for _ in range(5)])
+        assert np.array_equal(a, b)
+
+    def test_shared_q0_broadcasts(self):
+        chain = paper_chain(12)
+        q0 = np.linspace(-1, 1, 12)
+        rows = resolve_batch_q0(chain, 4, q0, None)
+        assert rows.shape == (4, 12)
+        assert all(np.array_equal(rows[i], q0) for i in range(4))
+
+    def test_per_problem_q0_copied(self):
+        chain = paper_chain(12)
+        q0 = np.zeros((3, 12))
+        rows = resolve_batch_q0(chain, 3, q0, None)
+        rows[0, 0] = 99.0
+        assert q0[0, 0] == 0.0
+
+    def test_shape_mismatch_rejected(self):
+        chain = paper_chain(12)
+        with pytest.raises(ValueError):
+            resolve_batch_q0(chain, 3, np.zeros((2, 12)), None)
+
+
+class TestSpawnProblemSeeds:
+    def test_reproducible_from_seed(self):
+        a = spawn_problem_seeds(4, np.random.default_rng(7))
+        b = spawn_problem_seeds(4, np.random.default_rng(7))
+        for sa, sb in zip(a, b):
+            assert np.array_equal(
+                np.random.default_rng(sa).random(3),
+                np.random.default_rng(sb).random(3),
+            )
+
+    def test_independent_of_shard_layout(self):
+        """Problem i's stream is the same no matter how the batch is cut."""
+        full = spawn_problem_seeds(6, np.random.default_rng(9))
+        again = spawn_problem_seeds(6, np.random.default_rng(9))
+        # Slicing [lo:hi] is all the pool does; entry i is positional.
+        assert np.array_equal(
+            np.random.default_rng(full[4]).random(2),
+            np.random.default_rng(again[2:6][2]).random(2),
+        )
+
+    def test_empty(self):
+        assert spawn_problem_seeds(0, None) == []

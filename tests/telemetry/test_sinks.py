@@ -16,6 +16,8 @@ from repro.telemetry import (
     MetricsRegistry,
     MultiTracer,
     SummaryTracer,
+    TelemetrySummary,
+    merge_summaries,
     percentile,
     read_jsonl_trace,
 )
@@ -134,3 +136,63 @@ class TestMultiTracer:
 
     def test_empty_multi_tracer_is_disabled(self):
         assert not MultiTracer().enabled
+
+
+class TestMergePaths:
+    """The sharded-execution merge path: summaries and registries fold."""
+
+    def _summary(self, solves, fk):
+        return TelemetrySummary(
+            solves=solves, iterations=solves * 3, waves=0,
+            counters={"fk_evaluations": fk},
+            phase_seconds={"jacobian": 0.5}, events=solves * 5,
+        )
+
+    def test_merge_summaries_adds_everything(self):
+        merged = merge_summaries([self._summary(1, 10), self._summary(2, 32)])
+        assert merged.solves == 3
+        assert merged.iterations == 9
+        assert merged.events == 15
+        assert merged.counters == {"fk_evaluations": 42}
+        assert merged.phase_seconds == {"jacobian": 1.0}
+
+    def test_merge_accepts_worker_dicts(self):
+        """Workers ship summaries as plain dicts across the process pipe."""
+        merged = TelemetrySummary.merge(
+            [self._summary(1, 10).to_dict(), self._summary(1, 5).to_dict()]
+        )
+        assert merged.solves == 2
+        assert merged.counters == {"fk_evaluations": 15}
+
+    def test_merge_empty_is_zero(self):
+        merged = merge_summaries([])
+        assert merged.solves == 0 and merged.counters == {}
+
+    def test_from_dict_round_trips(self):
+        summary = self._summary(4, 99)
+        assert TelemetrySummary.from_dict(summary.to_dict()) == summary
+
+    def test_metrics_registry_merge(self, two_link):
+        target = np.array([0.6, 0.3, 0.0])
+        a, b = MetricsRegistry(), MetricsRegistry()
+        QuickIKSolver(two_link, speculations=4).solve(
+            target, q0=np.array([0.1, 0.1]), tracer=a
+        )
+        QuickIKSolver(two_link, speculations=4).solve(
+            target, q0=np.array([0.2, 0.2]), tracer=b
+        )
+        merged = a.merge(b)
+        assert merged is a
+        entry = a.report()["solvers"]["JT-Speculation"]
+        assert entry["solves"] == 2
+        assert a.report()["counters"]["fk_evaluations"] > 0
+
+    def test_metrics_registry_merge_disjoint_solvers(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.solve_end("A", converged=True, wall_time=0.1)
+        b.solve_end("B", converged=False, wall_time=0.2)
+        b.count("fk_evaluations", 7)
+        a.merge(b)
+        report = a.report()
+        assert set(report["solvers"]) == {"A", "B"}
+        assert report["counters"]["fk_evaluations"] == 7
