@@ -21,6 +21,8 @@ and an optional telemetry tracer (see :mod:`repro.telemetry`).
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 import numpy as np
 
 from repro.core.result import BatchResult, IKResult, SolverConfig
@@ -29,6 +31,9 @@ from repro.kinematics.robots import named_robot
 from repro.solvers.registry import make_batch_solver, make_solver
 from repro.solvers.restarts import RandomRestartSolver
 from repro.telemetry.tracer import Tracer
+
+if TYPE_CHECKING:  # pragma: no cover - annotations only
+    from repro.resilience import ResilienceConfig
 
 __all__ = ["solve", "solve_batch", "resolve_robot"]
 
@@ -94,6 +99,7 @@ def solve(
     max_iterations: int | None = None,
     restarts: int = 1,
     tracer: Tracer | None = None,
+    resilience: "ResilienceConfig | bool | None" = None,
     **options,
 ) -> IKResult:
     """Solve one IK target.
@@ -120,6 +126,14 @@ def solve(
     tracer:
         Telemetry sink (see :mod:`repro.telemetry`); defaults to the
         process-global tracer.
+    resilience:
+        Opt into the resilient pipeline: pass a
+        :class:`~repro.resilience.ResilienceConfig` (or ``True`` for the
+        stock policy) to wrap the solver in a
+        :class:`~repro.resilience.ResilientSolver` — input guards, optional
+        watchdogs, and the registry fallback chain.  The call then never
+        raises for bad targets or failing attempts; the returned result's
+        ``status`` tells the story.  Mutually exclusive with ``restarts``.
     options:
         Per-solver options (e.g. ``speculations=64`` for Quick-IK); unknown
         ones raise ``TypeError`` naming the solver's accepted options.
@@ -129,7 +143,18 @@ def solve(
         solver, chain, config=_resolve_config(config, tolerance, max_iterations),
         **options,
     )
-    if restarts > 1:
+    if resilience is not None and resilience is not False:
+        if restarts > 1:
+            raise ValueError("pass either restarts or resilience, not both")
+        from repro.resilience import ResilienceConfig, ResilientSolver
+
+        res_cfg = (
+            ResilienceConfig() if resilience is True else resilience
+        )
+        ik = ResilientSolver(
+            chain, primary=ik, config=ik.config, resilience=res_cfg
+        )
+    elif restarts > 1:
         ik = RandomRestartSolver(ik, max_restarts=restarts)
     return ik.solve(target, q0=q0, rng=_resolve_rng(rng, seed), tracer=tracer)
 
@@ -148,6 +173,8 @@ def solve_batch(
     tracer: Tracer | None = None,
     workers: int | None = None,
     timeout: float | None = None,
+    on_error: str = "raise",
+    resilience: "ResilienceConfig | None" = None,
     **options,
 ) -> BatchResult:
     """Solve a batch of IK targets; returns a :class:`BatchResult`.
@@ -163,11 +190,21 @@ def solve_batch(
     ``timeout`` bounds one pooled batch in seconds — on expiry, every
     unfinished shard is reported in a
     :class:`~repro.parallel.ParallelExecutionError`.
+
+    ``on_error`` selects the failure policy: ``"raise"`` (default,
+    historical behaviour), ``"skip"`` (rejected / failed problems become
+    placeholder results, ``batch.failures`` carries a
+    :class:`~repro.resilience.FailureReport`), or ``"fallback"`` (failed
+    problems are additionally retried solo through the
+    ``resilience.fallback_chain``).  ``resilience`` tunes the fallback
+    chain, watchdog and guard margin; either option routes the batch
+    through the sharded path (``workers=1`` inline when unset).
     """
     chain = resolve_robot(robot)
     engine = make_batch_solver(
         solver, chain, config=_resolve_config(config, tolerance, max_iterations),
         workers=workers, timeout=timeout,
+        on_error=on_error, resilience=resilience,
         **options,
     )
     return engine.solve_batch(

@@ -77,6 +77,13 @@ def build_parser() -> argparse.ArgumentParser:
                        help="solve through the process-sharded batch layer "
                             "with this many workers (results are identical "
                             "for any worker count; see docs/parallel.md)")
+    solve.add_argument("--on-error", default="raise",
+                       choices=["raise", "skip", "fallback"],
+                       help="failure policy: raise (default), skip (bad "
+                            "targets / failed solves become typed "
+                            "placeholder results), or fallback (failures "
+                            "retry through the resilient solver chain; "
+                            "see docs/robustness.md)")
     solve.add_argument("--opt", action="append", default=[], metavar="NAME=VALUE",
                        help="extra solver option (repeatable); values are "
                             "parsed as Python literals, unknown names are "
@@ -107,6 +114,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="shard each solver's target batch across this "
                             "many worker processes (default 1; results are "
                             "identical for any worker count)")
+    bench.add_argument("--max-iterations", type=_positive_int, default=None,
+                       help="override the paper's per-solve iteration cap "
+                            "(default: 10000)")
     add_telemetry(bench)
 
     report = sub.add_parser("report", help="write the EXPERIMENTS.md report")
@@ -189,15 +199,21 @@ def _cmd_solve(args) -> int:
     solver = make_solver(args.solver, chain, config=config, **kwargs)
     target = _resolve_target(chain, args)
     telemetry = _TelemetryOutputs(args)
-    if args.workers > 1:
+    if args.workers > 1 or args.on_error != "raise":
+        # The sharded batch layer carries the on_error machinery (guards,
+        # typed placeholders, fallback retries); workers=1 runs it inline.
         from repro.parallel import ShardedBatchSolver
 
-        batch = ShardedBatchSolver(solver, workers=args.workers).solve_batch(
+        batch = ShardedBatchSolver(
+            solver, workers=args.workers, on_error=args.on_error
+        ).solve_batch(
             [target],
             rng=np.random.default_rng(args.seed + 1),
             tracer=telemetry.tracer if telemetry.requested else None,
         )
         result = batch[0]
+        if batch.failures:
+            print(f"failures: {batch.failures.summary()}")
     else:
         result = solver.solve(
             target,
@@ -249,23 +265,89 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+class _BenchHealth:
+    """Count solves/convergences from ``solve_end`` events.
+
+    Understands both per-problem events (``converged`` boolean) and merged
+    batch events from the sharded layer (``batch`` / ``converged_count``
+    fields), so the failure accounting is correct for any worker count.
+    """
+
+    def __init__(self) -> None:
+        self.solves = 0
+        self.converged = 0
+        self.by_solver: dict[str, tuple[int, int]] = {}
+
+    def observe(self, solver: str, fields: dict) -> None:
+        n = int(fields.get("batch", 1))
+        c = int(fields.get(
+            "converged_count", n if fields.get("converged") else 0
+        ))
+        self.solves += n
+        self.converged += c
+        prev = self.by_solver.get(solver, (0, 0))
+        self.by_solver[solver] = (prev[0] + n, prev[1] + c)
+
+
+class _HealthTracer:
+    """Minimal always-on tracer: forward ``solve_end`` to a ``_BenchHealth``.
+
+    Deliberately not a :class:`~repro.telemetry.tracer.TracerBase` — every
+    hot-loop event is a flat no-op (no dict construction, no clock reads),
+    so leaving it installed for an untraced bench costs only the per-call
+    overhead the <5% telemetry budget already allows for.
+    """
+
+    enabled = True
+
+    def __init__(self, health: _BenchHealth) -> None:
+        self._health = health
+
+    def solve_start(self, solver, dof, **fields) -> None:
+        pass
+
+    def iteration(self, index, error, **fields) -> None:
+        pass
+
+    def speculation_wave(self, wave, occupancy, **fields) -> None:
+        pass
+
+    def count(self, counter, amount=1) -> None:
+        pass
+
+    def add_phase(self, phase, seconds) -> None:
+        pass
+
+    def phase(self, name):
+        from contextlib import nullcontext
+
+        return nullcontext()
+
+    def solve_end(self, solver, **fields) -> None:
+        self._health.observe(solver, fields)
+
+
 def _cmd_bench(args) -> int:
     from repro.evaluation.experiments import PaperExperiments
-    from repro.telemetry import use_tracer
+    from repro.telemetry import MultiTracer, use_tracer
     from repro.workloads.suite import EvaluationSuite
 
     dofs = tuple(int(d) for d in args.dofs.split(",")) if args.dofs else None
     suite = EvaluationSuite(
         dofs=dofs, targets_per_dof=args.targets, workers=args.workers
     )
-    experiments = PaperExperiments(suite=suite)
-    from repro.telemetry import NULL_TRACER
+    experiments = PaperExperiments(suite=suite, max_iterations=args.max_iterations)
 
     telemetry = _TelemetryOutputs(args)
+    health = _BenchHealth()
+    if telemetry.requested:
+        tracer = MultiTracer(_HealthTracer(health), telemetry.tracer)
+    else:
+        tracer = _HealthTracer(health)
     # Install the tracer process-wide: the experiment harness calls solvers
     # several layers deep, and every solve path falls back to the global
     # tracer when not handed one explicitly.
-    with use_tracer(telemetry.tracer if telemetry.requested else NULL_TRACER):
+    with use_tracer(tracer):
         tables = experiments.all_tables()
         selected = tables if args.experiment == "all" else {
             args.experiment: tables[args.experiment]
@@ -275,6 +357,14 @@ def _cmd_bench(args) -> int:
             print()
     if telemetry.requested:
         telemetry.finish()
+    if health.solves and health.converged == 0:
+        # Every solve failing is a broken benchmark, not a result table;
+        # exiting 0 here used to hide total failure from CI pipelines.
+        print(f"bench FAILED: 0/{health.solves} solves converged",
+              file=sys.stderr)
+        for name, (n, c) in sorted(health.by_solver.items()):
+            print(f"  {name}: {c}/{n} converged", file=sys.stderr)
+        return 1
     return 0
 
 

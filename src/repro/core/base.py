@@ -8,6 +8,7 @@ only customises one iteration via :meth:`IterativeIKSolver._step`.
 
 from __future__ import annotations
 
+import math
 import time
 from abc import ABC, abstractmethod
 
@@ -117,9 +118,16 @@ class IterativeIKSolver(ABC):
                            speculations=self.speculations)
             tr.count("fk_evaluations")
 
+        # Watchdog (deadline / divergence / stall detectors): armed only
+        # when configured, so the null path pays one ``is not None`` check.
+        watchdog = (
+            config.watchdog.start() if config.watchdog is not None else None
+        )
+        status = ""
         iterations = 0
         converged = error < config.tolerance
         while not converged and iterations < config.max_iterations:
+            prev_q, prev_position, prev_error = q, position, error
             outcome = self._step(q, position, target)
             iterations += 1
             fk_evaluations += outcome.fk_evaluations
@@ -152,20 +160,42 @@ class IterativeIKSolver(ABC):
                 tr.count("jacobian_builds", self.jacobians_per_step)
                 tr.count("candidate_evaluations", self.speculations)
                 tr.iteration(iterations, error, fk_evaluations=step_fk)
+            if not converged:
+                if not math.isfinite(error):
+                    # A non-finite update would otherwise propagate through
+                    # every remaining iteration (NaN comparisons are False,
+                    # so the loop burns the whole budget computing garbage).
+                    # Keep the last finite state and exit typed.
+                    q, position, error = prev_q, prev_position, prev_error
+                    status = "nonfinite"
+                    if traced:
+                        tr.count("nonfinite_exits")
+                    break
+                if watchdog is not None:
+                    verdict = watchdog.check(error)
+                    if verdict is not None:
+                        status = verdict
+                        if traced:
+                            tr.count(f"watchdog_{verdict}")
+                        break
 
+        converged = bool(error < config.tolerance)
+        if not status:
+            status = "converged" if converged else "max_iterations"
         if traced:
             tr.solve_end(
                 self.name,
-                converged=bool(error < config.tolerance),
+                converged=converged,
                 iterations=iterations,
                 error=error,
                 fk_evaluations=fk_evaluations,
                 wall_time=time.perf_counter() - start,
+                status=status,
             )
             self._tracer = NULL_TRACER
         return IKResult(
             q=q,
-            converged=bool(error < config.tolerance),
+            converged=converged,
             iterations=iterations,
             error=error,
             target=target,
@@ -177,6 +207,7 @@ class IterativeIKSolver(ABC):
             error_history=(
                 np.asarray(history) if history is not None else np.empty(0)
             ),
+            status=status,
         )
 
     def solve_batch(

@@ -13,9 +13,12 @@ from __future__ import annotations
 
 from collections.abc import Sequence
 from dataclasses import dataclass, field
-from typing import Any, Iterator
+from typing import TYPE_CHECKING, Any, Iterator
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (annotations only)
+    from repro.resilience.watchdogs import WatchdogConfig
 
 __all__ = ["SolverConfig", "StepOutcome", "IKResult", "BatchResult"]
 
@@ -41,12 +44,19 @@ class SolverConfig:
     respect_limits:
         When true, every candidate configuration is clamped into the joint
         limits before evaluation (an extension; the paper ignores limits).
+    watchdog:
+        Optional :class:`~repro.resilience.watchdogs.WatchdogConfig`.  When
+        set, the shared driver arms one watchdog per solve (wall-clock
+        deadline, divergence and stall detectors) and records trips as a
+        typed early exit on ``IKResult.status``.  ``None`` (the default)
+        costs the hot loop a single ``is not None`` check per solve.
     """
 
     tolerance: float = DEFAULT_TOLERANCE
     max_iterations: int = DEFAULT_MAX_ITERATIONS
     record_history: bool = True
     respect_limits: bool = False
+    watchdog: "WatchdogConfig | None" = None
 
     def __post_init__(self) -> None:
         if self.tolerance <= 0.0:
@@ -74,7 +84,15 @@ class StepOutcome:
 
 @dataclass
 class IKResult:
-    """Outcome of one IK solve."""
+    """Outcome of one IK solve.
+
+    ``status`` is the typed termination reason: ``"converged"`` /
+    ``"max_iterations"`` from the driver, ``"nonfinite"`` when a step
+    produced a non-finite update, a watchdog status (``"deadline"`` /
+    ``"diverged"`` / ``"stalled"``), or a guard / worker failure kind from
+    the resilience layer (see ``docs/robustness.md``).  Legacy constructors
+    that never set it leave the empty string.
+    """
 
     q: np.ndarray
     converged: bool
@@ -87,6 +105,7 @@ class IKResult:
     fk_evaluations: int = 0
     wall_time: float = 0.0
     error_history: np.ndarray = field(default_factory=lambda: np.empty(0))
+    status: str = ""
 
     @property
     def work(self) -> int:
@@ -114,13 +133,17 @@ class BatchResult(Sequence):
 
     ``wall_time`` is the *aggregate* wall time of the whole batch (the
     per-problem ``result.wall_time`` fields amortise it); ``telemetry`` is an
-    optional summary dict attached when the batch ran under a tracer.
+    optional summary dict attached when the batch ran under a tracer;
+    ``failures`` is a :class:`~repro.resilience.report.FailureReport`
+    attached by the resilient batch paths (``on_error="skip"/"fallback"``)
+    accounting for every guarded, failed or recovered problem.
     """
 
     results: list[IKResult]
     solver: str
     wall_time: float = 0.0
     telemetry: dict[str, Any] | None = None
+    failures: Any = None
 
     # -- sequence protocol ---------------------------------------------
 

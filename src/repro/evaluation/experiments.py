@@ -57,12 +57,17 @@ class PaperExperiments:
         speculations: int = 64,
         ikacc_config: IKAccConfig | None = None,
         workers: int = 1,
+        max_iterations: int | None = None,
     ) -> None:
         self.suite = suite or EvaluationSuite(workers=workers)
         self.speculations = speculations
         self.solver_config = SolverConfig(
             tolerance=paper_data.ACCURACY_M,
-            max_iterations=paper_data.MAX_ITERATIONS,
+            max_iterations=(
+                max_iterations
+                if max_iterations is not None
+                else paper_data.MAX_ITERATIONS
+            ),
             record_history=False,
         )
         self.atom = AtomModel()

@@ -32,6 +32,7 @@ sequences, so a shard is a pure function of its slice.
 from __future__ import annotations
 
 import concurrent.futures
+import math
 import os
 import time
 import traceback
@@ -46,6 +47,13 @@ from repro.parallel.sharding import (
     shard_slices,
     spawn_problem_seeds,
 )
+from repro.resilience.guards import (
+    FATAL_GUARD_KINDS,
+    GuardViolation,
+    guard_targets,
+)
+from repro.resilience.report import STAGE_WORKER, FailureRecord, FailureReport
+from repro.resilience.resilient import rejected_result
 from repro.solvers.batched import LockStepEngine
 from repro.telemetry.sinks import SummaryTracer, merge_summaries
 from repro.telemetry.tracer import Tracer, get_tracer
@@ -58,11 +66,21 @@ __all__ = [
     "ShardedBatchSolver",
     "solve_batch_sharded",
     "default_workers",
+    "ON_ERROR_MODES",
 ]
 
 #: Pool start method preference: ``fork`` (cheap, inherits the loaded numpy)
 #: where the platform offers it, else the platform default.
 _PREFERRED_START = "fork"
+
+#: Accepted ``on_error`` policies for a sharded batch.
+ON_ERROR_MODES = ("raise", "skip", "fallback")
+
+#: Per-problem retry budget (seconds) when a failed shard degrades in
+#: ``on_error="fallback"`` mode and neither ``retry_timeout`` nor ``timeout``
+#: is configured — retries must never inherit an unbounded wait, or one hung
+#: poison problem would stall the whole recovery wave.
+DEFAULT_RETRY_TIMEOUT = 60.0
 
 
 def default_workers() -> int:
@@ -188,12 +206,23 @@ def _pool_context():
 
 
 def _run_tasks(
-    tasks: list[ShardTask], workers: int, timeout: float | None
+    tasks: list[ShardTask],
+    workers: int,
+    timeout: float | None,
+    force_pool: bool = False,
 ) -> list[ShardOutcome | ShardError]:
-    """Run shard tasks inline (single worker) or on a process pool."""
+    """Run shard tasks inline (single worker) or on a process pool.
+
+    ``force_pool`` runs even a single task through a subprocess — the
+    fallback retry wave uses it so a crashing / hanging / SIGKILLed
+    problem stays isolated from the parent instead of taking it down.
+    """
+    if not tasks:
+        return []
     n_procs = min(workers, len(tasks))
-    if n_procs <= 1:
+    if n_procs <= 1 and not force_pool:
         return [_run_shard(task) for task in tasks]
+    n_procs = max(n_procs, 1)
 
     outcomes: dict[int, ShardOutcome | ShardError] = {}
     pool = concurrent.futures.ProcessPoolExecutor(
@@ -260,6 +289,28 @@ class ShardedBatchSolver:
         ``None`` waits indefinitely.  On expiry every unfinished shard is
         reported in a :class:`ParallelExecutionError` (inline runs are not
         interruptible and ignore the timeout).
+    on_error:
+        Failure policy for guard rejections and shard failures:
+
+        * ``"raise"`` (default, historical behaviour) — fatal guard
+          violations raise :class:`~repro.resilience.guards.GuardViolation`
+          and any shard failure raises :class:`ParallelExecutionError`.
+        * ``"skip"`` — rejected / failed problems come back as placeholder
+          results (``converged=False``, NaN error, typed ``status``) and the
+          batch carries a :class:`~repro.resilience.report.FailureReport`.
+        * ``"fallback"`` — like ``skip``, but every problem from a failed
+          shard is retried individually through an isolated subprocess with
+          a :class:`~repro.resilience.resilient.ResilientSolver` built from
+          ``resilience.fallback_chain``, so one poisoned problem degrades
+          alone instead of failing its shard-mates.
+    resilience:
+        Optional :class:`~repro.resilience.resilient.ResilienceConfig`
+        controlling the fallback chain, reseeding and the guard reach
+        margin.  Only consulted when ``on_error != "raise"``.
+    retry_timeout:
+        Seconds allowed for the whole fallback retry wave.  Defaults to
+        ``timeout`` when set, else :data:`DEFAULT_RETRY_TIMEOUT` — the
+        retry wave is never unbounded.
     """
 
     def __init__(
@@ -267,14 +318,42 @@ class ShardedBatchSolver:
         solver: Any,
         workers: int,
         timeout: float | None = None,
+        on_error: str = "raise",
+        resilience: Any = None,
+        retry_timeout: float | None = None,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
         if timeout is not None and timeout <= 0:
             raise ValueError("timeout must be positive (or None)")
+        if on_error not in ON_ERROR_MODES:
+            raise ValueError(
+                f"on_error must be one of {ON_ERROR_MODES}, got {on_error!r}"
+            )
+        if retry_timeout is not None and retry_timeout <= 0:
+            raise ValueError("retry_timeout must be positive (or None)")
         self.solver = solver
         self.workers = int(workers)
         self.timeout = timeout
+        self.on_error = on_error
+        self.resilience = resilience
+        self.retry_timeout = retry_timeout
+
+    def _retry_solver(self) -> Any:
+        """Build the per-problem fallback solver for ``on_error="fallback"``.
+
+        Constructed from the registry fallback chain (not from the possibly
+        faulty ``self.solver`` instance), so a poisoned solver object is not
+        retried verbatim.
+        """
+        from repro.resilience.resilient import ResilienceConfig, ResilientSolver
+
+        cfg = (
+            self.resilience
+            if self.resilience is not None
+            else ResilienceConfig()
+        )
+        return ResilientSolver(self.chain, config=self.config, resilience=cfg)
 
     @property
     def name(self) -> str:
@@ -304,18 +383,47 @@ class ShardedBatchSolver:
         traced = tr.enabled
         start_time = time.perf_counter()
 
+        # --- guard stage -------------------------------------------------
+        # In raise mode only fatal violations (non-finite / wrong shape)
+        # abort; "unreachable" stays advisory so existing out-of-reach
+        # workloads keep hitting the iteration cap as before.  In
+        # skip/fallback modes every guarded problem is excluded up front
+        # and accounted for in the batch's FailureReport.
+        reach_margin = (
+            self.resilience.reach_margin if self.resilience is not None else 0.0
+        )
+        guard_records = guard_targets(self.chain, targets, reach_margin)
+        report: FailureReport | None = (
+            FailureReport() if self.on_error != "raise" else None
+        )
+        skip = np.zeros(m, dtype=bool)
+        if self.on_error == "raise":
+            fatal = [r for r in guard_records if r.kind in FATAL_GUARD_KINDS]
+            if fatal:
+                raise GuardViolation(FailureReport(fatal))
+        else:
+            for record in guard_records:
+                skip[record.index] = True
+                report.add(record)
+            if traced and guard_records:
+                tr.count("guard_rejected", len(guard_records))
+
+        # q0/seeds are resolved over *all* m problems before exclusion, so
+        # the per-problem streams are identical whether or not a guard
+        # fires — determinism is positional, not survivor-positional.
         qs = resolve_batch_q0(self.chain, m, q0, rng)
         seeds = spawn_problem_seeds(m, rng)
-        slices = shard_slices(m, self.workers)
+        kept = np.flatnonzero(~skip)
+        slices = shard_slices(int(kept.size), self.workers) if kept.size else []
         tasks = [
             ShardTask(
                 index=i,
                 start=lo,
                 stop=hi,
                 solver=self.solver,
-                targets=targets[lo:hi],
-                q0=qs[lo:hi],
-                seeds=seeds[lo:hi],
+                targets=targets[kept[lo:hi]],
+                q0=qs[kept[lo:hi]],
+                seeds=[seeds[j] for j in kept[lo:hi]],
                 trace=traced,
             )
             for i, (lo, hi) in enumerate(slices)
@@ -331,33 +439,143 @@ class ShardedBatchSolver:
 
         outcomes = _run_tasks(tasks, self.workers, self.timeout)
         errors = [o for o in outcomes if isinstance(o, ShardError)]
-        if errors:
+        if errors and self.on_error == "raise":
             raise ParallelExecutionError(errors)
 
-        results: list[IKResult] = []
-        for outcome in outcomes:
-            results.extend(outcome.results)
+        slots: list[IKResult | None] = [None] * m
+        good_outcomes = [o for o in outcomes if isinstance(o, ShardOutcome)]
+        for outcome in good_outcomes:
+            for local, res in zip(
+                range(outcome.start, outcome.stop), outcome.results
+            ):
+                slots[int(kept[local])] = res
+
+        placeholder_count = 0
+        if report is not None:
+            for record in report.records:
+                gi = record.index
+                slots[gi] = rejected_result(
+                    self.chain, targets[gi], self.name,
+                    status=record.kind, q=qs[gi],
+                )
+                placeholder_count += 1
+
+        if errors and self.on_error == "skip":
+            for err in errors:
+                for local in range(err.start, err.stop):
+                    gi = int(kept[local])
+                    report.add(FailureRecord(
+                        index=gi,
+                        stage=STAGE_WORKER,
+                        kind=err.kind,
+                        message=err.message or err.describe(),
+                        solver=self.name,
+                    ))
+                    slots[gi] = rejected_result(
+                        self.chain, targets[gi], self.name,
+                        status=err.kind, q=qs[gi],
+                    )
+                    placeholder_count += 1
+        elif errors:  # on_error == "fallback"
+            retry_solver = self._retry_solver()
+            retry_tasks: list[ShardTask] = []
+            retry_map: list[tuple[int, ShardError]] = []
+            for err in errors:
+                for local in range(err.start, err.stop):
+                    gi = int(kept[local])
+                    retry_map.append((gi, err))
+                    retry_tasks.append(ShardTask(
+                        index=len(retry_tasks),
+                        start=gi,
+                        stop=gi + 1,
+                        solver=retry_solver,
+                        targets=targets[gi:gi + 1],
+                        q0=qs[gi:gi + 1],
+                        seeds=[seeds[gi]],
+                        trace=traced,
+                    ))
+            if traced and retry_tasks:
+                tr.count("fallback_used", len(retry_tasks))
+            retry_timeout = (
+                self.retry_timeout
+                if self.retry_timeout is not None
+                else (self.timeout if self.timeout is not None
+                      else DEFAULT_RETRY_TIMEOUT)
+            )
+            # Each problem gets its own subprocess (force_pool): the retry
+            # must survive the same crash/hang/SIGKILL fault that killed
+            # its shard, and a still-poisoned problem must die alone.
+            retry_outcomes = _run_tasks(
+                retry_tasks, self.workers, retry_timeout, force_pool=True
+            )
+            for (gi, err), outcome in zip(retry_map, retry_outcomes):
+                if isinstance(outcome, ShardOutcome) and outcome.results:
+                    res = outcome.results[0]
+                    slots[gi] = res
+                    good_outcomes.append(outcome)
+                    report.add(FailureRecord(
+                        index=gi,
+                        stage=STAGE_WORKER,
+                        kind=err.kind,
+                        message=err.message or "shard failed; retried solo",
+                        solver=self.name,
+                        recovered=bool(res.converged),
+                        attempts=1,
+                    ))
+                else:
+                    retry_err = outcome if isinstance(outcome, ShardError) else err
+                    report.add(FailureRecord(
+                        index=gi,
+                        stage=STAGE_WORKER,
+                        kind=retry_err.kind,
+                        message=retry_err.message or "solo retry failed",
+                        solver=self.name,
+                        attempts=1,
+                    ))
+                    slots[gi] = rejected_result(
+                        self.chain, targets[gi], self.name,
+                        status=retry_err.kind, q=qs[gi],
+                    )
+                    placeholder_count += 1
+
+        results: list[IKResult] = [r for r in slots if r is not None]
+        if len(results) != m:  # pragma: no cover - internal invariant
+            raise RuntimeError("sharded batch lost problems during merge")
         elapsed = time.perf_counter() - start_time
         batch = BatchResult(results=results, solver=self.name, wall_time=elapsed)
+        if report is not None:
+            batch.failures = report
         if traced:
-            for outcome in outcomes:
+            if placeholder_count:
+                tr.count("solve_failed", placeholder_count)
+            for outcome in good_outcomes:
                 for counter, value in outcome.counters.items():
                     tr.count(counter, value)
                 for phase, seconds in outcome.phase_seconds.items():
                     tr.add_phase(phase, seconds)
-            tr.solve_end(
-                self.name,
-                converged=batch.converged_count == m,
+            # Placeholder results carry NaN errors; aggregate over the
+            # finite ones so the merged record stays numeric.
+            end_fields: dict[str, Any] = dict(
                 batch=m,
                 converged_count=batch.converged_count,
                 iterations=batch.total_iterations,
-                error=float(max((r.error for r in results), default=0.0)),
+                error=float(max(
+                    (r.error for r in results if math.isfinite(r.error)),
+                    default=0.0,
+                )),
                 wall_time=elapsed,
                 workers=self.workers,
                 shards=len(tasks),
             )
+            if report is not None:
+                end_fields["failed"] = len(report.fatal)
+            tr.solve_end(
+                self.name,
+                converged=batch.converged_count == m,
+                **end_fields,
+            )
             shard_summaries = [
-                o.summary for o in outcomes if o.summary is not None
+                o.summary for o in good_outcomes if o.summary is not None
             ]
             if shard_summaries:
                 batch.telemetry = merge_summaries(shard_summaries).to_dict()

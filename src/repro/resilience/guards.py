@@ -1,0 +1,142 @@
+"""Input guards: reject hopeless targets at the API boundary.
+
+Before this layer, a single ``NaN`` target crashed (or silently poisoned)
+whatever solver it reached — often deep inside a pool worker where the
+traceback names an einsum, not the bad input.  The guards classify targets
+*before* any solve:
+
+* ``nonfinite_target`` / ``bad_shape`` — **fatal**: the solve is
+  mathematically meaningless.  ``on_error="raise"`` raises a structured
+  :class:`GuardViolation` at the boundary; ``skip``/``fallback`` turn the
+  problem into a placeholder result plus a
+  :class:`~repro.resilience.report.FailureRecord`.
+* ``unreachable`` — **advisory**: the target lies beyond the chain's
+  conservative reach bound (:meth:`KinematicChain.total_reach`), so no solver
+  can converge and the paper's 10k-iteration budget would burn for nothing.
+  ``raise`` mode only flags it (the historical hit-the-cap behaviour is load
+  bearing for benchmarks); ``skip``/``fallback`` reject it up front.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.resilience.report import STAGE_GUARD, FailureRecord, FailureReport
+
+__all__ = [
+    "GuardViolation",
+    "FATAL_GUARD_KINDS",
+    "KIND_NONFINITE_TARGET",
+    "KIND_BAD_SHAPE",
+    "KIND_UNREACHABLE",
+    "guard_target",
+    "guard_targets",
+    "reach_bound",
+]
+
+KIND_NONFINITE_TARGET = "nonfinite_target"
+KIND_BAD_SHAPE = "bad_shape"
+KIND_UNREACHABLE = "unreachable"
+
+#: Guard kinds that invalidate a solve outright (vs the advisory
+#: ``unreachable`` flag).
+FATAL_GUARD_KINDS = frozenset({KIND_NONFINITE_TARGET, KIND_BAD_SHAPE})
+
+#: Absolute slack added to the reach bound (metres) — keeps boundary targets
+#: produced by FK round-trips on the reachable side.
+_REACH_SLACK = 1e-9
+
+
+class GuardViolation(ValueError):
+    """Structured rejection of one or more targets at the API boundary.
+
+    Subclasses ``ValueError`` so pre-existing ``except ValueError`` call
+    sites keep working; carries the full :class:`FailureReport` so callers
+    can account for every offending problem.
+    """
+
+    def __init__(self, report: FailureReport) -> None:
+        self.report = report
+        super().__init__(f"rejected target(s): {report.describe()}")
+
+
+def reach_bound(chain, margin: float = 0.0) -> float:
+    """The rejection radius: ``total_reach`` plus a relative ``margin``."""
+    return float(chain.total_reach()) * (1.0 + margin) + _REACH_SLACK
+
+
+def guard_target(
+    chain, target, index: int = -1, reach_margin: float = 0.0
+) -> FailureRecord | None:
+    """Classify one target; ``None`` when it passes every check."""
+    arr = np.asarray(target, dtype=float)
+    if arr.shape != (3,):
+        return FailureRecord(
+            index=index,
+            stage=STAGE_GUARD,
+            kind=KIND_BAD_SHAPE,
+            message=f"target must be a 3-vector, got shape {arr.shape}",
+        )
+    if not np.all(np.isfinite(arr)):
+        return FailureRecord(
+            index=index,
+            stage=STAGE_GUARD,
+            kind=KIND_NONFINITE_TARGET,
+            message=f"target contains non-finite values: {arr.tolist()}",
+        )
+    base_origin = np.asarray(chain.base[:3, 3], dtype=float)
+    radius = float(np.linalg.norm(arr - base_origin))
+    bound = reach_bound(chain, reach_margin)
+    if radius > bound:
+        return FailureRecord(
+            index=index,
+            stage=STAGE_GUARD,
+            kind=KIND_UNREACHABLE,
+            message=(
+                f"target radius {radius:.4g} m exceeds the chain's reach "
+                f"bound {bound:.4g} m"
+            ),
+        )
+    return None
+
+
+def guard_targets(
+    chain, targets: np.ndarray, reach_margin: float = 0.0
+) -> list[FailureRecord]:
+    """Classify a ``(M, 3)`` batch; one record per offending row.
+
+    The batch-level shape contract (``(M, 3)``) is still enforced by the
+    callers' existing ``ValueError`` — this vectorised pass only classifies
+    rows of an already well-shaped batch.
+    """
+    targets = np.asarray(targets, dtype=float)
+    records: list[FailureRecord] = []
+    finite = np.all(np.isfinite(targets), axis=1)
+    for i in np.flatnonzero(~finite):
+        records.append(
+            FailureRecord(
+                index=int(i),
+                stage=STAGE_GUARD,
+                kind=KIND_NONFINITE_TARGET,
+                message=f"target contains non-finite values: {targets[i].tolist()}",
+            )
+        )
+    base_origin = np.asarray(chain.base[:3, 3], dtype=float)
+    bound = reach_bound(chain, reach_margin)
+    radii = np.linalg.norm(targets - base_origin[None, :], axis=1)
+    with np.errstate(invalid="ignore"):
+        far = finite & (radii > bound)
+    for i in np.flatnonzero(far):
+        records.append(
+            FailureRecord(
+                index=int(i),
+                stage=STAGE_GUARD,
+                kind=KIND_UNREACHABLE,
+                message=(
+                    f"target radius {radii[i]:.4g} m exceeds the chain's "
+                    f"reach bound {bound:.4g} m"
+                ),
+            )
+        )
+    records.sort(key=lambda r: r.index)
+    return records

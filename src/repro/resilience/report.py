@@ -1,0 +1,158 @@
+"""Structured per-problem failure accounting for resilient solve paths.
+
+A resilient batch never throws away information: every guard rejection,
+watchdog trip, solver exception and worker failure becomes one
+:class:`FailureRecord`, and the batch's :class:`FailureReport` (attached as
+``BatchResult.failures``) accounts for all of them — including faults that a
+fallback retry later *recovered* from, so chaos runs can prove that every
+injected fault was seen.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+__all__ = [
+    "FailureRecord",
+    "FailureReport",
+    "STAGE_GUARD",
+    "STAGE_SOLVER",
+    "STAGE_WATCHDOG",
+    "STAGE_WORKER",
+]
+
+#: Pipeline stage that produced a record.
+STAGE_GUARD = "guard"
+STAGE_SOLVER = "solver"
+STAGE_WATCHDOG = "watchdog"
+STAGE_WORKER = "worker"
+
+
+@dataclass
+class FailureRecord:
+    """One problem's failure (or recovered fault).
+
+    ``index`` is the problem's position in the batch (``-1`` for a scalar
+    solve); ``stage`` is where the pipeline caught it (guard / solver /
+    watchdog / worker); ``kind`` is the machine-readable failure class
+    (``nonfinite_target``, ``unreachable``, ``exception``, ``timeout``,
+    ``pool``, ``diverged``, …); ``recovered`` marks faults a fallback retry
+    turned into a successful solve.
+    """
+
+    index: int
+    stage: str
+    kind: str
+    message: str = ""
+    solver: str = ""
+    recovered: bool = False
+    attempts: int = 0
+
+    def describe(self) -> str:
+        where = "scalar solve" if self.index < 0 else f"problem {self.index}"
+        outcome = "recovered" if self.recovered else "failed"
+        text = f"{where}: {self.stage}/{self.kind} ({outcome})"
+        if self.solver:
+            text += f" [{self.solver}]"
+        if self.message:
+            text += f": {self.message}"
+        return text
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "index": self.index,
+            "stage": self.stage,
+            "kind": self.kind,
+            "message": self.message,
+            "solver": self.solver,
+            "recovered": self.recovered,
+            "attempts": self.attempts,
+        }
+
+
+@dataclass
+class FailureReport:
+    """All failure records of one batch (or scalar) solve, in problem order."""
+
+    records: list[FailureRecord] = field(default_factory=list)
+
+    # -- container protocol ---------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[FailureRecord]:
+        return iter(self.records)
+
+    def __getitem__(self, index: int) -> FailureRecord:
+        return self.records[index]
+
+    def __bool__(self) -> bool:
+        return bool(self.records)
+
+    def add(self, record: FailureRecord) -> None:
+        self.records.append(record)
+
+    # -- views ----------------------------------------------------------
+
+    @property
+    def fatal(self) -> "list[FailureRecord]":
+        """Records whose problem produced no usable solution."""
+        return [r for r in self.records if not r.recovered]
+
+    @property
+    def recovered(self) -> "list[FailureRecord]":
+        """Faults a fallback retry turned into a successful solve."""
+        return [r for r in self.records if r.recovered]
+
+    @property
+    def indices(self) -> "list[int]":
+        """Problem indices with at least one record, sorted and deduplicated."""
+        return sorted({r.index for r in self.records})
+
+    def by_kind(self) -> dict[str, int]:
+        """Record counts keyed by failure kind."""
+        counts: dict[str, int] = {}
+        for record in self.records:
+            counts[record.kind] = counts.get(record.kind, 0) + 1
+        return counts
+
+    def by_stage(self) -> dict[str, int]:
+        """Record counts keyed by pipeline stage."""
+        counts: dict[str, int] = {}
+        for record in self.records:
+            counts[record.stage] = counts.get(record.stage, 0) + 1
+        return counts
+
+    def for_index(self, index: int) -> "list[FailureRecord]":
+        """All records for one problem index."""
+        return [r for r in self.records if r.index == index]
+
+    # -- rendering -------------------------------------------------------
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        if not self.records:
+            return "no failures"
+        kinds = ", ".join(
+            f"{kind}={count}" for kind, count in sorted(self.by_kind().items())
+        )
+        return (
+            f"{len(self.fatal)} fatal / {len(self.recovered)} recovered "
+            f"({kinds})"
+        )
+
+    def describe(self) -> str:
+        """Multi-line report: summary plus one line per record."""
+        lines = [self.summary()]
+        lines.extend(f"  {record.describe()}" for record in self.records)
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "fatal": len(self.fatal),
+            "recovered": len(self.recovered),
+            "by_kind": self.by_kind(),
+            "records": [r.to_dict() for r in self.records],
+        }

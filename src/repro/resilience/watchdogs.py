@@ -1,0 +1,134 @@
+"""Per-solve watchdogs: deadline, divergence and stall detection.
+
+The paper's protocol charges every solve a 10k-iteration budget; a run that
+has already diverged (error growing for K consecutive iterations) or stalled
+(error plateau above the tolerance) burns the full budget for nothing, and a
+pathological chain can hold a worker far beyond its latency target.  A
+:class:`Watchdog` sits inside the shared iterative driver
+(:meth:`repro.core.base.IterativeIKSolver.solve`) and converts those three
+conditions into typed early exits (``IKResult.status``) plus telemetry
+counters instead of silent budget burn.
+
+This module deliberately imports nothing from the rest of the package so the
+core driver can consume it (by duck typing on ``SolverConfig.watchdog``)
+without an import cycle.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+
+__all__ = [
+    "WatchdogConfig",
+    "Watchdog",
+    "STATUS_DEADLINE",
+    "STATUS_DIVERGED",
+    "STATUS_STALLED",
+    "WATCHDOG_STATUSES",
+]
+
+#: Typed early-exit statuses a watchdog can put on ``IKResult.status``.
+STATUS_DEADLINE = "deadline"
+STATUS_DIVERGED = "diverged"
+STATUS_STALLED = "stalled"
+WATCHDOG_STATUSES = (STATUS_DEADLINE, STATUS_DIVERGED, STATUS_STALLED)
+
+
+@dataclass(frozen=True)
+class WatchdogConfig:
+    """Knobs for the per-solve watchdog (all detectors optional).
+
+    Parameters
+    ----------
+    deadline_s:
+        Wall-clock budget for one solve; ``None`` disables.  Checked once
+        per outer iteration (granularity = one iteration, so a single step
+        that blocks forever still needs the pool-level timeout).
+    divergence_window:
+        Trip after this many *consecutive* iterations with strictly growing
+        error; ``0`` disables.
+    stall_window:
+        Trip after this many consecutive iterations whose error improves by
+        less than ``stall_min_delta`` while still above the tolerance;
+        ``0`` disables.
+    stall_min_delta:
+        Minimum per-iteration improvement that counts as progress.
+    """
+
+    deadline_s: float | None = None
+    divergence_window: int = 0
+    stall_window: int = 0
+    stall_min_delta: float = 1e-12
+
+    def __post_init__(self) -> None:
+        if self.deadline_s is not None and self.deadline_s <= 0.0:
+            raise ValueError("deadline_s must be positive (or None)")
+        if self.divergence_window < 0 or self.stall_window < 0:
+            raise ValueError("watchdog windows must be >= 0 (0 disables)")
+        if self.stall_min_delta < 0.0:
+            raise ValueError("stall_min_delta must be >= 0")
+
+    @property
+    def active(self) -> bool:
+        """True when at least one detector is enabled."""
+        return (
+            self.deadline_s is not None
+            or self.divergence_window > 0
+            or self.stall_window > 0
+        )
+
+    def start(self, clock=time.perf_counter) -> "Watchdog":
+        """Arm a fresh :class:`Watchdog` for one solve."""
+        return Watchdog(self, clock=clock)
+
+
+class Watchdog:
+    """Per-solve state machine; ``check(error)`` once per outer iteration.
+
+    Returns ``None`` while healthy, or one of :data:`WATCHDOG_STATUSES` the
+    first time a detector trips.  The driver treats any non-``None`` verdict
+    as a typed early exit.
+    """
+
+    __slots__ = ("config", "_clock", "_start", "_last_error", "_growing", "_flat")
+
+    def __init__(self, config: WatchdogConfig, clock=time.perf_counter) -> None:
+        self.config = config
+        self._clock = clock
+        self._start = clock() if config.deadline_s is not None else 0.0
+        self._last_error = math.inf
+        self._growing = 0
+        self._flat = 0
+
+    @property
+    def elapsed(self) -> float:
+        """Seconds since the watchdog was armed (0 without a deadline)."""
+        if self.config.deadline_s is None:
+            return 0.0
+        return self._clock() - self._start
+
+    def check(self, error: float) -> str | None:
+        """Feed one iteration's error norm; returns a trip status or None."""
+        config = self.config
+        if (
+            config.deadline_s is not None
+            and self._clock() - self._start > config.deadline_s
+        ):
+            return STATUS_DEADLINE
+        last = self._last_error
+        self._last_error = error
+        if config.divergence_window > 0:
+            self._growing = self._growing + 1 if error > last else 0
+            if self._growing >= config.divergence_window:
+                return STATUS_DIVERGED
+        if config.stall_window > 0:
+            improved = (last - error) > config.stall_min_delta
+            self._flat = 0 if improved else self._flat + 1
+            if self._flat >= config.stall_window:
+                return STATUS_STALLED
+        return None
+
+    def __repr__(self) -> str:
+        return f"Watchdog({self.config!r})"

@@ -138,6 +138,7 @@ class LockStepEngine:
         errors = np.linalg.norm(targets - positions, axis=1)
         iterations = np.zeros(m, dtype=int)
         fk_evaluations = np.ones(m, dtype=int)
+        nonfinite = np.zeros(m, dtype=bool)
         active = np.flatnonzero(errors >= tolerance)
         if traced:
             tr.solve_start(self.name, self.chain.dof, batch=m,
@@ -162,7 +163,19 @@ class LockStepEngine:
                     active=int(active.size),
                     fk_evaluations=int(fk_per_problem * active.size),
                 )
-            active = active[errors[active] >= tolerance]
+            err_act = errors[active]
+            finite = np.isfinite(err_act)
+            if not finite.all():
+                # Mirror of the scalar driver's non-finite guard: a NaN row
+                # would silently drop out of the comparison below, and a +inf
+                # row would burn the whole iteration budget.  Deactivate both
+                # with a typed status instead.
+                nonfinite[active[~finite]] = True
+                if traced:
+                    tr.count("nonfinite_exits", int((~finite).sum()))
+                active = active[finite]
+                err_act = errors[active]
+            active = active[err_act >= tolerance]
 
         elapsed = time.perf_counter() - start_time
         results = [
@@ -177,6 +190,11 @@ class LockStepEngine:
                 speculations=self.speculations,
                 fk_evaluations=int(fk_evaluations[i]),
                 wall_time=elapsed / m,
+                status=(
+                    "converged"
+                    if errors[i] < tolerance
+                    else ("nonfinite" if nonfinite[i] else "max_iterations")
+                ),
             )
             for i in range(m)
         ]

@@ -118,7 +118,14 @@ def make_solver(name: str, chain, config=None, **kwargs):
 
 
 def make_batch_solver(
-    name: str, chain, config=None, workers=None, timeout=None, **kwargs
+    name: str,
+    chain,
+    config=None,
+    workers=None,
+    timeout=None,
+    on_error="raise",
+    resilience=None,
+    **kwargs,
 ):
     """Instantiate a batch solver by name.
 
@@ -133,6 +140,13 @@ def make_batch_solver(
     across that many subprocesses (``workers=1`` runs the identical shard
     path inline); results are bit-identical for any worker count under the
     same seed.  ``timeout`` bounds one pooled batch in seconds.
+
+    ``on_error`` selects the failure policy (``"raise"`` / ``"skip"`` /
+    ``"fallback"``, see :class:`~repro.parallel.ShardedBatchSolver`) and
+    ``resilience`` is an optional
+    :class:`~repro.resilience.ResilienceConfig`.  Requesting either without
+    ``workers`` wraps the solver in a single-worker sharded solver so the
+    guard / failure-report machinery still applies.
     """
     if name in BATCH_REGISTRY:
         factory = BATCH_REGISTRY[name]
@@ -143,11 +157,17 @@ def make_batch_solver(
     else:
         known = ", ".join(sorted(set(BATCH_REGISTRY) | set(SOLVER_REGISTRY)))
         raise KeyError(f"unknown batch solver {name!r}; known: {known}")
-    if workers is None:
+    if workers is None and on_error == "raise" and resilience is None:
         return solver
     from repro.parallel import ShardedBatchSolver
 
-    return ShardedBatchSolver(solver, workers=workers, timeout=timeout)
+    return ShardedBatchSolver(
+        solver,
+        workers=workers if workers is not None else 1,
+        timeout=timeout,
+        on_error=on_error,
+        resilience=resilience,
+    )
 
 
 def describe_solver_options(registry: dict | None = None) -> str:

@@ -41,12 +41,24 @@ __all__ = [
 ]
 
 #: Canonical counter names (sinks accept arbitrary names; these are the ones
-#: the built-in instrumentation emits).
+#: the built-in instrumentation emits).  The resilience layer adds:
+#: ``guard_rejected`` (targets rejected at the boundary), ``solve_failed``
+#: (problems that ended without a usable solution), ``fallback_used``
+#: (solves that degraded past their primary solver), ``nonfinite_exits``
+#: (driver exits on a non-finite error), and ``watchdog_deadline`` /
+#: ``watchdog_diverged`` / ``watchdog_stalled`` (watchdog trips).
 COUNTER_NAMES = (
     "fk_evaluations",
     "jacobian_builds",
     "candidate_evaluations",
     "restarts",
+    "guard_rejected",
+    "solve_failed",
+    "fallback_used",
+    "nonfinite_exits",
+    "watchdog_deadline",
+    "watchdog_diverged",
+    "watchdog_stalled",
 )
 
 #: Canonical phase-timer names.

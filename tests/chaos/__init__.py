@@ -1,0 +1,1 @@
+"""Fault-injection (chaos) tier: crashed/hung/SIGKILLed workers."""

@@ -1,0 +1,127 @@
+"""Chaos tier: the resilient pipeline under injected worker faults.
+
+Acceptance scenario for the resilience layer: with ~20% of shards
+crashing or hanging, ``solve_batch(..., on_error="fallback")`` completes,
+preserves problem order, and the batch's ``FailureReport`` accounts for
+every injected fault.  Marked ``chaos`` (excluded from tier-1 by
+``addopts``; run nightly / with ``pytest -m chaos``).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.result import SolverConfig
+from repro.kinematics.robots import paper_chain
+from repro.parallel import ShardedBatchSolver
+from repro.resilience import (
+    FlakySolver,
+    ResilienceConfig,
+    TargetTrigger,
+    poison_indices,
+)
+from repro.solvers.registry import make_solver
+from repro.telemetry import MetricsRegistry
+
+pytestmark = pytest.mark.chaos
+
+CHAIN = paper_chain(6)
+CONFIG = SolverConfig(max_iterations=500, record_history=False)
+
+
+def _targets(n, seed=0):
+    rng = np.random.default_rng(seed)
+    return np.stack(
+        [CHAIN.end_position(CHAIN.random_configuration(rng)) for _ in range(n)]
+    )
+
+
+def _flaky(targets, poison, fault, naptime=30.0):
+    inner = make_solver("JT-Speculation", CHAIN, config=CONFIG)
+    return FlakySolver(
+        inner, TargetTrigger(targets[poison]), fault=fault, naptime=naptime
+    )
+
+
+def _assert_recovered_batch(batch, targets, poison):
+    """Order preserved, every problem usable, every fault accounted for."""
+    assert len(batch) == len(targets)
+    for i in range(len(targets)):
+        assert np.allclose(batch[i].target, targets[i])
+    # every poisoned problem has at least one failure record
+    for i in poison:
+        assert batch.failures.for_index(int(i)), f"fault at {i} unaccounted"
+    # the fallback retry recovered every problem (the retry solver has no
+    # fault injected, so each solo retry converges)
+    assert batch.convergence_rate == 1.0
+    assert len(batch.failures.recovered) == len(batch.failures)
+
+
+class TestAcceptanceScenario:
+    def test_twenty_percent_crashing_shards(self):
+        m, workers = 20, 5  # 5 shards of 4; poison hits >= 1 shard
+        targets = _targets(m)
+        poison = poison_indices(m, 0.2, seed=3)
+        solver = _flaky(targets, poison, fault="crash")
+        sharded = ShardedBatchSolver(
+            solver, workers=workers, timeout=120,
+            on_error="fallback", resilience=ResilienceConfig(),
+        )
+        registry = MetricsRegistry()
+        batch = sharded.solve_batch(
+            targets, rng=np.random.default_rng(7), tracer=registry
+        )
+        _assert_recovered_batch(batch, targets, poison)
+        assert registry.counters.get("fallback_used", 0) >= len(poison)
+        assert registry.counters.get("solve_failed", 0) == 0
+
+    def test_hanging_shards_recovered(self):
+        m, workers = 8, 4
+        targets = _targets(m, seed=1)
+        poison = poison_indices(m, 0.2, seed=4)
+        solver = _flaky(targets, poison, fault="hang", naptime=60.0)
+        sharded = ShardedBatchSolver(
+            solver, workers=workers, timeout=3.0,
+            on_error="fallback", retry_timeout=120.0,
+        )
+        batch = sharded.solve_batch(targets, rng=np.random.default_rng(8))
+        _assert_recovered_batch(batch, targets, poison)
+        # the hung shards were reported as timeouts before recovery
+        assert "timeout" in batch.failures.by_kind()
+
+    def test_sigkilled_worker_breaks_pool_but_batch_recovers(self):
+        m, workers = 8, 2
+        targets = _targets(m, seed=2)
+        poison = [0]
+        solver = _flaky(targets, poison, fault="kill")
+        sharded = ShardedBatchSolver(
+            solver, workers=workers, timeout=120,
+            on_error="fallback",
+        )
+        batch = sharded.solve_batch(targets, rng=np.random.default_rng(9))
+        _assert_recovered_batch(batch, targets, poison)
+        # SIGKILL breaks the whole pool: the records carry the pool kind
+        assert "pool" in batch.failures.by_kind()
+
+    def test_raise_mode_still_raises_under_sigkill(self):
+        from repro.parallel import ParallelExecutionError
+
+        m = 4
+        targets = _targets(m, seed=3)
+        solver = _flaky(targets, [0], fault="kill")
+        sharded = ShardedBatchSolver(solver, workers=2, timeout=120)
+        with pytest.raises(ParallelExecutionError) as excinfo:
+            sharded.solve_batch(targets, rng=np.random.default_rng(10))
+        assert {e.kind for e in excinfo.value.shard_errors} == {"pool"}
+
+
+class TestPoisonSelection:
+    def test_poison_indices_deterministic(self):
+        a = poison_indices(50, 0.2, seed=1)
+        b = poison_indices(50, 0.2, seed=1)
+        assert np.array_equal(a, b)
+        assert len(a) == 10
+        assert len(np.unique(a)) == 10
+
+    def test_poison_fraction_validated(self):
+        with pytest.raises(ValueError):
+            poison_indices(10, 1.5)

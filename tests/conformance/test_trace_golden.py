@@ -26,21 +26,37 @@ TIMING_FIELDS = {"t", "wall_time", "phase_seconds"}
 
 def generate_trace(path) -> None:
     """The fixture workload: one scalar solve, one lock-step batch, one
-    sharded batch — covering every event shape the solve paths emit."""
+    sharded batch, one skip-mode batch with a guarded target, and one
+    resilient solve that exhausts its fallback chain — covering every event
+    shape the solve paths emit."""
     import numpy as np
 
     from repro import api
+    from repro.resilience import ResilienceConfig
 
     chain = api.resolve_robot("dadu-12dof")
     rng = np.random.default_rng(1)
     targets = np.stack(
         [chain.end_position(chain.random_configuration(rng)) for _ in range(4)]
     )
+    guarded = np.vstack([targets, [[float("nan"), 0.0, 0.0]]])
     with JsonlTracer(path) as tracer:
         api.solve(chain, targets[0], "JT-Speculation", seed=2, tracer=tracer)
         api.solve_batch(chain, targets, "JT-Speculation", seed=2, tracer=tracer)
         api.solve_batch(
             chain, targets, "JT-Speculation", seed=2, workers=2, tracer=tracer
+        )
+        # Resilient paths: a skip-mode batch rejecting a NaN target (adds
+        # the "failed" field to the merged solve_end), and a scalar
+        # resilient solve whose every chained attempt fails (emits the
+        # fallback_used / solve_failed counters).
+        api.solve_batch(
+            chain, guarded, "JT-Speculation", seed=2, on_error="skip",
+            tracer=tracer,
+        )
+        api.solve(
+            chain, targets[0], "JT-Speculation", seed=2, max_iterations=1,
+            resilience=ResilienceConfig(), tracer=tracer,
         )
 
 

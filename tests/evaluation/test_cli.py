@@ -24,6 +24,12 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["bench", "figure9"])
 
+    def test_solve_on_error_choices(self):
+        args = build_parser().parse_args(["solve", "--on-error", "fallback"])
+        assert args.on_error == "fallback"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["solve", "--on-error", "retry"])
+
 
 class TestCommands:
     def test_robots(self, capsys):
@@ -73,6 +79,16 @@ class TestCommands:
         out = capsys.readouterr().out
         assert code == 0
         assert "Figure 4" in out
+
+    def test_bench_failure_exit_code(self, capsys):
+        # with a 1-iteration budget nothing converges; bench must say so
+        code = main(
+            ["bench", "figure4", "--targets", "2", "--dofs", "12",
+             "--max-iterations", "1"]
+        )
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "bench FAILED" in captured.err
 
     def test_report(self, tmp_path, monkeypatch, capsys):
         monkeypatch.setenv("REPRO_TARGETS", "2")

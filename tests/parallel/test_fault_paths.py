@@ -1,0 +1,112 @@
+"""ShardError / ParallelExecutionError coverage under injected worker faults.
+
+Each fault kind must surface as the documented ``ShardError.kind``:
+in-worker exceptions as ``"exception"``, hung workers as ``"timeout"``,
+and results that cannot cross the pipe as ``"pool"``.  The SIGKILL fault
+(also ``"pool"``, via BrokenProcessPool) lives in the chaos tier.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.result import SolverConfig
+from repro.kinematics.robots import paper_chain
+from repro.parallel import ParallelExecutionError, ShardedBatchSolver
+from repro.resilience import FlakySolver, TargetTrigger
+from repro.solvers.registry import make_solver
+
+CHAIN = paper_chain(6)
+CONFIG = SolverConfig(max_iterations=300, record_history=False)
+
+
+def _targets(n, seed=0):
+    rng = np.random.default_rng(seed)
+    return np.stack(
+        [CHAIN.end_position(CHAIN.random_configuration(rng)) for _ in range(n)]
+    )
+
+
+def _flaky(targets, poison, fault, naptime=30.0):
+    inner = make_solver("JT-Speculation", CHAIN, config=CONFIG)
+    return FlakySolver(
+        inner, TargetTrigger(targets[poison]), fault=fault, naptime=naptime
+    )
+
+
+class TestCrash:
+    def test_pool_crash_surfaces_as_exception_kind(self):
+        targets = _targets(4)
+        solver = _flaky(targets, [0], fault="crash")
+        sharded = ShardedBatchSolver(solver, workers=2, timeout=60)
+        with pytest.raises(ParallelExecutionError) as excinfo:
+            sharded.solve_batch(targets, rng=np.random.default_rng(1))
+        errors = excinfo.value.shard_errors
+        assert len(errors) == 1
+        assert errors[0].kind == "exception"
+        assert errors[0].exc_type == "RuntimeError"
+        assert "injected fault" in errors[0].message
+        # the failing shard's problem span is reported for replay
+        assert (errors[0].start, errors[0].stop) == (0, 2)
+
+    def test_inline_crash_same_shape(self):
+        # workers=1 runs the shard code inline; the error record matches.
+        targets = _targets(4)
+        solver = _flaky(targets, [3], fault="crash")
+        sharded = ShardedBatchSolver(solver, workers=1)
+        with pytest.raises(ParallelExecutionError) as excinfo:
+            sharded.solve_batch(targets, rng=np.random.default_rng(1))
+        assert excinfo.value.shard_errors[0].kind == "exception"
+
+
+class TestHang:
+    def test_hung_worker_surfaces_as_timeout_kind(self):
+        targets = _targets(4)
+        solver = _flaky(targets, [0], fault="hang", naptime=30.0)
+        sharded = ShardedBatchSolver(solver, workers=2, timeout=1.0)
+        with pytest.raises(ParallelExecutionError) as excinfo:
+            sharded.solve_batch(targets, rng=np.random.default_rng(1))
+        kinds = {e.kind for e in excinfo.value.shard_errors}
+        assert "timeout" in kinds
+
+
+class TestUnpicklable:
+    def test_unpicklable_result_surfaces_as_pool_kind(self):
+        targets = _targets(4)
+        solver = _flaky(targets, [0], fault="unpicklable")
+        sharded = ShardedBatchSolver(solver, workers=2, timeout=60)
+        with pytest.raises(ParallelExecutionError) as excinfo:
+            sharded.solve_batch(targets, rng=np.random.default_rng(1))
+        errors = excinfo.value.shard_errors
+        assert len(errors) == 1
+        assert errors[0].kind == "pool"
+
+    def test_skip_mode_absorbs_unpicklable(self):
+        targets = _targets(4)
+        solver = _flaky(targets, [0], fault="unpicklable")
+        sharded = ShardedBatchSolver(
+            solver, workers=2, timeout=60, on_error="skip"
+        )
+        batch = sharded.solve_batch(targets, rng=np.random.default_rng(1))
+        assert len(batch) == 4
+        assert batch[0].status == "pool"
+        assert batch.failures.by_stage() == {"worker": 2}
+
+
+class TestSkipMode:
+    def test_crash_shard_becomes_placeholders(self):
+        targets = _targets(6)
+        solver = _flaky(targets, [1], fault="crash")
+        sharded = ShardedBatchSolver(
+            solver, workers=3, timeout=60, on_error="skip"
+        )
+        batch = sharded.solve_batch(targets, rng=np.random.default_rng(1))
+        assert len(batch) == 6
+        # shard [0:2) failed; both problems are typed placeholders
+        assert batch[0].status == "exception"
+        assert batch[1].status == "exception"
+        # problem order is preserved for the healthy rest
+        for i in range(2, 6):
+            assert np.allclose(batch[i].target, targets[i])
+            assert batch[i].converged
+        assert batch.failures.indices == [0, 1]
+        assert all(not r.recovered for r in batch.failures)

@@ -1,0 +1,162 @@
+"""Watchdog unit tests plus their integration with the shared driver."""
+
+import numpy as np
+import pytest
+
+from repro.core.result import SolverConfig
+from repro.kinematics.robots import paper_chain
+from repro.resilience import (
+    DivergingSolver,
+    SleepyStepSolver,
+    StallingSolver,
+    Watchdog,
+    WatchdogConfig,
+)
+from repro.telemetry import SummaryTracer
+
+CHAIN = paper_chain(6)
+
+
+class TestConfig:
+    def test_defaults_inactive(self):
+        config = WatchdogConfig()
+        assert not config.active
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"deadline_s": 0.0},
+            {"deadline_s": -1.0},
+            {"divergence_window": -1},
+            {"stall_window": -2},
+            {"stall_min_delta": -1e-9},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            WatchdogConfig(**kwargs)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"deadline_s": 1.0},
+            {"divergence_window": 3},
+            {"stall_window": 5},
+        ],
+    )
+    def test_any_detector_activates(self, kwargs):
+        assert WatchdogConfig(**kwargs).active
+
+
+class TestDetectors:
+    def test_divergence_trips_after_window(self):
+        wd = WatchdogConfig(divergence_window=3).start()
+        assert wd.check(1.0) is None
+        assert wd.check(2.0) is None  # growing x1
+        assert wd.check(3.0) is None  # growing x2
+        assert wd.check(4.0) == "diverged"  # growing x3
+
+    def test_divergence_resets_on_improvement(self):
+        wd = WatchdogConfig(divergence_window=2).start()
+        wd.check(1.0)
+        wd.check(2.0)  # growing x1
+        wd.check(1.5)  # reset
+        assert wd.check(2.0) is None  # growing x1 again
+        assert wd.check(2.5) == "diverged"
+
+    def test_stall_trips_on_plateau(self):
+        wd = WatchdogConfig(stall_window=3, stall_min_delta=1e-6).start()
+        assert wd.check(1.0) is None  # baseline
+        assert wd.check(1.0) is None  # flat x1
+        assert wd.check(1.0) is None  # flat x2
+        assert wd.check(1.0) == "stalled"  # flat x3
+
+    def test_stall_resets_on_progress(self):
+        wd = WatchdogConfig(stall_window=2, stall_min_delta=1e-6).start()
+        wd.check(1.0)
+        assert wd.check(0.5) is None  # real improvement resets
+        assert wd.check(0.5) is None
+        assert wd.check(0.5) == "stalled"
+
+    def test_deadline_uses_injected_clock(self):
+        now = [0.0]
+        wd = WatchdogConfig(deadline_s=1.0).start(clock=lambda: now[0])
+        assert wd.check(1.0) is None
+        now[0] = 0.9
+        assert wd.check(0.9) is None
+        now[0] = 1.1
+        assert wd.check(0.8) == "deadline"
+        assert wd.elapsed == pytest.approx(1.1)
+
+    def test_repr_mentions_config(self):
+        assert "Watchdog" in repr(Watchdog(WatchdogConfig(stall_window=1)))
+
+
+class TestDriverIntegration:
+    def _target(self, seed=0):
+        rng = np.random.default_rng(seed)
+        return CHAIN.end_position(CHAIN.random_configuration(rng)) + 0.05
+
+    def test_divergence_early_exit(self):
+        config = SolverConfig(
+            max_iterations=500, watchdog=WatchdogConfig(divergence_window=5)
+        )
+        result = DivergingSolver(CHAIN, config=config).solve(
+            self._target(), rng=np.random.default_rng(1)
+        )
+        assert result.status == "diverged"
+        assert not result.converged
+        assert result.iterations <= 10  # far below the cap
+
+    def test_stall_early_exit(self):
+        config = SolverConfig(
+            max_iterations=500, watchdog=WatchdogConfig(stall_window=8)
+        )
+        result = StallingSolver(CHAIN, config=config).solve(
+            self._target(), rng=np.random.default_rng(1)
+        )
+        assert result.status == "stalled"
+        assert result.iterations <= 10
+
+    def test_deadline_early_exit(self):
+        config = SolverConfig(
+            max_iterations=10_000,
+            watchdog=WatchdogConfig(deadline_s=0.05),
+        )
+        solver = SleepyStepSolver(CHAIN, config=config, nap_per_step=0.02)
+        result = solver.solve(self._target(), rng=np.random.default_rng(1))
+        assert result.status == "deadline"
+        assert result.iterations < 100
+
+    def test_trip_emits_counter(self):
+        tracer = SummaryTracer()
+        config = SolverConfig(
+            max_iterations=500, watchdog=WatchdogConfig(divergence_window=4)
+        )
+        DivergingSolver(CHAIN, config=config).solve(
+            self._target(), rng=np.random.default_rng(1), tracer=tracer
+        )
+        assert tracer.counters.get("watchdog_diverged") == 1
+
+    def test_unconfigured_driver_statuses(self):
+        solver = StallingSolver(CHAIN, config=SolverConfig(max_iterations=5))
+        result = solver.solve(self._target(), rng=np.random.default_rng(1))
+        assert result.status == "max_iterations"
+        assert not result.converged
+
+    def test_converged_status(self):
+        from repro.solvers.registry import make_solver
+
+        rng = np.random.default_rng(3)
+        target = CHAIN.end_position(CHAIN.random_configuration(rng))
+        solver = make_solver(
+            "JT-Speculation",
+            CHAIN,
+            config=SolverConfig(
+                max_iterations=2000,
+                watchdog=WatchdogConfig(divergence_window=50, stall_window=200),
+            ),
+        )
+        result = solver.solve(target, rng=np.random.default_rng(4))
+        assert result.converged
+        assert result.status == "converged"
