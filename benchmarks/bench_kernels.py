@@ -1,0 +1,209 @@
+"""Scalar vs vectorized FK/Jacobian kernel speedups → BENCH_kernels.json.
+
+Times the kernel layer (:mod:`repro.kinematics.kernels`) on the workload
+shapes the Quick-IK pipeline actually runs:
+
+* ``candidate_sweep_lockstep`` — the headline microbenchmark: all
+  ``B x Max`` (problem, candidate) speculative evaluations of one lock-step
+  iteration at 50 DOF (default 64 x 32 = 2048 FK rows) in one call.  The
+  acceptance gate in ``ISSUE`` expects >= 2x here.
+* ``candidate_sweep_single`` — one problem's ``Max = 32`` candidates (the
+  single-solve speculative sweep of Algorithm 1).
+* ``jacobian_single`` — one Jacobian build at ``B = 1`` (the scalar driver
+  loop's per-iteration cost; the vectorized path uses the log-depth
+  Hillis-Steele prefix scan here).
+* ``jacobian_batch`` — the lock-step engines' per-iteration Jacobian over
+  all unconverged problems.
+
+Timings are best-of-``repeats`` over an inner loop (the container this repo
+is typically benchmarked in has one noisy CPU; the minimum is the standard
+robust estimator).  Every section also records the max absolute deviation
+of the vectorized result from the scalar oracle — the JSON doubles as an
+accuracy record::
+
+    PYTHONPATH=src python benchmarks/bench_kernels.py
+    PYTHONPATH=src python benchmarks/bench_kernels.py \
+        --dof 50 --speculations 32 --batch 64 --out BENCH_kernels.json
+
+Also collected by ``pytest benchmarks`` as a miniature smoke test; the
+timing-sensitive regression gate lives in
+``tests/performance/test_kernel_perf.py`` (``-m slow``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.kinematics.robots import paper_chain
+
+DEFAULT_REPEATS = 7
+
+
+def _best_of(fn, repeats: int, inner: int) -> float:
+    """Best-of-``repeats`` mean seconds per call over an ``inner`` loop."""
+    fn()  # warm caches / allocator before timing
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        for _ in range(inner):
+            fn()
+        best = min(best, (time.perf_counter() - start) / inner)
+    return best
+
+
+def _candidates(chain, rows: int, seed: int) -> np.ndarray:
+    """A ``(rows, dof)`` block of candidate configurations (seeded)."""
+    rng = np.random.default_rng(seed)
+    return np.stack([chain.random_configuration(rng) for _ in range(rows)])
+
+
+def run_kernel_bench(
+    dof: int = 50,
+    speculations: int = 32,
+    batch: int = 64,
+    repeats: int = DEFAULT_REPEATS,
+    seed: int = 2017,
+) -> dict:
+    """Time every section under both kernels; returns the JSON payload."""
+    scalar = paper_chain(dof)
+    vectorized = scalar.with_kernel("vectorized")
+
+    single = _candidates(scalar, speculations, seed)
+    lockstep = _candidates(scalar, batch * speculations, seed + 1)
+    q = single[0]
+    jac_rows = _candidates(scalar, batch, seed + 2)
+
+    sections = {}
+
+    def section(name, scalar_fn, vectorized_fn, deviation, inner):
+        scalar_s = _best_of(scalar_fn, repeats, inner)
+        vectorized_s = _best_of(vectorized_fn, repeats, inner)
+        sections[name] = {
+            "scalar_us": scalar_s * 1e6,
+            "vectorized_us": vectorized_s * 1e6,
+            "speedup": scalar_s / vectorized_s,
+            "max_abs_deviation": float(deviation),
+        }
+        print(
+            f"{name}: {scalar_s * 1e6:.1f} us -> {vectorized_s * 1e6:.1f} us "
+            f"({sections[name]['speedup']:.2f}x, "
+            f"dev {deviation:.1e})"
+        )
+
+    section(
+        "candidate_sweep_lockstep",
+        lambda: scalar.end_positions_batch(lockstep),
+        lambda: vectorized.end_positions_batch(lockstep),
+        np.abs(
+            vectorized.end_positions_batch(lockstep)
+            - scalar.end_positions_batch(lockstep)
+        ).max(),
+        inner=3,
+    )
+    section(
+        "candidate_sweep_single",
+        lambda: scalar.end_positions_batch(single),
+        lambda: vectorized.end_positions_batch(single),
+        np.abs(
+            vectorized.end_positions_batch(single)
+            - scalar.end_positions_batch(single)
+        ).max(),
+        inner=20,
+    )
+    def jacobian_single_vectorized():
+        # Invalidate first: the prefix cache would otherwise make repeated
+        # same-q timing calls free, which the driver loop (new q every
+        # iteration) never sees.
+        vectorized.kernels.invalidate()
+        return vectorized.jacobian_position(q)
+
+    section(
+        "jacobian_single",
+        lambda: scalar.jacobian_position(q),
+        jacobian_single_vectorized,
+        np.abs(
+            vectorized.jacobian_position(q) - scalar.jacobian_position(q)
+        ).max(),
+        inner=20,
+    )
+    section(
+        "jacobian_batch",
+        lambda: scalar.jacobian_position_batch(jac_rows),
+        lambda: vectorized.jacobian_position_batch(jac_rows),
+        np.abs(
+            vectorized.jacobian_position_batch(jac_rows)
+            - scalar.jacobian_position_batch(jac_rows)
+        ).max(),
+        inner=10,
+    )
+
+    headline = sections["candidate_sweep_lockstep"]["speedup"]
+    return {
+        "benchmark": "kernel-speedup",
+        "dof": dof,
+        "speculations": speculations,
+        "batch": batch,
+        "lockstep_rows": batch * speculations,
+        "repeats": repeats,
+        "seed": seed,
+        "headline_speedup": headline,
+        "sections": sections,
+        "notes": (
+            "best-of-repeats timings on the speculative-evaluation shapes of "
+            "Quick-IK; candidate_sweep_lockstep (all B x Max rows of one "
+            "lock-step iteration in one stacked call) is the >= 2x "
+            "acceptance microbenchmark. max_abs_deviation is vectorized vs "
+            "the scalar oracle (conformance bound: 1e-12)."
+        ),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--dof", type=int, default=50)
+    parser.add_argument("--speculations", type=int, default=32)
+    parser.add_argument("--batch", type=int, default=64)
+    parser.add_argument("--repeats", type=int, default=DEFAULT_REPEATS)
+    parser.add_argument("--seed", type=int, default=2017)
+    parser.add_argument("--out", default="BENCH_kernels.json")
+    args = parser.parse_args(argv)
+
+    payload = run_kernel_bench(
+        dof=args.dof,
+        speculations=args.speculations,
+        batch=args.batch,
+        repeats=args.repeats,
+        seed=args.seed,
+    )
+    Path(args.out).write_text(
+        json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+    )
+    print(f"wrote {args.out} (headline {payload['headline_speedup']:.2f}x)")
+    worst = max(
+        s["max_abs_deviation"] for s in payload["sections"].values()
+    )
+    return 1 if worst > 1e-12 else 0
+
+
+def test_kernel_bench_smoke():
+    """Miniature run: payload shape is right and accuracy holds everywhere."""
+    payload = run_kernel_bench(dof=12, speculations=4, batch=4, repeats=1)
+    assert payload["benchmark"] == "kernel-speedup"
+    assert set(payload["sections"]) == {
+        "candidate_sweep_lockstep",
+        "candidate_sweep_single",
+        "jacobian_single",
+        "jacobian_batch",
+    }
+    for section in payload["sections"].values():
+        assert section["max_abs_deviation"] <= 1e-12
+        assert section["scalar_us"] > 0.0 and section["vectorized_us"] > 0.0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

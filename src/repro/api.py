@@ -56,14 +56,15 @@ def _resolve_config(
     config: SolverConfig | None,
     tolerance: float | None,
     max_iterations: int | None,
+    kernel: str | None = None,
 ) -> SolverConfig | None:
     if config is not None:
-        if tolerance is not None or max_iterations is not None:
+        if tolerance is not None or max_iterations is not None or kernel is not None:
             raise ValueError(
-                "pass either config or tolerance/max_iterations, not both"
+                "pass either config or tolerance/max_iterations/kernel, not both"
             )
         return config
-    if tolerance is None and max_iterations is None:
+    if tolerance is None and max_iterations is None and kernel is None:
         return None
     defaults = SolverConfig()
     return SolverConfig(
@@ -73,6 +74,7 @@ def _resolve_config(
             if max_iterations is not None
             else defaults.max_iterations
         ),
+        kernel=kernel,
     )
 
 
@@ -97,6 +99,7 @@ def solve(
     config: SolverConfig | None = None,
     tolerance: float | None = None,
     max_iterations: int | None = None,
+    kernel: str | None = None,
     restarts: int = 1,
     tracer: Tracer | None = None,
     resilience: "ResilienceConfig | bool | None" = None,
@@ -116,9 +119,11 @@ def solve(
         Optional starting configuration; random when omitted.
     rng / seed:
         Randomness for the initial configuration (mutually exclusive).
-    config / tolerance / max_iterations:
-        Convergence policy: a full :class:`SolverConfig`, or the two common
-        fields directly (mutually exclusive with ``config``).
+    config / tolerance / max_iterations / kernel:
+        Convergence policy: a full :class:`SolverConfig`, or the common
+        fields directly (mutually exclusive with ``config``).  ``kernel``
+        selects the FK/Jacobian kernel mode (``"scalar"`` — the default
+        oracle — or ``"vectorized"``; see ``docs/performance.md``).
     restarts:
         When > 1, wrap the solver in a
         :class:`~repro.solvers.restarts.RandomRestartSolver` with this
@@ -140,7 +145,8 @@ def solve(
     """
     chain = resolve_robot(robot)
     ik = make_solver(
-        solver, chain, config=_resolve_config(config, tolerance, max_iterations),
+        solver, chain,
+        config=_resolve_config(config, tolerance, max_iterations, kernel),
         **options,
     )
     if resilience is not None and resilience is not False:
@@ -170,6 +176,7 @@ def solve_batch(
     config: SolverConfig | None = None,
     tolerance: float | None = None,
     max_iterations: int | None = None,
+    kernel: str | None = None,
     tracer: Tracer | None = None,
     workers: int | None = None,
     timeout: float | None = None,
@@ -202,7 +209,8 @@ def solve_batch(
     """
     chain = resolve_robot(robot)
     engine = make_batch_solver(
-        solver, chain, config=_resolve_config(config, tolerance, max_iterations),
+        solver, chain,
+        config=_resolve_config(config, tolerance, max_iterations, kernel),
         workers=workers, timeout=timeout,
         on_error=on_error, resilience=resilience,
         **options,

@@ -19,6 +19,7 @@ import sys
 import numpy as np
 
 from repro.core.result import SolverConfig
+from repro.kinematics.kernels import KERNEL_MODES
 from repro.kinematics.robots import ROBOT_NAMES, named_robot
 from repro.solvers import (
     SOLVER_REGISTRY,
@@ -54,6 +55,9 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--tolerance", type=float, default=1e-2,
                        help="accuracy constraint (metres)")
         p.add_argument("--max-iterations", type=int, default=10_000)
+        p.add_argument("--kernel", default=None, choices=list(KERNEL_MODES),
+                       help="FK/Jacobian kernel mode (default: the chain's, "
+                            "i.e. scalar; see docs/performance.md)")
 
     def add_telemetry(p: argparse.ArgumentParser) -> None:
         p.add_argument("--trace-out", metavar="PATH",
@@ -117,6 +121,9 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--max-iterations", type=_positive_int, default=None,
                        help="override the paper's per-solve iteration cap "
                             "(default: 10000)")
+    bench.add_argument("--kernel", default=None, choices=list(KERNEL_MODES),
+                       help="FK/Jacobian kernel mode for the evaluation "
+                            "chains (default: scalar)")
     add_telemetry(bench)
 
     report = sub.add_parser("report", help="write the EXPERIMENTS.md report")
@@ -193,7 +200,8 @@ class _TelemetryOutputs:
 
 def _cmd_solve(args) -> int:
     chain = named_robot(args.robot)
-    config = SolverConfig(tolerance=args.tolerance, max_iterations=args.max_iterations)
+    config = SolverConfig(tolerance=args.tolerance, max_iterations=args.max_iterations,
+                          kernel=args.kernel)
     kwargs = {"speculations": args.speculations} if args.solver == "JT-Speculation" else {}
     kwargs.update(_parse_solver_opts(args.opt))
     solver = make_solver(args.solver, chain, config=config, **kwargs)
@@ -233,7 +241,8 @@ def _cmd_simulate(args) -> int:
     chain = named_robot(args.robot)
     sim = IKAccSimulator(
         chain,
-        config=IKAccConfig(n_ssus=args.ssus, speculations=args.speculations),
+        config=IKAccConfig(n_ssus=args.ssus, speculations=args.speculations,
+                           kernel=args.kernel),
         solver_config=SolverConfig(
             tolerance=args.tolerance, max_iterations=args.max_iterations
         ),
@@ -334,7 +343,8 @@ def _cmd_bench(args) -> int:
 
     dofs = tuple(int(d) for d in args.dofs.split(",")) if args.dofs else None
     suite = EvaluationSuite(
-        dofs=dofs, targets_per_dof=args.targets, workers=args.workers
+        dofs=dofs, targets_per_dof=args.targets, workers=args.workers,
+        kernel=args.kernel,
     )
     experiments = PaperExperiments(suite=suite, max_iterations=args.max_iterations)
 

@@ -41,8 +41,14 @@ class IterativeIKSolver(ABC):
     def __init__(
         self, chain: KinematicChain, config: SolverConfig | None = None
     ) -> None:
-        self.chain = chain
         self.config = config or SolverConfig()
+        # ``config.kernel`` overrides the chain's FK/Jacobian kernel mode;
+        # ``None`` inherits whatever the chain was built with.
+        self.chain = (
+            chain.with_kernel(self.config.kernel)
+            if self.config.kernel is not None
+            else chain
+        )
         #: Tracer active for the current solve; ``_step`` implementations may
         #: read it (guarding on ``.enabled``) to time their internal phases.
         self._tracer: Tracer = NULL_TRACER
@@ -115,7 +121,8 @@ class IterativeIKSolver(ABC):
         history = [error] if config.record_history else None
         if traced:
             tr.solve_start(self.name, self.chain.dof, target=target,
-                           speculations=self.speculations)
+                           speculations=self.speculations,
+                           kernel=self.chain.kernel)
             tr.count("fk_evaluations")
 
         # Watchdog (deadline / divergence / stall detectors): armed only

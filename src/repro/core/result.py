@@ -50,6 +50,12 @@ class SolverConfig:
         deadline, divergence and stall detectors) and records trips as a
         typed early exit on ``IKResult.status``.  ``None`` (the default)
         costs the hot loop a single ``is not None`` check per solve.
+    kernel:
+        FK/Jacobian kernel mode (see :mod:`repro.kinematics.kernels`):
+        ``"scalar"`` pins the original link-by-link loops, ``"vectorized"``
+        the stacked-matmul fast path.  ``None`` (the default) inherits
+        whatever kernel the chain was built with, which is scalar unless
+        the caller opted in.
     """
 
     tolerance: float = DEFAULT_TOLERANCE
@@ -57,12 +63,17 @@ class SolverConfig:
     record_history: bool = True
     respect_limits: bool = False
     watchdog: "WatchdogConfig | None" = None
+    kernel: str | None = None
 
     def __post_init__(self) -> None:
         if self.tolerance <= 0.0:
             raise ValueError("tolerance must be positive")
         if self.max_iterations < 1:
             raise ValueError("max_iterations must be >= 1")
+        if self.kernel is not None:
+            from repro.kinematics.kernels import resolve_kernel_mode
+
+            resolve_kernel_mode(self.kernel)
 
 
 @dataclass

@@ -70,6 +70,12 @@ class IKAccConfig:
         ``theta, dtheta_base, alpha_base`` to the SSUs per wave.
     dtype:
         Numpy dtype of the datapath (the silicon uses float32).
+    kernel:
+        FK/Jacobian kernel mode for the functional model (see
+        :mod:`repro.kinematics.kernels`): ``None`` (the default) inherits
+        the chain's kernel, ``"scalar"`` / ``"vectorized"`` force one.  The
+        *timing* model is unaffected — it prices the silicon's sequential
+        datapath either way.
     """
 
     n_ssus: int = 32
@@ -79,6 +85,7 @@ class IKAccConfig:
     spu_pipelined: bool = True
     broadcast_latency: int = 4
     dtype: str = "float32"
+    kernel: str | None = None
 
     def __post_init__(self) -> None:
         if self.n_ssus < 1:
@@ -89,6 +96,10 @@ class IKAccConfig:
             raise ValueError("frequency_hz must be positive")
         if self.broadcast_latency < 0:
             raise ValueError("broadcast_latency must be >= 0")
+        if self.kernel is not None:
+            from repro.kinematics.kernels import resolve_kernel_mode
+
+            resolve_kernel_mode(self.kernel)
 
     @property
     def waves_per_iteration(self) -> int:

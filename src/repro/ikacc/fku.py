@@ -50,9 +50,12 @@ class ForwardKinematicsUnit:
 
     def __init__(self, chain: KinematicChain, config: IKAccConfig) -> None:
         self.config = config
-        self.chain32 = (
+        chain32 = (
             chain if chain.dtype == np.dtype(config.dtype) else chain.astype(config.dtype)
         )
+        if config.kernel is not None:
+            chain32 = chain32.with_kernel(config.kernel)
+        self.chain32 = chain32
 
     @property
     def dof(self) -> int:

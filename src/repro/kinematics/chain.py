@@ -15,6 +15,11 @@ This is the substrate the whole paper sits on.  Design notes:
 * The geometric Jacobian follows Buss [11]: for revolute joint ``i`` the
   position rows are ``z_{i-1} x (p_ee - p_{i-1})``, for prismatic joints they
   are ``z_{i-1}`` (axes taken at the joint's screw frame).
+* The FK/Jacobian computations themselves live in
+  :mod:`repro.kinematics.kernels`: every chain owns a kernel object
+  (``kernel="scalar"`` keeps the original link-by-link loops as the
+  differential oracle; ``"vectorized"`` swaps in stacked-matmul kernels
+  with prefix-transform caching) and the methods below dispatch to it.
 """
 
 from __future__ import annotations
@@ -26,6 +31,7 @@ import numpy as np
 from repro.kinematics import transforms
 from repro.kinematics.dh import DHConvention
 from repro.kinematics.joint import Joint, JointType
+from repro.kinematics.kernels import make_kernels, resolve_kernel_mode
 
 __all__ = ["KinematicChain"]
 
@@ -70,6 +76,12 @@ class KinematicChain:
         Floating-point dtype of every FK/Jacobian computation.  The default
         is float64; the IKAcc simulator builds a float32 twin via
         :meth:`astype` to model the accelerator's 32-bit datapath.
+    kernel:
+        FK/Jacobian kernel mode (see :mod:`repro.kinematics.kernels`):
+        ``"scalar"`` (default) runs the original link-by-link loops;
+        ``"vectorized"`` replaces them with stacked-matmul kernels that
+        agree with the scalar oracle to ~1e-15 (the differential tier pins
+        1e-12).
     """
 
     def __init__(
@@ -80,6 +92,7 @@ class KinematicChain:
         convention: str = DHConvention.STANDARD,
         name: str = "",
         dtype: np.dtype | type = np.float64,
+        kernel: str | None = None,
     ) -> None:
         self.joints: tuple[Joint, ...] = tuple(joints)
         if not self.joints:
@@ -127,6 +140,8 @@ class KinematicChain:
         self._lower = np.array([j.limits.lower for j in self.joints])
         self._upper = np.array([j.limits.upper for j in self.joints])
         assert self._const.shape == (n, 4, 4)
+        self._kernel_mode = resolve_kernel_mode(kernel)
+        self._kernels = make_kernels(self, self._kernel_mode)
 
     def astype(self, dtype: np.dtype | type) -> "KinematicChain":
         """Copy of the chain computing in a different floating-point dtype."""
@@ -137,6 +152,25 @@ class KinematicChain:
             convention=self.convention,
             name=self.name,
             dtype=dtype,
+            kernel=self._kernel_mode,
+        )
+
+    def with_kernel(self, kernel: str | None) -> "KinematicChain":
+        """Copy of the chain computing with a different FK/Jacobian kernel.
+
+        Returns ``self`` when the mode already matches (kernels carry no
+        per-solve state besides a cache, so sharing is safe).
+        """
+        if resolve_kernel_mode(kernel) == self._kernel_mode:
+            return self
+        return KinematicChain(
+            self.joints,
+            base=self.base,
+            tool=self.tool,
+            convention=self.convention,
+            name=self.name,
+            dtype=self.dtype,
+            kernel=kernel,
         )
 
     # ------------------------------------------------------------------
@@ -152,6 +186,21 @@ class KinematicChain:
     def n_joints(self) -> int:
         """Alias of :attr:`dof`."""
         return self.dof
+
+    @property
+    def kernel(self) -> str:
+        """Active FK/Jacobian kernel mode (``"scalar"`` / ``"vectorized"``)."""
+        return self._kernel_mode
+
+    @property
+    def kernels(self):
+        """The kernel object computing this chain's FK/Jacobians."""
+        return self._kernels
+
+    @property
+    def is_standard_convention(self) -> bool:
+        """True for the standard DH convention (``T = S @ C``)."""
+        return self.convention == DHConvention.STANDARD
 
     @property
     def lower_limits(self) -> np.ndarray:
@@ -215,6 +264,14 @@ class KinematicChain:
             )
         return q
 
+    def _check_qs(self, qs: np.ndarray) -> np.ndarray:
+        qs = np.asarray(qs, dtype=self.dtype)
+        if qs.ndim != 2 or qs.shape[1] != self.dof:
+            raise ValueError(
+                f"expected batch of shape (B, {self.dof}), got {qs.shape}"
+            )
+        return qs
+
     # ------------------------------------------------------------------
     # Forward kinematics
     # ------------------------------------------------------------------
@@ -261,15 +318,11 @@ class KinematicChain:
 
     def fk(self, q: np.ndarray) -> np.ndarray:
         """End-effector pose ``X = f(theta)`` as a 4x4 transform (Eq. 1)."""
-        locals_ = self.local_transforms(q)
-        pose = self.base
-        for i in range(self.dof):
-            pose = pose @ locals_[i]
-        return pose @ self.tool
+        return self._kernels.fk(self._check_q(q))
 
     def end_position(self, q: np.ndarray) -> np.ndarray:
         """End-effector position; the 3-vector ``X`` of the paper."""
-        return self.fk(q)[:3, 3]
+        return self._kernels.end_position(self._check_q(q))
 
     def fk_batch(self, qs: np.ndarray) -> np.ndarray:
         """End-effector poses for a batch of configurations; ``(B, 4, 4)``.
@@ -277,16 +330,11 @@ class KinematicChain:
         This is the speculative-search workhorse: Quick-IK evaluates one row
         per candidate ``alpha_k`` exactly like the SSU array does in IKAcc.
         """
-        locals_ = self.local_transforms_batch(qs)
-        pose = np.broadcast_to(self.base, (locals_.shape[0], 4, 4))
-        pose = pose @ locals_[:, 0]
-        for i in range(1, self.dof):
-            pose = pose @ locals_[:, i]
-        return pose @ self.tool
+        return self._kernels.fk_batch(self._check_qs(qs))
 
     def end_positions_batch(self, qs: np.ndarray) -> np.ndarray:
         """End-effector positions for a batch of configurations; ``(B, 3)``."""
-        return self.fk_batch(qs)[:, :3, 3]
+        return self._kernels.end_positions_batch(self._check_qs(qs))
 
     # ------------------------------------------------------------------
     # Jacobians
@@ -300,19 +348,7 @@ class KinematicChain:
         z-axis of frame ``i-1``; for the modified convention it acts about the
         z-axis of frame ``i-1`` *after* the constant ``Rx(alpha) Tx(a)`` factor.
         """
-        locals_ = self.local_transforms(q)
-        frames = np.empty((self.dof + 1, 4, 4), dtype=self.dtype)
-        frames[0] = self.base
-        for i in range(self.dof):
-            frames[i + 1] = frames[i] @ locals_[i]
-        p_ee = (frames[self.dof] @ self.tool)[:3, 3]
-        if self.convention == DHConvention.STANDARD:
-            screw = frames[: self.dof]
-        else:
-            screw = frames[: self.dof] @ self._const
-        axes = screw[:, :3, 2]
-        origins = screw[:, :3, 3]
-        return axes, origins, p_ee
+        return self._kernels.screw_frames(self._check_q(q))
 
     def joint_screws(self, q: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Public view of the joint screw geometry at configuration ``q``.
@@ -328,13 +364,7 @@ class KinematicChain:
 
         This is the Jacobian the paper uses: end-effector *position* only.
         """
-        axes, origins, p_ee = self._screw_frames(q)
-        linear = np.where(
-            self._revolute_mask[:, None],
-            np.cross(axes, p_ee - origins),
-            axes,
-        )
-        return linear.T
+        return self._kernels.jacobian_position(self._check_q(q))
 
     def jacobian_position_batch(self, qs: np.ndarray) -> np.ndarray:
         """Position Jacobians for a batch of configurations; ``(B, 3, N)``.
@@ -342,25 +372,7 @@ class KinematicChain:
         The throughput engine (:mod:`repro.solvers.batched`) evaluates the
         serial block of many IK problems in lock-step with this.
         """
-        locals_ = self.local_transforms_batch(qs)
-        batch = locals_.shape[0]
-        frames = np.empty((batch, self.dof + 1, 4, 4), dtype=self.dtype)
-        frames[:, 0] = self.base
-        for i in range(self.dof):
-            frames[:, i + 1] = frames[:, i] @ locals_[:, i]
-        p_ee = (frames[:, self.dof] @ self.tool)[:, :3, 3]
-        if self.convention == DHConvention.STANDARD:
-            screw = frames[:, : self.dof]
-        else:
-            screw = frames[:, : self.dof] @ self._const[None]
-        axes = screw[:, :, :3, 2]
-        origins = screw[:, :, :3, 3]
-        linear = np.where(
-            self._revolute_mask[None, :, None],
-            np.cross(axes, p_ee[:, None, :] - origins),
-            axes,
-        )
-        return np.swapaxes(linear, 1, 2)
+        return self._kernels.jacobian_position_batch(self._check_qs(qs))
 
     def jacobian(self, q: np.ndarray) -> np.ndarray:
         """Full geometric Jacobian (linear over angular); shape ``(6, N)``."""
@@ -386,6 +398,7 @@ class KinematicChain:
             base=self.base,
             convention=self.convention,
             name=f"{self.name}[:{stop}]",
+            kernel=self._kernel_mode,
         )
 
     def with_tool(self, tool: np.ndarray) -> "KinematicChain":
@@ -396,6 +409,7 @@ class KinematicChain:
             tool=tool,
             convention=self.convention,
             name=self.name,
+            kernel=self._kernel_mode,
         )
 
     def joint_names(self) -> Sequence[str]:

@@ -1,0 +1,553 @@
+"""FK/Jacobian kernel layer: the scalar oracle and the vectorized fast path.
+
+The paper's SPU fuses the per-joint transform/Jacobian loops
+(``i-1TiC -> 1TiC -> JiC -> JJTEC``, Fig. 3) and its SSU array evaluates all
+``Max`` speculative candidates in parallel.  This module is the software
+analogue: every :class:`~repro.kinematics.chain.KinematicChain` owns a
+*kernel* object that implements its FK/Jacobian computations, selected by
+``kernel={"scalar", "vectorized"}``.
+
+* :class:`ScalarKernels` is the original link-by-link implementation, kept
+  bit-for-bit unchanged as the differential oracle (the conformance tier in
+  ``tests/conformance/test_kernel_conformance.py`` holds the fast path to it
+  at 1e-12).
+* :class:`VectorizedKernels` replaces the per-joint Python loops with
+  stacked-matmul calls:
+
+  - **Static link factors are precomputed once.**  A DH link transform is
+    ``S(theta, d) @ C`` (standard) or ``C @ S(theta, d)`` (modified) with
+    ``C`` constant; because ``S`` is a z-screw, the product has closed form
+    ``rows01 = e^{i theta} * (C_row0 + i C_row1)`` — one complex multiply
+    assembles both rotation-mixed rows of *every* link of *every* candidate
+    in a single numpy call, with bit-identical rounding to the naive
+    ``c*C0 - s*C1`` / ``s*C0 + c*C1`` expressions.
+  - **Transforms are compact.**  Rigid transforms are carried as ``(3, 4)``
+    affine blocks (the constant ``[0 0 0 1]`` row is never materialised),
+    roughly halving both assembly writes and compose flops.
+  - **Chain products are log-depth.**  The cumulative product
+    ``1Ti = 1Ti-1 @ i-1Ti`` that the scalar path walks joint-by-joint is
+    evaluated as a pairwise tree: ``ceil(log2 N)`` stacked matmuls over all
+    ``B x Max`` (problem, candidate) rows at once, instead of ``N`` Python
+    iterations.  Same multiply count, a fraction of the dispatch overhead.
+  - **One FK pass per iteration is shared.**  The prefix transforms
+    (world frames of every joint) computed for a Jacobian are cached per
+    configuration, so the driver's ``end_position`` / ``fk`` of the same
+    ``q`` reuses them — the software analogue of the SPU pipeline reusing
+    ``1TiC`` for both ``JiC`` and the end-effector pose.
+
+**Cache contract.**  A kernel snapshots its chain's joint parameters at
+construction.  Chains are API-immutable, so the snapshot normally lives for
+the kernel's lifetime; the per-``q`` prefix cache is additionally guarded by
+a fingerprint of the parameter arrays, so in-place mutation of the
+underlying buffers (white-box tests, future mutable-chain extensions) is
+detected on the cached path and drops the stale entry.  Call
+:meth:`VectorizedKernels.refresh` after any deliberate parameter change to
+re-snapshot the statics eagerly; :meth:`~VectorizedKernels.invalidate`
+clears the prefix cache alone.
+
+See ``docs/performance.md`` for measured speedups and the benchmark
+protocol (``benchmarks/bench_kernels.py``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (annotations only)
+    from repro.kinematics.chain import KinematicChain
+
+__all__ = [
+    "KERNEL_MODES",
+    "DEFAULT_KERNEL",
+    "resolve_kernel_mode",
+    "make_kernels",
+    "ScalarKernels",
+    "VectorizedKernels",
+    "tree_product",
+    "prefix_scan",
+]
+
+#: Valid kernel modes.
+KERNEL_MODES = ("scalar", "vectorized")
+
+#: The seed behaviour: link-by-link loops, bit-identical to every release
+#: before the kernel layer existed.
+DEFAULT_KERNEL = "scalar"
+
+#: Batch-row threshold below which the vectorized Jacobian prefix pass uses
+#: the log-depth scan; at larger batches the joint loop is already fully
+#: amortised across rows and the scan's extra multiplies stop paying
+#: (measured crossover between 16 and 64 rows on a 50-DOF chain).
+_SCAN_ROWS_MAX = 16
+
+
+def resolve_kernel_mode(mode: str | None) -> str:
+    """Validate a kernel mode name (``None`` means the default)."""
+    if mode is None:
+        return DEFAULT_KERNEL
+    if mode not in KERNEL_MODES:
+        known = ", ".join(KERNEL_MODES)
+        raise ValueError(f"unknown kernel mode {mode!r}; known modes: {known}")
+    return mode
+
+
+def make_kernels(chain: "KinematicChain", mode: str | None = None):
+    """Build the kernel object for ``chain`` in the given mode."""
+    mode = resolve_kernel_mode(mode)
+    if mode == "vectorized":
+        return VectorizedKernels(chain)
+    return ScalarKernels(chain)
+
+
+# ----------------------------------------------------------------------
+# Stacked-matmul building blocks (pure functions, unit-tested directly)
+# ----------------------------------------------------------------------
+
+
+def tree_product(mats: np.ndarray) -> np.ndarray:
+    """Ordered product of 4x4 transforms along axis ``-3``, log-depth.
+
+    ``mats`` has shape ``(..., N, 4, 4)``; returns ``(..., 4, 4)``.  Exactly
+    ``N - 1`` multiplies (same as the sequential walk) grouped into
+    ``ceil(log2 N)`` stacked matmul calls.  Consumes ``mats``.
+    """
+    n = mats.shape[-3]
+    while n > 1:
+        if n % 2:
+            mats[..., n - 2, :, :] = mats[..., n - 2, :, :] @ mats[..., n - 1, :, :]
+            n -= 1
+        pairs = mats[..., :n, :, :].reshape(*mats.shape[:-3], n // 2, 2, 4, 4)
+        mats = pairs[..., 0, :, :] @ pairs[..., 1, :, :]
+        n //= 2
+    return mats[..., 0, :, :]
+
+
+def prefix_scan(mats: np.ndarray) -> np.ndarray:
+    """Inclusive prefix products of 4x4 transforms along axis ``-3``.
+
+    Hillis-Steele doubling: ``ceil(log2 N)`` stacked matmul rounds instead
+    of ``N`` sequential multiplies.  Returns a new array of the same shape
+    whose entry ``i`` is ``mats[0] @ ... @ mats[i]``.
+    """
+    out = np.array(mats, copy=True)
+    n = out.shape[-3]
+    offset = 1
+    while offset < n:
+        tail = out[..., offset:, :, :].copy()
+        out[..., offset:, :, :] = out[..., : n - offset, :, :] @ tail
+        offset *= 2
+    return out
+
+
+def _affine_compose(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Compose ``(..., 3, 4)`` rigid affine blocks: returns ``a @ b``."""
+    out = a[..., :, :3] @ b
+    out[..., :, 3] += a[..., :, 3]
+    return out
+
+
+def _affine_tree_product(mats: np.ndarray) -> np.ndarray:
+    """Ordered product of ``(..., N, 3, 4)`` affine blocks, log-depth.
+
+    Consumes ``mats``.
+    """
+    n = mats.shape[-3]
+    while n > 1:
+        if n % 2:
+            mats[..., n - 2, :, :] = _affine_compose(
+                mats[..., n - 2, :, :], mats[..., n - 1, :, :]
+            )
+            n -= 1
+        pairs = mats[..., :n, :, :].reshape(*mats.shape[:-3], n // 2, 2, 3, 4)
+        mats = _affine_compose(pairs[..., 0, :, :], pairs[..., 1, :, :])
+        n //= 2
+    return mats[..., 0, :, :]
+
+
+def _affine_prefix_scan_doubling(mats: np.ndarray) -> np.ndarray:
+    """Hillis-Steele inclusive scan over ``(..., N, 3, 4)`` affine blocks.
+
+    Log-depth; the winner for single-configuration Jacobians where the
+    sequential walk cannot amortise its per-joint dispatch.  Consumes
+    ``mats``.
+    """
+    n = mats.shape[-3]
+    offset = 1
+    while offset < n:
+        tail = mats[..., offset:, :, :].copy()
+        mats[..., offset:, :, :] = _affine_compose(
+            mats[..., : n - offset, :, :], tail
+        )
+        offset *= 2
+    return mats
+
+
+def _affine_prefix_scan_sequential(mats: np.ndarray) -> np.ndarray:
+    """Sequential inclusive scan over ``(..., N, 3, 4)`` affine blocks.
+
+    One compose per joint, each batched over all leading rows — the right
+    shape once the row count amortises the dispatch.  Consumes ``mats``.
+    """
+    n = mats.shape[-3]
+    for i in range(1, n):
+        mats[..., i, :, :] = _affine_compose(
+            mats[..., i - 1, :, :], mats[..., i, :, :]
+        )
+    return mats
+
+
+# ----------------------------------------------------------------------
+# Scalar oracle
+# ----------------------------------------------------------------------
+
+
+class ScalarKernels:
+    """The original link-by-link FK/Jacobian loops (the differential oracle).
+
+    Every method body is the pre-kernel-layer implementation, moved here
+    verbatim so the chain can dispatch between implementations without
+    duplicating them.  Nothing here may change observable floating-point
+    behaviour: the conformance and parallel tiers pin several results
+    bit-for-bit across releases.
+    """
+
+    mode = "scalar"
+
+    def __init__(self, chain: "KinematicChain") -> None:
+        self.chain = chain
+
+    # -- forward kinematics --------------------------------------------
+
+    def fk(self, q: np.ndarray) -> np.ndarray:
+        chain = self.chain
+        locals_ = chain.local_transforms(q)
+        pose = chain.base
+        for i in range(chain.dof):
+            pose = pose @ locals_[i]
+        return pose @ chain.tool
+
+    def end_position(self, q: np.ndarray) -> np.ndarray:
+        return self.fk(q)[:3, 3]
+
+    def fk_batch(self, qs: np.ndarray) -> np.ndarray:
+        chain = self.chain
+        locals_ = chain.local_transforms_batch(qs)
+        pose = np.broadcast_to(chain.base, (locals_.shape[0], 4, 4))
+        pose = pose @ locals_[:, 0]
+        for i in range(1, chain.dof):
+            pose = pose @ locals_[:, i]
+        return pose @ chain.tool
+
+    def end_positions_batch(self, qs: np.ndarray) -> np.ndarray:
+        return self.fk_batch(qs)[:, :3, 3]
+
+    # -- Jacobians ------------------------------------------------------
+
+    def screw_frames(
+        self, q: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        chain = self.chain
+        locals_ = chain.local_transforms(q)
+        frames = np.empty((chain.dof + 1, 4, 4), dtype=chain.dtype)
+        frames[0] = chain.base
+        for i in range(chain.dof):
+            frames[i + 1] = frames[i] @ locals_[i]
+        p_ee = (frames[chain.dof] @ chain.tool)[:3, 3]
+        if chain.is_standard_convention:
+            screw = frames[: chain.dof]
+        else:
+            screw = frames[: chain.dof] @ chain._const
+        axes = screw[:, :3, 2]
+        origins = screw[:, :3, 3]
+        return axes, origins, p_ee
+
+    def jacobian_position(self, q: np.ndarray) -> np.ndarray:
+        axes, origins, p_ee = self.screw_frames(q)
+        linear = np.where(
+            self.chain._revolute_mask[:, None],
+            np.cross(axes, p_ee - origins),
+            axes,
+        )
+        return linear.T
+
+    def jacobian_position_batch(self, qs: np.ndarray) -> np.ndarray:
+        chain = self.chain
+        locals_ = chain.local_transforms_batch(qs)
+        batch = locals_.shape[0]
+        frames = np.empty((batch, chain.dof + 1, 4, 4), dtype=chain.dtype)
+        frames[:, 0] = chain.base
+        for i in range(chain.dof):
+            frames[:, i + 1] = frames[:, i] @ locals_[:, i]
+        p_ee = (frames[:, chain.dof] @ chain.tool)[:, :3, 3]
+        if chain.is_standard_convention:
+            screw = frames[:, : chain.dof]
+        else:
+            screw = frames[:, : chain.dof] @ chain._const[None]
+        axes = screw[:, :, :3, 2]
+        origins = screw[:, :, :3, 3]
+        linear = np.where(
+            chain._revolute_mask[None, :, None],
+            np.cross(axes, p_ee[:, None, :] - origins),
+            axes,
+        )
+        return np.swapaxes(linear, 1, 2)
+
+    def invalidate(self) -> None:
+        """No cached state on the scalar path."""
+
+    def refresh(self) -> None:
+        """No precomputed statics on the scalar path."""
+
+
+# ----------------------------------------------------------------------
+# Vectorized fast path
+# ----------------------------------------------------------------------
+
+
+class VectorizedKernels:
+    """Stacked-matmul FK/Jacobian kernels with prefix-transform caching.
+
+    See the module docstring for the construction; the public surface is
+    identical to :class:`ScalarKernels` so the chain can dispatch blindly.
+    """
+
+    mode = "vectorized"
+
+    def __init__(self, chain: "KinematicChain") -> None:
+        self.chain = chain
+        self._snapshot_statics()
+        self._cache_key: bytes | None = None
+        self._cache_frames: np.ndarray | None = None
+
+    # -- static precomputation -----------------------------------------
+
+    def _snapshot_statics(self) -> None:
+        """Precompute every joint-variable-independent factor once."""
+        chain = self.chain
+        self._fingerprint = self._chain_fingerprint()
+        dtype = chain.dtype
+        cdtype = np.result_type(dtype, np.complex64)
+        const = chain._const  # (N, 4, 4)
+        self._rev = chain._revolute_mask.astype(dtype)
+        self._pris = (1.0 - self._rev).astype(dtype)
+        self._theta_offset = chain._theta_offset.copy()
+        self._d_offset = chain._d_offset.copy()
+        if chain.is_standard_convention:
+            # T = S(theta, d) @ C mixes the top two *rows* of C by Rz(theta)
+            # and adds d to row 2's translation entry.
+            self._mix = (const[:, 0, :] + 1j * const[:, 1, :]).astype(cdtype)
+            self._row2 = np.ascontiguousarray(const[:, 2, :])
+        else:
+            # T = C @ S(theta, d) mixes the top-3-row blocks of C's first
+            # two *columns* by Rz(-theta) and adds d * col2 to col3.
+            cols = const[:, :3, :]  # (N, 3, 4) top three rows, by column below
+            self._mix = (cols[:, :, 0] - 1j * cols[:, :, 1]).astype(cdtype)
+            self._col2 = np.ascontiguousarray(cols[:, :, 2])
+            self._col3 = np.ascontiguousarray(cols[:, :, 3])
+            # Constant screw-frame adjustment for the Jacobian (3, 4 blocks).
+            self._const_affine = np.ascontiguousarray(const[:, :3, :])
+        self._base_affine = np.ascontiguousarray(chain.base[:3, :])
+        self._tool_affine = np.ascontiguousarray(chain.tool[:3, :])
+        self._tool_t = np.ascontiguousarray(chain.tool[:3, 3])
+
+    def _chain_fingerprint(self) -> bytes:
+        """Digest of every parameter array a kernel result depends on."""
+        chain = self.chain
+        h = hashlib.sha1()
+        h.update(chain.convention.encode())
+        h.update(str(chain.dtype).encode())
+        for arr in (
+            chain._theta_offset,
+            chain._d_offset,
+            chain._revolute_mask,
+            chain._const,
+            chain.base,
+            chain.tool,
+        ):
+            h.update(np.ascontiguousarray(arr).tobytes())
+        return h.digest()
+
+    # -- cache management ----------------------------------------------
+
+    def invalidate(self) -> None:
+        """Drop the per-configuration prefix-transform cache."""
+        self._cache_key = None
+        self._cache_frames = None
+
+    def refresh(self) -> None:
+        """Re-snapshot the static factors after a chain parameter change."""
+        self._snapshot_statics()
+        self.invalidate()
+
+    def _cached_frames(self, q: np.ndarray) -> np.ndarray | None:
+        """The prefix frames for ``q`` if cached and still valid."""
+        if self._cache_frames is None:
+            return None
+        if q.tobytes() != self._cache_key:
+            return None
+        if self._chain_fingerprint() != self._fingerprint:
+            # Parameter arrays were mutated under us: the snapshot and the
+            # cache are both stale.
+            self.refresh()
+            return None
+        return self._cache_frames
+
+    # -- local transforms (compact affine form) ------------------------
+
+    def _locals_affine(self, qs: np.ndarray) -> np.ndarray:
+        """Per-joint link transforms as ``(..., N, 3, 4)`` affine blocks.
+
+        One complex multiply assembles both rotation-mixed rows (standard)
+        or columns (modified) of every link transform in the batch; the
+        rounding of each entry is bit-identical to the scalar path's
+        ``S @ C`` / ``C @ S`` matmul because the contractions involve the
+        same two-term sums.
+        """
+        theta = self._theta_offset + qs * self._rev
+        d = self._d_offset + qs * self._pris
+        cdtype = self._mix.dtype
+        z = np.empty(theta.shape, dtype=cdtype)
+        z.real = np.cos(theta)
+        z.imag = np.sin(theta)
+        out = np.empty(qs.shape + (3, 4), dtype=self.chain.dtype)
+        if self.chain.is_standard_convention:
+            rows01 = z[..., None] * self._mix
+            out[..., 0, :] = rows01.real
+            out[..., 1, :] = rows01.imag
+            out[..., 2, :] = self._row2
+            out[..., 2, 3] += d
+        else:
+            # z was built as e^{i theta}; the column mix needs Rz(-theta),
+            # which the conjugated static factor already encodes.
+            cols01 = z[..., None] * self._mix
+            out[..., :, 0] = cols01.real
+            out[..., :, 1] = -cols01.imag
+            out[..., :, 2] = self._col2
+            out[..., :, 3] = self._col3 + d[..., None] * self._col2
+        return out
+
+    # -- forward kinematics --------------------------------------------
+
+    def _tool_position(self, pose: np.ndarray) -> np.ndarray:
+        """End-effector position of ``(..., 3, 4)`` world affine blocks."""
+        return pose[..., :, :3] @ self._tool_t + pose[..., :, 3]
+
+    def fk(self, q: np.ndarray) -> np.ndarray:
+        frames = self._prefix_frames(q)
+        pose = np.empty((4, 4), dtype=self.chain.dtype)
+        pose[:3, :] = _affine_compose(frames[-1], self._tool_affine)
+        pose[3, :3] = 0.0
+        pose[3, 3] = 1.0
+        return pose
+
+    def end_position(self, q: np.ndarray) -> np.ndarray:
+        frames = self._prefix_frames(q)
+        return self._tool_position(frames[-1])
+
+    def fk_batch(self, qs: np.ndarray) -> np.ndarray:
+        prod = _affine_tree_product(self._locals_affine(qs))
+        world = _affine_compose(
+            np.broadcast_to(self._base_affine, prod.shape), prod
+        )
+        poses = np.empty(qs.shape[:-1] + (4, 4), dtype=self.chain.dtype)
+        poses[..., :3, :] = _affine_compose(world, self._tool_affine)
+        poses[..., 3, :3] = 0.0
+        poses[..., 3, 3] = 1.0
+        return poses
+
+    def end_positions_batch(self, qs: np.ndarray) -> np.ndarray:
+        """All candidate positions in ``ceil(log2 N)`` stacked matmuls.
+
+        This is the speculative-sweep hot path: Quick-IK calls it with one
+        row per ``alpha_k`` and the lock-step engines with all ``B x Max``
+        (problem, candidate) rows at once.
+        """
+        if qs.shape[0] == 0:
+            return np.empty((0, 3), dtype=self.chain.dtype)
+        prod = _affine_tree_product(self._locals_affine(qs))
+        p = self._tool_position(prod)
+        base = self._base_affine
+        return p @ base[:, :3].T + base[:, 3]
+
+    # -- prefix transforms and Jacobians -------------------------------
+
+    def _prefix_frames(self, q: np.ndarray) -> np.ndarray:
+        """World affine frames ``(N + 1, 3, 4)`` for one configuration.
+
+        Entry 0 is the base, entry ``i`` is ``base @ 0Ti``.  Cached per
+        configuration: a Jacobian and an FK of the same ``q`` share one
+        pass (the fused-SPU analogue).
+        """
+        q = np.asarray(q, dtype=self.chain.dtype)
+        cached = self._cached_frames(q)
+        if cached is not None:
+            return cached
+        locals_ = self._locals_affine(q[None, :])[0]  # (N, 3, 4)
+        # Fold the base into the first link before scanning: the scan then
+        # yields world frames directly, avoiding a whole-array compose.
+        locals_[0] = _affine_compose(self._base_affine, locals_[0])
+        scan = _affine_prefix_scan_doubling(locals_)
+        frames = np.empty((self.chain.dof + 1, 3, 4), dtype=self.chain.dtype)
+        frames[0] = self._base_affine
+        frames[1:] = scan
+        self._cache_key = q.tobytes()
+        self._cache_frames = frames
+        return frames
+
+    def _prefix_frames_batch(self, qs: np.ndarray) -> np.ndarray:
+        """World affine frames ``(B, N + 1, 3, 4)`` for a batch (uncached)."""
+        locals_ = self._locals_affine(qs)  # (B, N, 3, 4)
+        # As in :meth:`_prefix_frames`: pre-fold the base so the scan output
+        # is already in world coordinates (and, on the sequential path,
+        # associates left-to-right exactly like the scalar oracle).
+        locals_[:, 0] = _affine_compose(self._base_affine, locals_[:, 0])
+        if qs.shape[0] <= _SCAN_ROWS_MAX:
+            scan = _affine_prefix_scan_doubling(locals_)
+        else:
+            scan = _affine_prefix_scan_sequential(locals_)
+        frames = np.empty(
+            (qs.shape[0], self.chain.dof + 1, 3, 4), dtype=self.chain.dtype
+        )
+        frames[:, 0] = self._base_affine
+        frames[:, 1:] = scan
+        return frames
+
+    def _jacobian_from_frames(
+        self, frames: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """``(axes, origins, p_ee)`` from ``(..., N + 1, 3, 4)`` frames."""
+        dof = self.chain.dof
+        p_ee = self._tool_position(frames[..., dof, :, :])
+        screw = frames[..., :dof, :, :]
+        if not self.chain.is_standard_convention:
+            screw = _affine_compose(screw, self._const_affine)
+        axes = screw[..., :, :3, 2]
+        origins = screw[..., :, :3, 3]
+        return axes, origins, p_ee
+
+    def screw_frames(
+        self, q: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        return self._jacobian_from_frames(self._prefix_frames(q))
+
+    def jacobian_position(self, q: np.ndarray) -> np.ndarray:
+        axes, origins, p_ee = self.screw_frames(q)
+        linear = np.where(
+            self.chain._revolute_mask[:, None],
+            np.cross(axes, p_ee - origins),
+            axes,
+        )
+        return linear.T
+
+    def jacobian_position_batch(self, qs: np.ndarray) -> np.ndarray:
+        frames = self._prefix_frames_batch(qs)
+        axes, origins, p_ee = self._jacobian_from_frames(frames)
+        linear = np.where(
+            self.chain._revolute_mask[None, :, None],
+            np.cross(axes, p_ee[:, None, :] - origins),
+            axes,
+        )
+        return np.swapaxes(linear, 1, 2)

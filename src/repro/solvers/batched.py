@@ -34,10 +34,16 @@ from repro.telemetry.tracer import Tracer, get_tracer
 
 __all__ = ["BatchedQuickIK", "BatchedJacobianTranspose", "LockStepEngine"]
 
-#: FK rows evaluated per chunk.  Small enough that one chunk's transform
-#: stack (``chunk x N`` 4x4 matrices) stays cache-resident — larger chunks
-#: measurably slow the sweep down on 50-100 DOF chains.
+#: FK rows evaluated per chunk on the scalar kernel.  Small enough that one
+#: chunk's transform stack (``chunk x N`` 4x4 matrices) stays cache-resident
+#: — larger chunks measurably slow the scalar sweep down on 50-100 DOF
+#: chains.
 DEFAULT_CHUNK = 128
+
+#: FK rows per chunk on the vectorized kernel, whose log-depth tree product
+#: *wants* all ``B x Max`` (problem, candidate) rows in one stacked call —
+#: its per-call dispatch amortises with row count instead of thrashing.
+VECTORIZED_CHUNK = 8192
 
 
 class LockStepEngine:
@@ -59,12 +65,22 @@ class LockStepEngine:
         self,
         chain,
         config: SolverConfig | None = None,
-        chunk: int = DEFAULT_CHUNK,
+        chunk: int | None = None,
     ) -> None:
+        self.config = config or SolverConfig()
+        self.chain = (
+            chain.with_kernel(self.config.kernel)
+            if self.config.kernel is not None
+            else chain
+        )
+        if chunk is None:
+            chunk = (
+                VECTORIZED_CHUNK
+                if self.chain.kernel == "vectorized"
+                else DEFAULT_CHUNK
+            )
         if chunk < 1:
             raise ValueError("chunk must be >= 1")
-        self.chain = chain
-        self.config = config or SolverConfig()
         self.chunk = int(chunk)
 
     def _fk_chunked(self, qs: np.ndarray) -> np.ndarray:
@@ -142,7 +158,8 @@ class LockStepEngine:
         active = np.flatnonzero(errors >= tolerance)
         if traced:
             tr.solve_start(self.name, self.chain.dof, batch=m,
-                           speculations=self.speculations)
+                           speculations=self.speculations,
+                           kernel=self.chain.kernel)
             tr.count("fk_evaluations", m)
 
         outer = 0
@@ -229,7 +246,7 @@ class BatchedQuickIK(LockStepEngine):
         chain,
         speculations: int = 64,
         config: SolverConfig | None = None,
-        chunk: int = DEFAULT_CHUNK,
+        chunk: int | None = None,
     ) -> None:
         super().__init__(chain, config=config, chunk=chunk)
         if speculations < 1:
@@ -308,7 +325,7 @@ class BatchedJacobianTranspose(LockStepEngine):
         chain,
         config: SolverConfig | None = None,
         fixed_alpha: float | None = None,
-        chunk: int = DEFAULT_CHUNK,
+        chunk: int | None = None,
     ) -> None:
         from repro.solvers.jacobian_transpose import classic_transpose_gain
 

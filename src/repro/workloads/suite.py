@@ -140,6 +140,10 @@ class EvaluationSuite:
         Worker processes per solver run (default 1: in-process).  Any value
         produces identical per-target results — the sharded path draws the
         same restart stream (see :mod:`repro.parallel`).
+    kernel:
+        FK/Jacobian kernel mode for the evaluation chains
+        (:mod:`repro.kinematics.kernels`); ``None`` keeps the chains'
+        default (scalar).
     """
 
     def __init__(
@@ -150,6 +154,7 @@ class EvaluationSuite:
         seed: int = 2017,
         total_reach: float = 1.2,
         workers: int = 1,
+        kernel: str | None = None,
     ) -> None:
         if dofs is None:
             dofs = default_dofs()
@@ -167,13 +172,21 @@ class EvaluationSuite:
         if workers < 1:
             raise ValueError("workers must be >= 1")
         self.workers = int(workers)
+        if kernel is not None:
+            from repro.kinematics.kernels import resolve_kernel_mode
+
+            kernel = resolve_kernel_mode(kernel)
+        self.kernel = kernel
         self._chains: dict[int, KinematicChain] = {}
         self._targets: dict[int, np.ndarray] = {}
 
     def chain(self, dof: int) -> KinematicChain:
         """The (cached) evaluation manipulator for ``dof``."""
         if dof not in self._chains:
-            self._chains[dof] = paper_chain(dof, total_reach=self.total_reach)
+            chain = paper_chain(dof, total_reach=self.total_reach)
+            if self.kernel is not None:
+                chain = chain.with_kernel(self.kernel)
+            self._chains[dof] = chain
         return self._chains[dof]
 
     def targets(self, dof: int) -> np.ndarray:
