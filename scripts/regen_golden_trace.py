@@ -1,0 +1,110 @@
+#!/usr/bin/env python
+"""Regenerate (or verify) the golden telemetry trace fixture.
+
+The fixture ``tests/conformance/data/golden_trace.jsonl`` pins the JSONL
+trace schema; the workload that produces it lives next to the tests that
+consume it (``tests.conformance.test_trace_golden.generate_trace``), and
+this script is the one supported way to refresh it::
+
+    python scripts/regen_golden_trace.py            # rewrite the fixture
+    python scripts/regen_golden_trace.py --check    # verify, exit 1 on drift
+
+``--check`` regenerates into a temp file and compares against the committed
+fixture: the event sequence and every non-timing field must match exactly
+(wall-clock fields — ``t`` / ``wall_time`` / ``phase_seconds`` — are noise
+by design).  CI and the conformance tier run this mode, so a schema change
+that forgets to refresh the fixture fails loudly with a field-level diff.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import tempfile
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+for entry in (str(REPO / "src"), str(REPO)):
+    if entry not in sys.path:
+        sys.path.insert(0, entry)
+
+from repro.telemetry import read_jsonl_trace  # noqa: E402
+from tests.conformance.test_trace_golden import (  # noqa: E402
+    GOLDEN,
+    TIMING_FIELDS,
+    generate_trace,
+)
+
+
+def _drift(golden: list[dict], fresh: list[dict]) -> list[str]:
+    """Human-readable list of non-timing differences (empty == identical)."""
+    problems: list[str] = []
+    if len(golden) != len(fresh):
+        problems.append(
+            f"event count: committed {len(golden)}, regenerated {len(fresh)}"
+        )
+    for i, (a, b) in enumerate(zip(golden, fresh)):
+        keys_a, keys_b = set(a) - TIMING_FIELDS, set(b) - TIMING_FIELDS
+        if keys_a != keys_b:
+            problems.append(
+                f"event {i} ({a.get('event')}): key set differs "
+                f"({sorted(keys_a ^ keys_b)})"
+            )
+            continue
+        for key in sorted(keys_a):
+            if a[key] != b[key]:
+                problems.append(
+                    f"event {i} ({a.get('event')}): field {key!r} "
+                    f"committed={a[key]!r} regenerated={b[key]!r}"
+                )
+    return problems
+
+
+def check() -> int:
+    if not GOLDEN.exists():
+        print(f"missing fixture: {GOLDEN}", file=sys.stderr)
+        return 1
+    with tempfile.TemporaryDirectory() as tmp:
+        fresh_path = Path(tmp) / "trace.jsonl"
+        generate_trace(fresh_path)
+        problems = _drift(
+            read_jsonl_trace(GOLDEN), read_jsonl_trace(fresh_path)
+        )
+    if problems:
+        print(f"golden trace drifted from {GOLDEN}:", file=sys.stderr)
+        for problem in problems[:20]:
+            print(f"  {problem}", file=sys.stderr)
+        if len(problems) > 20:
+            print(f"  ... and {len(problems) - 20} more", file=sys.stderr)
+        print(
+            "if the schema change is intentional, refresh the fixture: "
+            "python scripts/regen_golden_trace.py", file=sys.stderr,
+        )
+        return 1
+    print(f"{GOLDEN.relative_to(REPO)} matches a fresh regeneration")
+    return 0
+
+
+def regenerate() -> int:
+    GOLDEN.parent.mkdir(parents=True, exist_ok=True)
+    generate_trace(GOLDEN)
+    events = read_jsonl_trace(GOLDEN)
+    print(
+        f"regenerated {GOLDEN.relative_to(REPO)} ({len(events)} events); "
+        "commit the diff — the diff is the schema-change review"
+    )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--check", action="store_true",
+        help="verify the committed fixture instead of rewriting it",
+    )
+    args = parser.parse_args(argv)
+    return check() if args.check else regenerate()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -25,7 +25,7 @@ below remain available for hand-wiring.)
 """
 
 from repro import api, telemetry
-from repro.api import solve, solve_batch
+from repro.api import serve, solve, solve_batch
 from repro.core import IKResult, QuickIKSolver, SolverConfig
 from repro.core.result import BatchResult
 from repro.kinematics import (
@@ -61,6 +61,7 @@ __version__ = "1.1.0"
 __all__ = [
     "api",
     "telemetry",
+    "serve",
     "solve",
     "solve_batch",
     "BatchResult",

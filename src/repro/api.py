@@ -35,7 +35,7 @@ from repro.telemetry.tracer import Tracer
 if TYPE_CHECKING:  # pragma: no cover - annotations only
     from repro.resilience import ResilienceConfig
 
-__all__ = ["solve", "solve_batch", "resolve_robot"]
+__all__ = ["solve", "solve_batch", "serve", "resolve_robot"]
 
 #: Default solver: the paper's contribution.
 DEFAULT_SOLVER = "JT-Speculation"
@@ -218,3 +218,31 @@ def solve_batch(
     return engine.solve_batch(
         targets, q0=q0, rng=_resolve_rng(rng, seed), tracer=tracer
     )
+
+
+def serve(config=None, *, tracer=None, start=True, **overrides):
+    """Build (and by default start) an in-process IK request server.
+
+    The online counterpart of :func:`solve_batch`: individual
+    :class:`~repro.serving.SolveRequest` submissions are coalesced by a
+    micro-batching scheduler into the same vectorized lock-step batches the
+    offline path runs, inheriting the ``workers=`` / ``kernel=`` /
+    ``on_error=`` semantics (see ``docs/serving.md``).
+
+    Pass a full :class:`~repro.serving.ServerConfig` or its fields as
+    keywords (mutually exclusive)::
+
+        with api.serve(max_batch_size=64, max_wait_ms=2.0) as srv:
+            future = srv.submit(SolveRequest("dadu-50dof", target, seed=0))
+
+    ``start=False`` returns the server without launching its worker loop
+    (it auto-starts on the first submission anyway).
+    """
+    from repro.serving import IKServer, ServerConfig
+
+    if config is not None and overrides:
+        raise ValueError("pass either config or ServerConfig fields, not both")
+    if config is None:
+        config = ServerConfig(**overrides)
+    server = IKServer(config, tracer=tracer)
+    return server.start() if start else server

@@ -6,6 +6,7 @@ Commands
 ``simulate``  run the IKAcc cycle-level simulator on one target
 ``trace``     render the pipeline Gantt of one accelerator iteration
 ``bench``     regenerate a paper experiment table
+``serve-bench``  open-loop load test of the micro-batching IK server
 ``report``    write the full EXPERIMENTS.md
 ``robots``    list the available robots
 """
@@ -125,6 +126,50 @@ def build_parser() -> argparse.ArgumentParser:
                        help="FK/Jacobian kernel mode for the evaluation "
                             "chains (default: scalar)")
     add_telemetry(bench)
+
+    serve_bench = sub.add_parser(
+        "serve-bench",
+        help="open-loop load test of the in-process serving layer",
+        description="Drive the micro-batching IK server with an open-loop "
+                    "(seeded Poisson) request stream and record throughput, "
+                    "latency percentiles and batch-occupancy gauges "
+                    "(see docs/serving.md).",
+    )
+    serve_bench.add_argument("--robot", default="dadu-50dof",
+                             help="robot name (see `repro robots`)")
+    serve_bench.add_argument("--solver", default="JT-Speculation",
+                             choices=sorted(SOLVER_REGISTRY))
+    serve_bench.add_argument("--requests", type=_positive_int, default=200,
+                             help="total requests in the open-loop stream")
+    serve_bench.add_argument("--rate", type=float, default=300.0,
+                             help="offered load in requests/second")
+    serve_bench.add_argument("--max-batch-size", type=_positive_int, default=32,
+                             help="micro-batch size flush trigger")
+    serve_bench.add_argument("--max-wait-ms", type=float, default=5.0,
+                             help="micro-batch age flush trigger (ms)")
+    serve_bench.add_argument("--workers", type=_positive_int, default=None,
+                             help="shard each micro-batch across this many "
+                                  "worker processes (default: in-process)")
+    serve_bench.add_argument("--kernel", default=None,
+                             choices=list(KERNEL_MODES),
+                             help="FK/Jacobian kernel mode for served solves")
+    serve_bench.add_argument("--on-error", default="skip",
+                             choices=["raise", "skip", "fallback"],
+                             help="per-batch failure policy (serving default: "
+                                  "skip — a bad request degrades alone)")
+    serve_bench.add_argument("--max-iterations", type=_positive_int,
+                             default=None)
+    serve_bench.add_argument("--tolerance", type=float, default=None)
+    serve_bench.add_argument("--deadline-ms", type=float, default=None,
+                             help="per-request latency budget; expired "
+                                  "requests are rejected, not solved late")
+    serve_bench.add_argument("--warm-start", action="store_true",
+                             help="enable the nearest-target seed cache "
+                                  "(trades offline bit-comparability for "
+                                  "fewer iterations)")
+    serve_bench.add_argument("--seed", type=int, default=2017)
+    serve_bench.add_argument("--out", default="BENCH_serving.json",
+                             help="payload destination (JSON)")
 
     report = sub.add_parser("report", help="write the EXPERIMENTS.md report")
     report.add_argument("output", nargs="?", default="EXPERIMENTS.md")
@@ -378,6 +423,62 @@ def _cmd_bench(args) -> int:
     return 0
 
 
+def _cmd_serve_bench(args) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.serving import run_serve_bench
+
+    payload = run_serve_bench(
+        robot=args.robot,
+        solver=args.solver,
+        requests=args.requests,
+        rate_hz=args.rate,
+        max_batch_size=args.max_batch_size,
+        max_wait_ms=args.max_wait_ms,
+        workers=args.workers,
+        kernel=args.kernel,
+        on_error=args.on_error,
+        tolerance=args.tolerance,
+        max_iterations=args.max_iterations,
+        warm_start=args.warm_start,
+        deadline_s=(
+            args.deadline_ms / 1e3 if args.deadline_ms is not None else None
+        ),
+        seed=args.seed,
+    )
+    Path(args.out).write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    serving = payload["serving"]
+    latency = payload["latency_s"]
+    print(
+        f"served {payload['completed']}/{payload['requests']} requests "
+        f"({payload['converged']} converged) at "
+        f"{payload['throughput_rps']:.1f} req/s"
+    )
+    print(
+        f"latency p50/p90/p99: {latency['p50'] * 1e3:.2f} / "
+        f"{latency['p90'] * 1e3:.2f} / {latency['p99'] * 1e3:.2f} ms"
+    )
+    print(
+        f"batches: {serving['batches']} "
+        f"(mean occupancy {serving['mean_occupancy']:.2f}, "
+        f"peak {serving['occupancy_peak']}, "
+        f"queue peak {serving['queue_depth_peak']})"
+    )
+    print(f"wrote {args.out}")
+    if payload["completed"] and payload["converged"] == 0:
+        # Mirror the bench health check: a load test where nothing
+        # converges is a broken serving stack, not a latency result.
+        print(
+            f"serve-bench FAILED: 0/{payload['completed']} served solves "
+            "converged", file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def _cmd_report(args) -> int:
     from repro.evaluation.report import main as report_main
 
@@ -402,6 +503,7 @@ _COMMANDS = {
     "simulate": _cmd_simulate,
     "trace": _cmd_trace,
     "bench": _cmd_bench,
+    "serve-bench": _cmd_serve_bench,
     "report": _cmd_report,
     "robots": _cmd_robots,
 }

@@ -230,14 +230,38 @@ class IterativeIKSolver(ABC):
         configuration; this is the entry point the harness uses.  Returns a
         :class:`BatchResult` (a sequence of per-target :class:`IKResult`, so
         callers of the historical ``list[IKResult]`` API are unaffected).
+
+        ``q0`` may be one configuration (shared by every target) or one row
+        per target — the same broadcast the lock-step engines and the
+        sharded pool accept, so callers (e.g. the serving layer) can hand
+        any batch path pre-resolved per-problem initial configurations.
         """
         targets = np.atleast_2d(np.asarray(targets, dtype=float))
         if targets.shape[1] != 3:
             raise ValueError("targets must have shape (M, 3)")
         if rng is None:
             rng = np.random.default_rng()
+        q0_rows = None
+        if q0 is not None:
+            q0 = np.asarray(q0, dtype=float)
+            if q0.ndim == 2:
+                if q0.shape != (targets.shape[0], self.chain.dof):
+                    raise ValueError(
+                        f"q0 must broadcast to "
+                        f"({targets.shape[0]}, {self.chain.dof}), "
+                        f"got {q0.shape}"
+                    )
+                q0_rows = q0
         start = time.perf_counter()
-        results = [self.solve(t, q0=q0, rng=rng, tracer=tracer) for t in targets]
+        results = [
+            self.solve(
+                t,
+                q0=q0_rows[i] if q0_rows is not None else q0,
+                rng=rng,
+                tracer=tracer,
+            )
+            for i, t in enumerate(targets)
+        ]
         return BatchResult(
             results=results,
             solver=self.name,

@@ -1,0 +1,50 @@
+"""In-process IK serving with dynamic micro-batching (see docs/serving.md).
+
+The online entry point to the solver stack: individual
+:class:`SolveRequest`\\ s go in, per-request ``IKResult`` futures come out,
+and in between a micro-batching scheduler coalesces compatible requests
+into the vectorized lock-step batches PRs 1-4 built for the offline path.
+
+Quickstart::
+
+    from repro.serving import IKServer, ServerConfig, SolveRequest
+
+    with IKServer(ServerConfig(max_batch_size=64, max_wait_ms=2.0)) as srv:
+        future = srv.submit(SolveRequest("dadu-50dof", [0.4, 0.2, 0.6], seed=0))
+        print(future.result().summary())
+
+(or ``repro.api.serve(...)`` for the facade form.)
+"""
+
+from repro.serving.batcher import GroupKey, MicroBatch, MicroBatcher, PendingEntry
+from repro.serving.loadgen import run_serve_bench
+from repro.serving.request import (
+    STAGE_SERVING,
+    DeadlineExceeded,
+    Overloaded,
+    ServerClosed,
+    ServingRejected,
+    SolveRequest,
+)
+from repro.serving.seeds import SeedCache, SeedCacheStats, chain_fingerprint
+from repro.serving.server import IKServer, ServerConfig, ServingStats
+
+__all__ = [
+    "IKServer",
+    "ServerConfig",
+    "ServingStats",
+    "SolveRequest",
+    "ServingRejected",
+    "Overloaded",
+    "DeadlineExceeded",
+    "ServerClosed",
+    "STAGE_SERVING",
+    "SeedCache",
+    "SeedCacheStats",
+    "chain_fingerprint",
+    "MicroBatcher",
+    "MicroBatch",
+    "GroupKey",
+    "PendingEntry",
+    "run_serve_bench",
+]

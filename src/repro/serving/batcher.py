@@ -1,0 +1,163 @@
+"""Micro-batching scheduler: coalesce compatible requests, flush on triggers.
+
+Dynamic batching exactly as an inference stack does it: requests arrive one
+at a time, get grouped by a **compatibility key** — same robot, solver,
+convergence config and solver options, i.e. everything that must agree for
+the problems to advance through one vectorized lock-step batch — and each
+group flushes when either trigger fires:
+
+* **size** — the group reached ``max_batch_size`` (a full group flushes
+  immediately; larger backlogs are chunked into full batches);
+* **age** — the group's *oldest* request has waited ``max_wait_s`` (bounded
+  coalesce latency: a lone request is never held hostage waiting for
+  batch-mates).
+
+The batcher is deliberately single-threaded and clock-free — callers pass
+``now`` explicitly — so the flush policy is unit-testable without timing
+sleeps; :class:`~repro.serving.server.IKServer` owns the lock and the
+worker thread.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["GroupKey", "PendingEntry", "MicroBatch", "MicroBatcher"]
+
+
+@dataclass(frozen=True)
+class GroupKey:
+    """What must match for two requests to share a lock-step batch.
+
+    ``robot_key`` is the robot name (or object id for ad-hoc chain
+    instances); ``config_key`` / ``options_key`` are stable renderings of
+    the resolved :class:`~repro.core.result.SolverConfig` and the solver
+    options dict.
+    """
+
+    robot_key: Any
+    solver: str
+    config_key: Any
+    options_key: Any
+
+
+@dataclass
+class PendingEntry:
+    """One admitted request waiting to be batched.
+
+    Everything the executor needs is resolved at admission: the chain, the
+    per-request initial configuration ``q0`` (seed draw, warm-start hit or
+    explicit), the absolute ``expiry`` (monotonic seconds, ``None`` for no
+    deadline) and the caller's future.
+    """
+
+    request: Any
+    chain: Any
+    key: GroupKey
+    target: Any
+    q0: Any
+    future: Any
+    enqueue_t: float
+    expiry: float | None = None
+    warm_started: bool = False
+
+
+@dataclass
+class MicroBatch:
+    """One flushed group slice, ready for lock-step execution."""
+
+    key: GroupKey
+    entries: list[PendingEntry] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+class MicroBatcher:
+    """Per-group FIFO queues with size/age flush triggers."""
+
+    def __init__(self, max_batch_size: int, max_wait_s: float) -> None:
+        if max_batch_size < 1:
+            raise ValueError("max_batch_size must be >= 1")
+        if max_wait_s < 0:
+            raise ValueError("max_wait_s must be >= 0")
+        self.max_batch_size = int(max_batch_size)
+        self.max_wait_s = float(max_wait_s)
+        self._groups: dict[GroupKey, list[PendingEntry]] = {}
+        self._pending = 0
+
+    @property
+    def pending_count(self) -> int:
+        """Admitted-but-unflushed requests across all groups."""
+        return self._pending
+
+    def add(self, entry: PendingEntry) -> None:
+        self._groups.setdefault(entry.key, []).append(entry)
+        self._pending += 1
+
+    # -- flush policy ----------------------------------------------------
+
+    def _group_ready(self, entries: list[PendingEntry], now: float) -> bool:
+        return (
+            len(entries) >= self.max_batch_size
+            or now - entries[0].enqueue_t >= self.max_wait_s
+        )
+
+    def has_ready(self, now: float) -> bool:
+        """Would :meth:`pop_ready` return anything at time ``now``?"""
+        return any(
+            self._group_ready(entries, now)
+            for entries in self._groups.values()
+        )
+
+    def next_flush_at(self) -> float | None:
+        """Earliest monotonic time an age trigger fires (None when empty)."""
+        oldest = [
+            entries[0].enqueue_t + self.max_wait_s
+            for entries in self._groups.values()
+        ]
+        return min(oldest) if oldest else None
+
+    def pop_ready(self, now: float, force: bool = False) -> list[MicroBatch]:
+        """Remove and return every batch due at ``now``.
+
+        A group flushes when full (chunked to ``max_batch_size``) or when
+        its oldest request aged out — an aged group flushes *entirely*
+        (chunked), since its younger members would only age out moments
+        later.  ``force=True`` drains everything (shutdown).  Batches come
+        back oldest-first across groups so a drain completes in arrival
+        order.
+        """
+        batches: list[MicroBatch] = []
+        for key in list(self._groups):
+            entries = self._groups[key]
+            aged = force or now - entries[0].enqueue_t >= self.max_wait_s
+            take = (
+                len(entries) if aged
+                else (len(entries) // self.max_batch_size) * self.max_batch_size
+            )
+            if take == 0:
+                continue
+            taken, rest = entries[:take], entries[take:]
+            if rest:
+                self._groups[key] = rest
+            else:
+                del self._groups[key]
+            self._pending -= take
+            for lo in range(0, take, self.max_batch_size):
+                batches.append(MicroBatch(
+                    key=key, entries=taken[lo:lo + self.max_batch_size]
+                ))
+        batches.sort(key=lambda b: b.entries[0].enqueue_t)
+        return batches
+
+    def drain(self) -> list[PendingEntry]:
+        """Remove and return every pending entry, oldest first (no batching)."""
+        entries = list(heapq.merge(
+            *self._groups.values(), key=lambda e: e.enqueue_t
+        ))
+        self._groups.clear()
+        self._pending = 0
+        return entries

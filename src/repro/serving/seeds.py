@@ -1,0 +1,181 @@
+"""Warm-start seed cache: reuse nearby solutions as initial configurations.
+
+IKSel (arXiv:2503.22234) shows seed quality dominates iteration count; an
+online server sees streams of *correlated* targets (trajectories, repeated
+poses), so the solution of the nearest previously-served target is usually a
+far better ``q0`` than a random draw.
+
+The cache is keyed per robot by a **parameter fingerprint** — a digest of
+every chain array an FK result depends on, the same invalidation discipline
+as the PR-4 vectorized prefix cache: mutate a link length in place and the
+fingerprint changes, so stale solutions for the old geometry are simply
+never consulted (and are evicted by capacity pressure).  Entries live in a
+bounded FIFO ring per robot.
+
+Warm starting trades bit-comparability with offline solves for iteration
+count, so the server only consults the cache when asked
+(``warm_start=True``); recording successful solves is unconditional and
+costs one small copy per converged result.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict, deque
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["chain_fingerprint", "SeedCache", "SeedCacheStats"]
+
+#: Default per-robot entry capacity.
+DEFAULT_CAPACITY = 256
+
+#: Bound on distinct robot fingerprints tracked before the least recently
+#: used robot's entries are dropped (a server that churns through generated
+#: chains must not grow without bound).
+DEFAULT_MAX_ROBOTS = 32
+
+
+def chain_fingerprint(chain) -> bytes:
+    """Digest of every chain parameter array an IK solution depends on.
+
+    Mirrors the vectorized kernels' ``_chain_fingerprint``: convention,
+    dtype and the raw bytes of the offset / mask / constant-transform /
+    base / tool arrays.  In-place mutation of any of them changes the
+    digest, which is what invalidates cached solutions for the old
+    geometry.
+    """
+    h = hashlib.sha1()
+    h.update(chain.convention.encode())
+    h.update(str(chain.dtype).encode())
+    for arr in (
+        chain._theta_offset,
+        chain._d_offset,
+        chain._revolute_mask,
+        chain._const,
+        chain.base,
+        chain.tool,
+    ):
+        h.update(np.ascontiguousarray(arr).tobytes())
+    return h.digest()
+
+
+@dataclass
+class SeedCacheStats:
+    """Hit/miss accounting for one :class:`SeedCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    records: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else float("nan")
+
+    def to_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "records": self.records,
+            "hit_rate": self.hit_rate,
+        }
+
+
+class _RobotEntries:
+    """Bounded FIFO of (target, solution) pairs for one robot fingerprint."""
+
+    def __init__(self, capacity: int) -> None:
+        self.targets: deque[np.ndarray] = deque(maxlen=capacity)
+        self.solutions: deque[np.ndarray] = deque(maxlen=capacity)
+
+    def __len__(self) -> int:
+        return len(self.targets)
+
+    def add(self, target: np.ndarray, q: np.ndarray) -> None:
+        self.targets.append(target)
+        self.solutions.append(q)
+
+    def nearest(
+        self, target: np.ndarray, max_distance: float | None
+    ) -> np.ndarray | None:
+        if not self.targets:
+            return None
+        stacked = np.stack(self.targets)
+        d2 = np.sum((stacked - target) ** 2, axis=1)
+        best = int(np.argmin(d2))
+        if max_distance is not None and d2[best] > max_distance**2:
+            return None
+        return self.solutions[best]
+
+
+class SeedCache:
+    """Nearest-target warm-start store, keyed per robot fingerprint.
+
+    Not thread-safe on its own; the server serialises access under its
+    queue lock.
+    """
+
+    def __init__(
+        self,
+        capacity: int = DEFAULT_CAPACITY,
+        max_robots: int = DEFAULT_MAX_ROBOTS,
+        max_distance: float | None = None,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        if max_robots < 1:
+            raise ValueError("max_robots must be >= 1")
+        if max_distance is not None and max_distance < 0:
+            raise ValueError("max_distance must be >= 0 (or None)")
+        self.capacity = int(capacity)
+        self.max_robots = int(max_robots)
+        self.max_distance = max_distance
+        self.stats = SeedCacheStats()
+        self._robots: OrderedDict[bytes, _RobotEntries] = OrderedDict()
+
+    def __len__(self) -> int:
+        return sum(len(entries) for entries in self._robots.values())
+
+    def _entries(self, fingerprint: bytes) -> _RobotEntries:
+        entries = self._robots.get(fingerprint)
+        if entries is None:
+            entries = _RobotEntries(self.capacity)
+            self._robots[fingerprint] = entries
+            while len(self._robots) > self.max_robots:
+                self._robots.popitem(last=False)
+        else:
+            self._robots.move_to_end(fingerprint)
+        return entries
+
+    def record(self, chain, target: np.ndarray, q: np.ndarray) -> None:
+        """Store a solved (target, q) pair for ``chain``'s current geometry."""
+        self._entries(chain_fingerprint(chain)).add(
+            np.asarray(target, dtype=float).copy(),
+            np.asarray(q, dtype=float).copy(),
+        )
+        self.stats.records += 1
+
+    def lookup(self, chain, target: np.ndarray) -> np.ndarray | None:
+        """The solution of the nearest cached target, or ``None`` on a miss.
+
+        The fingerprint is recomputed per lookup, so a chain mutated in
+        place since its solutions were recorded simply misses — stale
+        geometry is never warm-started from.
+        """
+        entries = self._robots.get(chain_fingerprint(chain))
+        q = (
+            entries.nearest(np.asarray(target, dtype=float), self.max_distance)
+            if entries is not None
+            else None
+        )
+        if q is None:
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return q.copy()
+
+    def invalidate(self) -> None:
+        """Drop every entry (stats are kept)."""
+        self._robots.clear()

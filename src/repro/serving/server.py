@@ -1,0 +1,535 @@
+"""The in-process IK request server: futures in, lock-step batches out.
+
+:class:`IKServer` accepts individual :class:`~repro.serving.request.SolveRequest`\\ s
+and returns a :class:`concurrent.futures.Future` per request.  A background
+worker loop coalesces compatible requests (same robot / solver / config /
+options) through the :class:`~repro.serving.batcher.MicroBatcher` and
+executes each flushed micro-batch through the existing
+:func:`repro.api.solve_batch` path — so a served batch inherits the whole
+stack built in PRs 1-4: lock-step vectorized engines, ``workers=`` process
+sharding, ``kernel=`` selection and the ``on_error=`` resilience semantics.
+
+Design invariants:
+
+* **Served == offline.**  A request with ``seed=s`` resolves its initial
+  configuration exactly as ``api.solve(..., seed=s)`` would (one
+  ``chain.random_configuration(default_rng(s))`` draw), then rides a batch
+  whose per-problem numerics the conformance tier already pins to the
+  scalar driver.  ``tests/serving/test_differential.py`` holds the serving
+  layer to that equivalence per request, across a mixed-robot stream.
+* **Bounded everything.**  The queue is bounded (``max_queue`` →
+  :class:`~repro.serving.request.Overloaded`), coalesce latency is bounded
+  (``max_wait_ms``), and per-request deadlines are enforced both at
+  admission and at dispatch
+  (:class:`~repro.serving.request.DeadlineExceeded`).
+* **Observable.**  Counters (``serve_requests`` / ``serve_batches`` /
+  ``serve_overloaded`` / ``serve_deadline_expired`` /
+  ``serve_cache_hits`` / ``serve_cache_misses``) and phases
+  (``serve_coalesce`` / ``serve_execute``) flow through the standard
+  :class:`~repro.telemetry.tracer.Tracer` sinks; queue-depth / batch
+  occupancy gauges live on :meth:`IKServer.stats`.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import threading
+import time
+from dataclasses import dataclass, field, replace
+from typing import Any
+
+import numpy as np
+
+from repro.api import _resolve_config, resolve_robot
+from repro.kinematics.chain import KinematicChain
+from repro.parallel.pool import ON_ERROR_MODES
+from repro.serving.batcher import GroupKey, MicroBatch, MicroBatcher, PendingEntry
+from repro.serving.request import (
+    STAGE_SERVING,
+    DeadlineExceeded,
+    Overloaded,
+    ServerClosed,
+    SolveRequest,
+)
+from repro.serving.seeds import SeedCache
+from repro.telemetry.tracer import Tracer, get_tracer
+
+__all__ = ["ServerConfig", "ServingStats", "IKServer"]
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Policy knobs for one :class:`IKServer`.
+
+    Parameters
+    ----------
+    max_batch_size:
+        Flush trigger 1: a compatibility group with this many pending
+        requests flushes immediately.
+    max_wait_ms:
+        Flush trigger 2: the longest any request coalesces before its
+        group flushes regardless of size.  ``0`` disables coalescing
+        (every request is solved as a singleton batch as soon as the
+        worker loop sees it).
+    max_queue:
+        Backpressure bound: admitted-but-unflushed requests across all
+        groups; submissions beyond it raise
+        :class:`~repro.serving.request.Overloaded`.
+    workers / timeout / on_error:
+        Forwarded verbatim to :func:`repro.api.solve_batch` for every
+        micro-batch, inheriting the PR-2 sharding and PR-3 resilience
+        semantics.  The serving default is ``on_error="skip"``: one bad
+        request degrades into a typed placeholder result instead of
+        poisoning its batch-mates with an exception.
+    warm_start:
+        Server-wide default for the warm-start seed cache (requests can
+        override per call).  Off by default, preserving request-level
+        equivalence with offline solves.
+    seed_cache_capacity:
+        Per-robot capacity of the warm-start cache; ``0`` disables the
+        cache entirely (nothing recorded, every lookup misses).
+    warm_start_max_distance:
+        Optional radius (metres): cached solutions further than this from
+        the new target are not reused.
+    """
+
+    max_batch_size: int = 32
+    max_wait_ms: float = 2.0
+    max_queue: int = 1024
+    workers: int | None = None
+    timeout: float | None = None
+    on_error: str = "skip"
+    warm_start: bool = False
+    seed_cache_capacity: int = 256
+    warm_start_max_distance: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_batch_size < 1:
+            raise ValueError("max_batch_size must be >= 1")
+        if self.max_wait_ms < 0:
+            raise ValueError("max_wait_ms must be >= 0")
+        if self.max_queue < 1:
+            raise ValueError("max_queue must be >= 1")
+        if self.workers is not None and self.workers < 1:
+            raise ValueError("workers must be >= 1 (or None)")
+        if self.on_error not in ON_ERROR_MODES:
+            raise ValueError(
+                f"on_error must be one of {ON_ERROR_MODES}, got {self.on_error!r}"
+            )
+        if self.seed_cache_capacity < 0:
+            raise ValueError("seed_cache_capacity must be >= 0")
+
+
+@dataclass
+class ServingStats:
+    """Aggregate gauges/counters for one server's lifetime.
+
+    ``queue_depth_peak`` and the occupancy fields are the gauges the
+    telemetry counters cannot carry (counters only add); everything else
+    mirrors a counter so :meth:`to_dict` is a self-contained health
+    snapshot for dashboards and ``BENCH_serving.json``.
+    """
+
+    submitted: int = 0
+    completed: int = 0
+    failed: int = 0
+    rejected_overloaded: int = 0
+    rejected_deadline: int = 0
+    expired_in_queue: int = 0
+    batches: int = 0
+    requests_batched: int = 0
+    occupancy_peak: int = 0
+    queue_depth_peak: int = 0
+    coalesce_wait_s: float = 0.0
+    coalesce_wait_peak_s: float = 0.0
+    execute_s: float = 0.0
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    @property
+    def mean_occupancy(self) -> float:
+        """Requests per executed micro-batch (the coalescing win)."""
+        return self.requests_batched / self.batches if self.batches else float("nan")
+
+    @property
+    def mean_coalesce_wait_s(self) -> float:
+        if not self.requests_batched:
+            return float("nan")
+        return self.coalesce_wait_s / self.requests_batched
+
+    @property
+    def cache_hit_rate(self) -> float:
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else float("nan")
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "failed": self.failed,
+            "rejected_overloaded": self.rejected_overloaded,
+            "rejected_deadline": self.rejected_deadline,
+            "expired_in_queue": self.expired_in_queue,
+            "batches": self.batches,
+            "requests_batched": self.requests_batched,
+            "mean_occupancy": self.mean_occupancy,
+            "occupancy_peak": self.occupancy_peak,
+            "queue_depth_peak": self.queue_depth_peak,
+            "mean_coalesce_wait_s": self.mean_coalesce_wait_s,
+            "coalesce_wait_peak_s": self.coalesce_wait_peak_s,
+            "execute_s": self.execute_s,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_hit_rate": self.cache_hit_rate,
+        }
+
+
+class IKServer:
+    """In-process IK serving with dynamic micro-batching.
+
+    Usage::
+
+        from repro.serving import IKServer, ServerConfig, SolveRequest
+
+        with IKServer(ServerConfig(max_batch_size=64, max_wait_ms=2.0)) as srv:
+            futures = [
+                srv.submit(SolveRequest("dadu-50dof", t, seed=i))
+                for i, t in enumerate(targets)
+            ]
+            results = [f.result() for f in futures]
+
+    ``submit`` raises the structured rejection taxonomy
+    (:class:`~repro.serving.request.Overloaded` /
+    :class:`~repro.serving.request.DeadlineExceeded` /
+    :class:`~repro.serving.request.ServerClosed`) synchronously; a request
+    whose deadline expires *while queued* completes its future with
+    :class:`~repro.serving.request.DeadlineExceeded` instead.
+    """
+
+    def __init__(
+        self,
+        config: ServerConfig | None = None,
+        tracer: Tracer | None = None,
+    ) -> None:
+        self.config = config or ServerConfig()
+        self._tracer = tracer
+        self._cond = threading.Condition()
+        self._batcher = MicroBatcher(
+            self.config.max_batch_size, self.config.max_wait_ms / 1e3
+        )
+        self._seed_cache = (
+            SeedCache(
+                capacity=self.config.seed_cache_capacity,
+                max_distance=self.config.warm_start_max_distance,
+            )
+            if self.config.seed_cache_capacity > 0
+            else None
+        )
+        self._stats = ServingStats()
+        self._chains: dict[str, KinematicChain] = {}
+        self._thread: threading.Thread | None = None
+        self._closing = False
+        self._closed = False
+
+    # -- lifecycle -------------------------------------------------------
+
+    def start(self) -> "IKServer":
+        """Launch the worker loop (idempotent; ``submit`` auto-starts)."""
+        with self._cond:
+            if self._closed:
+                raise ServerClosed.from_request("server already closed")
+            if self._thread is None:
+                self._thread = threading.Thread(
+                    target=self._worker, name="ik-server", daemon=True
+                )
+                self._thread.start()
+        return self
+
+    def close(self, drain: bool = True) -> None:
+        """Stop the worker loop.
+
+        ``drain=True`` (default) flushes and solves everything still
+        queued before returning; ``drain=False`` fails every pending
+        future with :class:`~repro.serving.request.ServerClosed`.
+        """
+        with self._cond:
+            if self._closed:
+                return
+            self._closing = True
+            if not drain:
+                for entry in self._batcher.drain():
+                    self._fail_future(entry.future, ServerClosed.from_request(
+                        "server closed before execution", entry.key.solver
+                    ))
+            self._cond.notify_all()
+        if self._thread is not None:
+            self._thread.join()
+        with self._cond:
+            self._closed = True
+
+    def __enter__(self) -> "IKServer":
+        return self.start()
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close(drain=True)
+
+    # -- submission ------------------------------------------------------
+
+    def submit(self, request: SolveRequest) -> concurrent.futures.Future:
+        """Admit one request; returns the future of its ``IKResult``.
+
+        Raises :class:`Overloaded` when the bounded queue is full,
+        :class:`DeadlineExceeded` when the request arrives with a
+        non-positive budget, :class:`ServerClosed` after shutdown began.
+        """
+        chain = self._resolve_chain(request.robot)
+        target = request.target_array()
+        config = _resolve_config(
+            request.config, request.tolerance,
+            request.max_iterations, request.kernel,
+        )
+        key = GroupKey(
+            robot_key=(
+                request.robot if isinstance(request.robot, str) else id(chain)
+            ),
+            solver=request.solver,
+            config_key=config,
+            options_key=tuple(sorted(
+                (name, repr(value)) for name, value in request.options.items()
+            )),
+        )
+        tr = self._tracer if self._tracer is not None else get_tracer()
+        with self._cond:
+            if self._closing or self._closed:
+                raise ServerClosed.from_request(
+                    "server is shutting down", request.solver
+                )
+            if request.deadline_s is not None and request.deadline_s <= 0:
+                self._stats.rejected_deadline += 1
+                if tr.enabled:
+                    tr.count("serve_deadline_expired")
+                raise DeadlineExceeded.from_request(
+                    f"deadline_s={request.deadline_s} already expired at "
+                    "admission", request.solver,
+                )
+            if self._batcher.pending_count >= self.config.max_queue:
+                self._stats.rejected_overloaded += 1
+                if tr.enabled:
+                    tr.count("serve_overloaded")
+                raise Overloaded.from_request(
+                    f"queue full ({self.config.max_queue} pending)",
+                    request.solver,
+                )
+            now = time.monotonic()
+            q0, warm = self._resolve_q0(chain, request, target, tr)
+            entry = PendingEntry(
+                request=request,
+                chain=chain,
+                key=key,
+                target=target,
+                q0=q0,
+                future=concurrent.futures.Future(),
+                enqueue_t=now,
+                expiry=(
+                    now + request.deadline_s
+                    if request.deadline_s is not None else None
+                ),
+                warm_started=warm,
+            )
+            self._batcher.add(entry)
+            self._stats.submitted += 1
+            self._stats.queue_depth_peak = max(
+                self._stats.queue_depth_peak, self._batcher.pending_count
+            )
+            if tr.enabled:
+                tr.count("serve_requests")
+            self._cond.notify_all()
+        if self._thread is None:
+            self.start()
+        return entry.future
+
+    def submit_many(
+        self, requests: "list[SolveRequest]"
+    ) -> "list[concurrent.futures.Future]":
+        """Admit a list of requests (stops at the first rejection)."""
+        return [self.submit(request) for request in requests]
+
+    def solve(
+        self, request: SolveRequest, timeout: float | None = None
+    ) -> Any:
+        """Blocking sugar: ``submit(request).result(timeout)``."""
+        return self.submit(request).result(timeout)
+
+    # -- introspection ---------------------------------------------------
+
+    @property
+    def queue_depth(self) -> int:
+        """Currently admitted-but-unflushed requests (live gauge)."""
+        with self._cond:
+            return self._batcher.pending_count
+
+    def stats(self) -> ServingStats:
+        """A consistent snapshot of the server's lifetime stats."""
+        with self._cond:
+            snapshot = replace(self._stats)
+        if self._seed_cache is not None:
+            snapshot.cache_hits = self._seed_cache.stats.hits
+            snapshot.cache_misses = self._seed_cache.stats.misses
+        return snapshot
+
+    # -- internals -------------------------------------------------------
+
+    def _resolve_chain(self, robot: Any) -> KinematicChain:
+        if isinstance(robot, str):
+            chain = self._chains.get(robot)
+            if chain is None:
+                chain = resolve_robot(robot)
+                self._chains[robot] = chain
+            return chain
+        return resolve_robot(robot)
+
+    def _resolve_q0(
+        self, chain: KinematicChain, request: SolveRequest,
+        target: np.ndarray, tr: Tracer,
+    ) -> "tuple[np.ndarray, bool]":
+        """The entry's initial configuration, resolved at admission.
+
+        Precedence: explicit ``q0`` > warm-start cache hit > the same
+        seeded draw a direct ``api.solve(..., seed=s)`` performs.  Called
+        under the server lock (the seed cache is not thread-safe).
+        """
+        if request.q0 is not None:
+            q0 = np.asarray(request.q0, dtype=float)
+            if q0.shape != (chain.dof,):
+                raise ValueError(
+                    f"q0 must have shape ({chain.dof},), got {q0.shape}"
+                )
+            return q0.copy(), False
+        warm = (
+            request.warm_start
+            if request.warm_start is not None
+            else self.config.warm_start
+        )
+        if warm and self._seed_cache is not None:
+            cached = self._seed_cache.lookup(chain, target)
+            if tr.enabled:
+                tr.count(
+                    "serve_cache_hits" if cached is not None
+                    else "serve_cache_misses"
+                )
+            if cached is not None:
+                return cached, True
+        rng = np.random.default_rng(request.seed)
+        return chain.random_configuration(rng), False
+
+    def _worker(self) -> None:
+        while True:
+            with self._cond:
+                while True:
+                    if self._batcher.pending_count == 0:
+                        if self._closing:
+                            return
+                        self._cond.wait()
+                        continue
+                    now = time.monotonic()
+                    if self._closing or self._batcher.has_ready(now):
+                        break
+                    flush_at = self._batcher.next_flush_at()
+                    self._cond.wait(
+                        timeout=None if flush_at is None
+                        else max(0.0, flush_at - now)
+                    )
+                batches = self._batcher.pop_ready(
+                    time.monotonic(), force=self._closing
+                )
+            for batch in batches:
+                self._execute(batch)
+
+    @staticmethod
+    def _fail_future(future: concurrent.futures.Future, exc: Exception) -> None:
+        if not future.cancelled():
+            future.set_exception(exc)
+
+    @staticmethod
+    def _complete_future(future: concurrent.futures.Future, result: Any) -> None:
+        if not future.cancelled():
+            future.set_result(result)
+
+    def _execute(self, batch: MicroBatch) -> None:
+        from repro import api
+
+        now = time.monotonic()
+        tr = self._tracer if self._tracer is not None else get_tracer()
+        live: list[PendingEntry] = []
+        for entry in batch.entries:
+            if entry.expiry is not None and now > entry.expiry:
+                self._fail_future(entry.future, DeadlineExceeded.from_request(
+                    f"expired after {now - entry.enqueue_t:.4f}s in queue",
+                    batch.key.solver,
+                ))
+                with self._cond:
+                    self._stats.expired_in_queue += 1
+                if tr.enabled:
+                    tr.count("serve_deadline_expired")
+            else:
+                live.append(entry)
+        if not live:
+            return
+
+        coalesce_waits = [now - entry.enqueue_t for entry in live]
+        chain = live[0].chain
+        targets = np.stack([entry.target for entry in live])
+        q0 = np.stack([entry.q0 for entry in live])
+        start = time.perf_counter()
+        try:
+            result = api.solve_batch(
+                chain,
+                targets,
+                batch.key.solver,
+                q0=q0,
+                config=batch.key.config_key,
+                workers=self.config.workers,
+                timeout=self.config.timeout,
+                on_error=self.config.on_error,
+                tracer=tr,
+                **live[0].request.options,
+            )
+        except Exception as exc:
+            # on_error="raise" semantics: the failure is shared batch-wide,
+            # exactly as one solve_batch caller would have seen it.
+            for entry in live:
+                self._fail_future(entry.future, exc)
+            with self._cond:
+                self._stats.failed += len(live)
+                self._stats.batches += 1
+                self._stats.requests_batched += len(live)
+            return
+        elapsed = time.perf_counter() - start
+
+        with self._cond:
+            for entry, res in zip(live, result):
+                if self._seed_cache is not None and res.converged:
+                    self._seed_cache.record(chain, entry.target, res.q)
+                self._complete_future(entry.future, res)
+            stats = self._stats
+            stats.completed += len(live)
+            stats.batches += 1
+            stats.requests_batched += len(live)
+            stats.occupancy_peak = max(stats.occupancy_peak, len(live))
+            stats.coalesce_wait_s += sum(coalesce_waits)
+            stats.coalesce_wait_peak_s = max(
+                stats.coalesce_wait_peak_s, max(coalesce_waits)
+            )
+            stats.execute_s += elapsed
+        if tr.enabled:
+            tr.count("serve_batches")
+            tr.add_phase("serve_coalesce", sum(coalesce_waits))
+            tr.add_phase("serve_execute", elapsed)
+
+    def __repr__(self) -> str:
+        return (
+            f"IKServer(max_batch_size={self.config.max_batch_size}, "
+            f"max_wait_ms={self.config.max_wait_ms}, "
+            f"on_error={self.config.on_error!r}, "
+            f"queue_depth={self.queue_depth})"
+        )

@@ -46,7 +46,13 @@ __all__ = [
 #: (problems that ended without a usable solution), ``fallback_used``
 #: (solves that degraded past their primary solver), ``nonfinite_exits``
 #: (driver exits on a non-finite error), and ``watchdog_deadline`` /
-#: ``watchdog_diverged`` / ``watchdog_stalled`` (watchdog trips).
+#: ``watchdog_diverged`` / ``watchdog_stalled`` (watchdog trips).  The
+#: serving layer adds: ``serve_requests`` (admitted requests),
+#: ``serve_batches`` (executed micro-batches), ``serve_overloaded``
+#: (backpressure rejections), ``serve_deadline_expired`` (latency budgets
+#: expired at admission or in queue), and ``serve_cache_hits`` /
+#: ``serve_cache_misses`` (warm-start seed-cache lookups), plus the
+#: ``serve_coalesce`` / ``serve_execute`` phase timers.
 COUNTER_NAMES = (
     "fk_evaluations",
     "jacobian_builds",

@@ -1,0 +1,146 @@
+"""CLI smoke tests: argument parsing, exit codes, health-check paths.
+
+Every command runs through :func:`repro.cli.main` in-process (no
+subprocesses), on small robots with tight iteration caps so the whole
+module stays tier-1 fast.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParsing:
+    def test_missing_command_exits_2(self):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args([])
+        assert excinfo.value.code == 2
+
+    def test_unknown_command_exits_2(self):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["destroy"])
+        assert excinfo.value.code == 2
+
+    @pytest.mark.parametrize(
+        "argv", [
+            ["solve", "--solver", "not-a-solver"],
+            ["solve", "--kernel", "quantum"],
+            ["solve", "--on-error", "explode"],
+            ["solve", "--workers", "0"],
+            ["bench", "nonexistent-experiment"],
+            ["bench", "figure4", "--max-iterations", "-5"],
+            ["serve-bench", "--on-error", "explode"],
+            ["serve-bench", "--requests", "0"],
+        ],
+    )
+    def test_invalid_choice_exits_2(self, argv):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(argv)
+        assert excinfo.value.code == 2
+
+    def test_solve_flags_land_in_namespace(self):
+        args = build_parser().parse_args([
+            "solve", "--robot", "dadu-12dof", "--solver", "JT-DLS",
+            "--kernel", "vectorized", "--workers", "2",
+            "--on-error", "skip", "--max-iterations", "500",
+        ])
+        assert args.command == "solve"
+        assert args.robot == "dadu-12dof"
+        assert args.solver == "JT-DLS"
+        assert args.kernel == "vectorized"
+        assert args.workers == 2
+        assert args.on_error == "skip"
+        assert args.max_iterations == 500
+
+    def test_serve_bench_defaults(self):
+        args = build_parser().parse_args(["serve-bench"])
+        assert args.robot == "dadu-50dof"
+        assert args.out == "BENCH_serving.json"
+        assert args.on_error == "skip"
+        assert args.deadline_ms is None
+
+
+class TestSolve:
+    def test_converged_exits_0(self, capsys):
+        rc = main(["solve", "--robot", "dadu-12dof",
+                   "--max-iterations", "2000"])
+        assert rc == 0
+        assert "converged" in capsys.readouterr().out
+
+    def test_unconverged_exits_1(self):
+        assert main(["solve", "--robot", "dadu-12dof",
+                     "--max-iterations", "1"]) == 1
+
+    def test_vectorized_kernel(self):
+        rc = main(["solve", "--robot", "dadu-12dof", "--kernel", "vectorized",
+                   "--max-iterations", "2000"])
+        assert rc == 0
+
+    def test_on_error_skip_degrades_bad_target(self, capsys):
+        rc = main(["solve", "--robot", "dadu-12dof", "--on-error", "skip",
+                   "--target", "nan", "0", "0"])
+        assert rc == 1
+        assert "failures:" in capsys.readouterr().out
+
+    def test_workers_flag_runs_pooled_path(self):
+        rc = main(["solve", "--robot", "dadu-12dof", "--workers", "2",
+                   "--max-iterations", "2000"])
+        assert rc == 0
+
+
+class TestSimulateAndTrace:
+    def test_simulate_exits_0(self, capsys):
+        rc = main(["simulate", "--robot", "dadu-12dof",
+                   "--max-iterations", "2000"])
+        assert rc == 0
+        assert "cycle breakdown" in capsys.readouterr().out
+
+    def test_trace_renders_gantt(self, capsys):
+        assert main(["trace", "--robot", "dadu-12dof"]) == 0
+        assert "per-iteration latency" in capsys.readouterr().out
+
+
+class TestBench:
+    ARGS = ["bench", "figure4", "--targets", "1", "--dofs", "12"]
+
+    def test_experiment_exits_0(self, capsys):
+        rc = main(self.ARGS + ["--max-iterations", "400"])
+        assert rc == 0
+        assert "figure 4" in capsys.readouterr().out.lower()
+
+    def test_zero_converged_health_check_exits_1(self, capsys):
+        # An iteration cap of 1 converges nothing: the health check must
+        # turn "all solves failed" into a nonzero exit, not a quiet table.
+        rc = main(self.ARGS + ["--max-iterations", "1"])
+        assert rc == 1
+        assert "bench FAILED" in capsys.readouterr().err
+
+
+class TestServeBench:
+    def test_writes_payload_and_exits_0(self, tmp_path, capsys):
+        out = tmp_path / "bench.json"
+        rc = main([
+            "serve-bench", "--robot", "dadu-12dof", "--requests", "8",
+            "--rate", "200", "--max-batch-size", "4", "--max-wait-ms", "5",
+            "--max-iterations", "2000", "--out", str(out),
+        ])
+        assert rc == 0
+        assert "served 8/8" in capsys.readouterr().out
+        payload = json.loads(out.read_text())
+        assert payload["benchmark"] == "serving"
+        assert payload["completed"] == 8
+        assert payload["converged"] > 0
+        assert payload["serving"]["mean_occupancy"] >= 1.0
+        assert set(payload["latency_s"]) >= {"mean", "p50", "p90", "p99"}
+
+
+class TestRobots:
+    def test_lists_known_robots(self, capsys):
+        assert main(["robots"]) == 0
+        out = capsys.readouterr().out
+        assert "dadu-<N>dof" in out
+        assert "JT-Speculation" in out

@@ -1,0 +1,54 @@
+"""The golden-trace fixture must match what its regen script produces.
+
+``scripts/regen_golden_trace.py --check`` is the CI gate for fixture
+freshness; this tier runs the same comparison in-process (and the script
+end-to-end) so a stale committed fixture — or a script that drifts from the
+test module's workload — fails before review.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent.parent
+SCRIPT = REPO / "scripts" / "regen_golden_trace.py"
+
+
+def _load_script_module():
+    import importlib.util
+
+    spec = importlib.util.spec_from_file_location("regen_golden_trace", SCRIPT)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_committed_golden_matches_fresh_regeneration():
+    module = _load_script_module()
+    assert module.check() == 0
+
+
+def test_check_detects_injected_drift(tmp_path, monkeypatch):
+    module = _load_script_module()
+    # Point the script at a doctored copy of the fixture: one non-timing
+    # field changed must flip the exit code.
+    doctored = tmp_path / "golden_trace.jsonl"
+    text = module.GOLDEN.read_text(encoding="utf-8")
+    assert '"solver":"JT-Speculation"' in text
+    doctored.write_text(
+        text.replace('"solver":"JT-Speculation"', '"solver":"JT-Imposter"', 1),
+        encoding="utf-8",
+    )
+    monkeypatch.setattr(module, "GOLDEN", doctored)
+    assert module.check() == 1
+
+
+def test_script_check_mode_exits_0_end_to_end():
+    result = subprocess.run(
+        [sys.executable, str(SCRIPT), "--check"],
+        capture_output=True, text=True, cwd=REPO, timeout=300,
+    )
+    assert result.returncode == 0, result.stderr
+    assert "matches a fresh regeneration" in result.stdout

@@ -1,0 +1,122 @@
+"""Warm-start seed cache: nearest lookup, bounds, fingerprint invalidation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.kinematics.robots import named_robot
+from repro.serving import SeedCache, chain_fingerprint
+
+
+@pytest.fixture
+def chain():
+    return named_robot("planar-8dof")
+
+
+def _q(value: float, dof: int = 8) -> np.ndarray:
+    return np.full(dof, value)
+
+
+class TestFingerprint:
+    def test_identically_built_chains_share_fingerprint(self):
+        assert chain_fingerprint(named_robot("planar-8dof")) == \
+            chain_fingerprint(named_robot("planar-8dof"))
+
+    def test_different_geometry_differs(self):
+        assert chain_fingerprint(named_robot("planar-8dof")) != \
+            chain_fingerprint(named_robot("dadu-12dof"))
+
+    def test_in_place_mutation_changes_fingerprint(self, chain):
+        before = chain_fingerprint(chain)
+        chain._const[0, 0, 3] += 0.25  # lengthen one link in place
+        assert chain_fingerprint(chain) != before
+
+
+class TestLookup:
+    def test_miss_on_empty(self, chain):
+        cache = SeedCache()
+        assert cache.lookup(chain, np.zeros(3)) is None
+        assert cache.stats.misses == 1
+
+    def test_nearest_target_wins(self, chain):
+        cache = SeedCache()
+        cache.record(chain, [0.0, 0.0, 0.0], _q(0.0))
+        cache.record(chain, [1.0, 0.0, 0.0], _q(1.0))
+        got = cache.lookup(chain, [0.9, 0.0, 0.0])
+        np.testing.assert_array_equal(got, _q(1.0))
+        assert cache.stats.hits == 1 and cache.stats.records == 2
+
+    def test_lookup_returns_copy(self, chain):
+        cache = SeedCache()
+        cache.record(chain, np.zeros(3), _q(0.5))
+        got = cache.lookup(chain, np.zeros(3))
+        got[:] = 99.0
+        np.testing.assert_array_equal(cache.lookup(chain, np.zeros(3)), _q(0.5))
+
+    def test_max_distance_radius(self, chain):
+        cache = SeedCache(max_distance=0.1)
+        cache.record(chain, [0.0, 0.0, 0.0], _q(0.0))
+        assert cache.lookup(chain, [0.05, 0.0, 0.0]) is not None
+        assert cache.lookup(chain, [0.5, 0.0, 0.0]) is None
+
+    def test_mutated_chain_never_warm_starts_stale_geometry(self, chain):
+        cache = SeedCache()
+        cache.record(chain, np.zeros(3), _q(0.0))
+        assert cache.lookup(chain, np.zeros(3)) is not None
+        chain._theta_offset[0] += 0.1  # geometry changed under the cache
+        assert cache.lookup(chain, np.zeros(3)) is None
+
+
+class TestBounds:
+    def test_capacity_evicts_fifo(self, chain):
+        cache = SeedCache(capacity=2)
+        cache.record(chain, [0.0, 0.0, 0.0], _q(0.0))
+        cache.record(chain, [5.0, 0.0, 0.0], _q(5.0))
+        cache.record(chain, [9.0, 0.0, 0.0], _q(9.0))
+        assert len(cache) == 2
+        # The oldest entry is gone: its exact target now resolves to the
+        # nearest survivor.
+        np.testing.assert_array_equal(
+            cache.lookup(chain, [0.0, 0.0, 0.0]), _q(5.0)
+        )
+
+    def test_max_robots_evicts_least_recent(self):
+        cache = SeedCache(max_robots=1)
+        a, b = named_robot("planar-8dof"), named_robot("dadu-12dof")
+        cache.record(a, np.zeros(3), _q(1.0, 8))
+        cache.record(b, np.zeros(3), _q(2.0, 12))
+        assert cache.lookup(a, np.zeros(3)) is None
+        np.testing.assert_array_equal(cache.lookup(b, np.zeros(3)), _q(2.0, 12))
+
+    def test_invalidate_drops_entries_keeps_stats(self, chain):
+        cache = SeedCache()
+        cache.record(chain, np.zeros(3), _q(0.0))
+        cache.invalidate()
+        assert len(cache) == 0
+        assert cache.lookup(chain, np.zeros(3)) is None
+        assert cache.stats.records == 1
+
+    @pytest.mark.parametrize(
+        "kwargs", [
+            {"capacity": 0},
+            {"max_robots": 0},
+            {"max_distance": -1.0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            SeedCache(**kwargs)
+
+
+class TestStats:
+    def test_hit_rate(self, chain):
+        cache = SeedCache()
+        assert np.isnan(cache.stats.hit_rate)
+        cache.record(chain, np.zeros(3), _q(0.0))
+        cache.lookup(chain, np.zeros(3))
+        cache.lookup(named_robot("dadu-12dof"), np.zeros(3))
+        assert cache.stats.hit_rate == pytest.approx(0.5)
+        assert cache.stats.to_dict() == {
+            "hits": 1, "misses": 1, "records": 1, "hit_rate": 0.5,
+        }
