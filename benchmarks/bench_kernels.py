@@ -39,9 +39,16 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.core.result import SolverConfig
+from repro.execution import KernelSpec
 from repro.kinematics.robots import paper_chain
+from repro.solvers.batched import BatchedQuickIK
 
 DEFAULT_REPEATS = 7
+
+#: Engine-level solve workload: iteration cap for the 50-DOF batch solve
+#: (the paper tolerance converges well before this on reachable targets).
+ENGINE_MAX_ITERATIONS = 200
 
 
 def _best_of(fn, repeats: int, inner: int) -> float:
@@ -142,6 +149,46 @@ def run_kernel_bench(
         inner=10,
     )
 
+    # -- kernel matrix: the headline lock-step sweep across mode x dtype --
+    # Reference cost and oracle values are scalar/float64; float32 rows
+    # record their deviation from that oracle (the documented ~1e-7 m
+    # single-precision FK bound, see docs/performance.md).
+    oracle = scalar.end_positions_batch(lockstep)
+    scalar_f64_s = sections["candidate_sweep_lockstep"]["scalar_us"] / 1e6
+    kernel_matrix = {}
+    for mode in ("scalar", "vectorized"):
+        for dtype in ("float64", "float32"):
+            spec = KernelSpec(name=mode, dtype=dtype)
+            chain = spec.apply(scalar)
+            rows = lockstep.astype(chain.dtype, copy=False)
+            seconds = _best_of(
+                lambda: chain.end_positions_batch(rows), repeats, inner=3
+            )
+            kernel_matrix[spec.label] = {
+                "us": seconds * 1e6,
+                "speedup_vs_scalar_float64": scalar_f64_s / seconds,
+                "max_abs_deviation_vs_oracle": float(
+                    np.abs(
+                        chain.end_positions_batch(rows).astype(np.float64)
+                        - oracle
+                    ).max()
+                ),
+            }
+            print(
+                f"kernel_matrix {spec.label}: {seconds * 1e6:.1f} us "
+                f"({kernel_matrix[spec.label]['speedup_vs_scalar_float64']:.2f}x"
+                f" vs scalar/float64)"
+            )
+
+    # -- engine matrix: full lock-step Quick-IK solves, compaction x dtype --
+    # Engine solves are ~0.3 s each, so best-of can afford more repeats
+    # than the microbenchmark sections — the single noisy container CPU
+    # otherwise dominates the compaction deltas.
+    engine = _engine_bench(
+        dof=dof, batch=batch, speculations=speculations,
+        repeats=max(5, repeats), seed=seed,
+    )
+
     headline = sections["candidate_sweep_lockstep"]["speedup"]
     return {
         "benchmark": "kernel-speedup",
@@ -152,14 +199,92 @@ def run_kernel_bench(
         "repeats": repeats,
         "seed": seed,
         "headline_speedup": headline,
+        "engine_headline_speedup": engine["headline_speedup"],
         "sections": sections,
+        "kernel_matrix": kernel_matrix,
+        "engine": engine,
         "notes": (
             "best-of-repeats timings on the speculative-evaluation shapes of "
             "Quick-IK; candidate_sweep_lockstep (all B x Max rows of one "
             "lock-step iteration in one stacked call) is the >= 2x "
             "acceptance microbenchmark. max_abs_deviation is vectorized vs "
-            "the scalar oracle (conformance bound: 1e-12)."
+            "the scalar oracle (conformance bound: 1e-12). kernel_matrix "
+            "sweeps the same sweep across kernel mode x dtype; engine times "
+            "full lock-step Quick-IK batch solves across compaction x dtype "
+            "(engine_headline_speedup: compaction+float32 vs the plain "
+            "vectorized float64 engine, acceptance bar >= 1.3x)."
         ),
+    }
+
+
+def _engine_bench(
+    dof: int,
+    batch: int,
+    speculations: int,
+    repeats: int,
+    seed: int,
+    max_iterations: int = ENGINE_MAX_ITERATIONS,
+) -> dict:
+    """Time full lock-step Quick-IK batch solves across compaction x dtype.
+
+    The baseline case (``vectorized/float64, compaction=off``) is the
+    engine exactly as it ran before this PR; the combined case
+    (``vectorized/float32, compaction=on``) carries the acceptance bar.
+    All cases solve the identical seeded target set from identical q0
+    draws, so iteration counts are comparable across dtypes.
+    """
+    base = paper_chain(dof)
+    rng = np.random.default_rng(seed + 3)
+    targets = np.stack([
+        base.end_position(base.random_configuration(rng))
+        for _ in range(batch)
+    ])
+    config = SolverConfig(tolerance=1e-2, max_iterations=max_iterations)
+
+    cases = {}
+    for dtype in ("float64", "float32"):
+        for compaction in (False, True):
+            spec = KernelSpec(name="vectorized", dtype=dtype)
+            engine = BatchedQuickIK(
+                spec.apply(base), speculations=speculations,
+                config=config, compaction=compaction,
+            )
+
+            def run(engine=engine):
+                return engine.solve_batch(
+                    targets, rng=np.random.default_rng(seed + 4)
+                )
+
+            seconds = _best_of(run, repeats, inner=1)
+            result = run()
+            label = f"{spec.label}/compaction={'on' if compaction else 'off'}"
+            cases[label] = {
+                "seconds": seconds,
+                "per_solve_ms": seconds / batch * 1e3,
+                "converged": int(np.sum([r.converged for r in result])),
+                "mean_iterations": float(
+                    np.mean([r.iterations for r in result])
+                ),
+                "mean_error": float(np.mean([r.error for r in result])),
+            }
+            print(
+                f"engine {label}: {seconds * 1e3:.1f} ms "
+                f"({cases[label]['converged']}/{batch} converged, "
+                f"{cases[label]['mean_iterations']:.1f} mean iters)"
+            )
+
+    baseline = cases["vectorized/float64/compaction=off"]["seconds"]
+    combined = cases["vectorized/float32/compaction=on"]["seconds"]
+    return {
+        "workload": {
+            "dof": dof,
+            "batch": batch,
+            "speculations": speculations,
+            "tolerance": 1e-2,
+            "max_iterations": max_iterations,
+        },
+        "cases": cases,
+        "headline_speedup": baseline / combined,
     }
 
 
@@ -183,7 +308,10 @@ def main(argv: list[str] | None = None) -> int:
     Path(args.out).write_text(
         json.dumps(payload, indent=2) + "\n", encoding="utf-8"
     )
-    print(f"wrote {args.out} (headline {payload['headline_speedup']:.2f}x)")
+    print(
+        f"wrote {args.out} (kernel headline {payload['headline_speedup']:.2f}x,"
+        f" engine headline {payload['engine_headline_speedup']:.2f}x)"
+    )
     worst = max(
         s["max_abs_deviation"] for s in payload["sections"].values()
     )
@@ -203,6 +331,36 @@ def test_kernel_bench_smoke():
     for section in payload["sections"].values():
         assert section["max_abs_deviation"] <= 1e-12
         assert section["scalar_us"] > 0.0 and section["vectorized_us"] > 0.0
+    # The mode x dtype matrix: float64 rows match the oracle bit-for-bit
+    # territory (1e-12); float32 rows stay within the single-precision
+    # FK bound documented in docs/performance.md.
+    assert set(payload["kernel_matrix"]) == {
+        "scalar/float64", "vectorized/float64",
+        "scalar/float32", "vectorized/float32",
+    }
+    for label, row in payload["kernel_matrix"].items():
+        bound = 1e-12 if label.endswith("float64") else 1e-4
+        assert row["max_abs_deviation_vs_oracle"] <= bound, label
+        assert row["us"] > 0.0
+    # The engine matrix: every compaction x dtype case solved the batch.
+    cases = payload["engine"]["cases"]
+    assert set(cases) == {
+        "vectorized/float64/compaction=off",
+        "vectorized/float64/compaction=on",
+        "vectorized/float32/compaction=off",
+        "vectorized/float32/compaction=on",
+    }
+    batch = payload["engine"]["workload"]["batch"]
+    for label, case in cases.items():
+        assert case["seconds"] > 0.0, label
+        assert case["converged"] == batch, label
+    # Compaction must not change the math: identical convergence behaviour
+    # per dtype (bit-level identity is pinned by the conformance tier).
+    for dtype in ("float64", "float32"):
+        on = cases[f"vectorized/{dtype}/compaction=on"]
+        off = cases[f"vectorized/{dtype}/compaction=off"]
+        assert on["mean_iterations"] == off["mean_iterations"], dtype
+        assert on["mean_error"] == off["mean_error"], dtype
 
 
 if __name__ == "__main__":

@@ -28,6 +28,7 @@ from repro import api, telemetry
 from repro.api import serve, solve, solve_batch
 from repro.core import IKResult, QuickIKSolver, SolverConfig
 from repro.core.result import BatchResult
+from repro.execution import ExecutionOptions, KernelSpec
 from repro.kinematics import (
     PAPER_DOFS,
     KinematicChain,
@@ -65,6 +66,8 @@ __all__ = [
     "solve",
     "solve_batch",
     "BatchResult",
+    "ExecutionOptions",
+    "KernelSpec",
     "IKResult",
     "QuickIKSolver",
     "SolverConfig",

@@ -25,7 +25,10 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+from dataclasses import replace
+
 from repro.core.result import BatchResult, IKResult, SolverConfig
+from repro.execution import ExecutionOptions, KernelSpec
 from repro.kinematics.chain import KinematicChain
 from repro.kinematics.robots import named_robot
 from repro.solvers.registry import make_batch_solver, make_solver
@@ -56,13 +59,24 @@ def _resolve_config(
     config: SolverConfig | None,
     tolerance: float | None,
     max_iterations: int | None,
-    kernel: str | None = None,
+    kernel: "str | KernelSpec | None" = None,
 ) -> SolverConfig | None:
+    kernel = KernelSpec.coerce(kernel)
     if config is not None:
-        if tolerance is not None or max_iterations is not None or kernel is not None:
+        if tolerance is not None or max_iterations is not None:
             raise ValueError(
                 "pass either config or tolerance/max_iterations/kernel, not both"
             )
+        if kernel is not None:
+            # An explicit kernel (legacy kwarg or options.kernel) folds into
+            # a config that expressed no preference; two preferences clash.
+            if config.kernel is not None:
+                raise ValueError(
+                    "pass either config or tolerance/max_iterations/kernel, "
+                    "not both (config.kernel and kernel/options.kernel are "
+                    "both set)"
+                )
+            return replace(config, kernel=kernel)
         return config
     if tolerance is None and max_iterations is None and kernel is None:
         return None
@@ -103,7 +117,8 @@ def solve(
     restarts: int = 1,
     tracer: Tracer | None = None,
     resilience: "ResilienceConfig | bool | None" = None,
-    **options,
+    options: ExecutionOptions | None = None,
+    **solver_options,
 ) -> IKResult:
     """Solve one IK target.
 
@@ -119,11 +134,27 @@ def solve(
         Optional starting configuration; random when omitted.
     rng / seed:
         Randomness for the initial configuration (mutually exclusive).
-    config / tolerance / max_iterations / kernel:
+    config / tolerance / max_iterations:
         Convergence policy: a full :class:`SolverConfig`, or the common
-        fields directly (mutually exclusive with ``config``).  ``kernel``
-        selects the FK/Jacobian kernel mode (``"scalar"`` — the default
-        oracle — or ``"vectorized"``; see ``docs/performance.md``).
+        fields directly (mutually exclusive with ``config``).
+    options:
+        Typed execution policy (:class:`~repro.execution.ExecutionOptions`):
+        kernel spec (mode / dtype / chunk), resilience, and — for calls that
+        route through the batch path — ``workers`` / ``timeout`` /
+        ``on_error``.  The forward-compatible home for every knob below.
+    kernel / resilience:
+        Deprecated aliases for ``options.kernel`` / ``options.resilience``
+        (kept working; each emits one :class:`DeprecationWarning` per
+        process).  ``kernel`` selects the FK/Jacobian kernel mode
+        (``"scalar"`` — the default oracle — or ``"vectorized"``, optionally
+        with a dtype as ``"vectorized:float32"``; see
+        ``docs/performance.md``).  ``resilience`` opts into the resilient
+        pipeline: a :class:`~repro.resilience.ResilienceConfig` (or ``True``
+        for the stock policy) wraps the solver in a
+        :class:`~repro.resilience.ResilientSolver` — input guards, optional
+        watchdogs, and the registry fallback chain.  The call then never
+        raises for bad targets or failing attempts; the returned result's
+        ``status`` tells the story.  Mutually exclusive with ``restarts``.
     restarts:
         When > 1, wrap the solver in a
         :class:`~repro.solvers.restarts.RandomRestartSolver` with this
@@ -131,32 +162,41 @@ def solve(
     tracer:
         Telemetry sink (see :mod:`repro.telemetry`); defaults to the
         process-global tracer.
-    resilience:
-        Opt into the resilient pipeline: pass a
-        :class:`~repro.resilience.ResilienceConfig` (or ``True`` for the
-        stock policy) to wrap the solver in a
-        :class:`~repro.resilience.ResilientSolver` — input guards, optional
-        watchdogs, and the registry fallback chain.  The call then never
-        raises for bad targets or failing attempts; the returned result's
-        ``status`` tells the story.  Mutually exclusive with ``restarts``.
-    options:
+    solver_options:
         Per-solver options (e.g. ``speculations=64`` for Quick-IK); unknown
         ones raise ``TypeError`` naming the solver's accepted options.
     """
     chain = resolve_robot(robot)
+    opts = ExecutionOptions.from_legacy(
+        options, "api.solve",
+        kernel=kernel,
+        resilience=resilience if resilience not in (None, False) else None,
+    )
+    if opts.workers is not None or opts.on_error != "raise" or opts.timeout is not None:
+        # Sharding / failure-policy fields only make sense through the batch
+        # machinery: route the single target through solve_batch and unwrap.
+        if restarts > 1:
+            raise ValueError(
+                "restarts does not combine with workers/on_error/timeout"
+            )
+        batch = solve_batch(
+            chain, np.atleast_2d(np.asarray(target, dtype=float)), solver,
+            q0=q0, rng=rng, seed=seed, config=config, tolerance=tolerance,
+            max_iterations=max_iterations, tracer=tracer, options=opts,
+            **solver_options,
+        )
+        return batch[0]
     ik = make_solver(
         solver, chain,
-        config=_resolve_config(config, tolerance, max_iterations, kernel),
-        **options,
+        config=_resolve_config(config, tolerance, max_iterations, opts.kernel),
+        **solver_options,
     )
-    if resilience is not None and resilience is not False:
+    res_cfg = opts.resolved_resilience()
+    if res_cfg is not None:
         if restarts > 1:
             raise ValueError("pass either restarts or resilience, not both")
-        from repro.resilience import ResilienceConfig, ResilientSolver
+        from repro.resilience import ResilientSolver
 
-        res_cfg = (
-            ResilienceConfig() if resilience is True else resilience
-        )
         ik = ResilientSolver(
             chain, primary=ik, config=ik.config, resilience=res_cfg
         )
@@ -180,9 +220,10 @@ def solve_batch(
     tracer: Tracer | None = None,
     workers: int | None = None,
     timeout: float | None = None,
-    on_error: str = "raise",
+    on_error: str | None = None,
     resilience: "ResilienceConfig | None" = None,
-    **options,
+    options: ExecutionOptions | None = None,
+    **solver_options,
 ) -> BatchResult:
     """Solve a batch of IK targets; returns a :class:`BatchResult`.
 
@@ -190,6 +231,14 @@ def solve_batch(
     Solvers with a lock-step engine in ``BATCH_REGISTRY`` (Quick-IK,
     JT-Serial) advance all unconverged problems simultaneously; every other
     ``SOLVER_REGISTRY`` name solves per target through the shared driver.
+
+    ``options`` is the typed execution policy
+    (:class:`~repro.execution.ExecutionOptions`) bundling the kernel spec
+    (mode / dtype / chunk), sharding, failure policy, and the lock-step
+    engines' active-set ``compaction`` toggle.  The individual keywords
+    below keep working as deprecated aliases (one
+    :class:`DeprecationWarning` per keyword per process) and are mutually
+    exclusive with ``options``:
 
     ``workers`` shards the batch across that many subprocesses
     (:mod:`repro.parallel`); results are bit-identical for any worker count
@@ -208,12 +257,16 @@ def solve_batch(
     through the sharded path (``workers=1`` inline when unset).
     """
     chain = resolve_robot(robot)
+    opts = ExecutionOptions.from_legacy(
+        options, "api.solve_batch",
+        kernel=kernel, workers=workers, timeout=timeout,
+        on_error=on_error, resilience=resilience,
+    )
     engine = make_batch_solver(
         solver, chain,
-        config=_resolve_config(config, tolerance, max_iterations, kernel),
-        workers=workers, timeout=timeout,
-        on_error=on_error, resilience=resilience,
-        **options,
+        config=_resolve_config(config, tolerance, max_iterations, opts.kernel),
+        options=opts.merged(kernel=None),
+        **solver_options,
     )
     return engine.solve_batch(
         targets, q0=q0, rng=_resolve_rng(rng, seed), tracer=tracer

@@ -20,6 +20,7 @@ import sys
 import numpy as np
 
 from repro.core.result import SolverConfig
+from repro.execution import KERNEL_DTYPES, ExecutionOptions, KernelSpec
 from repro.kinematics.kernels import KERNEL_MODES
 from repro.kinematics.robots import ROBOT_NAMES, named_robot
 from repro.solvers import (
@@ -60,6 +61,16 @@ def build_parser() -> argparse.ArgumentParser:
                        help="FK/Jacobian kernel mode (default: the chain's, "
                             "i.e. scalar; see docs/performance.md)")
 
+    def add_kernel_axes(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--dtype", default=None, choices=list(KERNEL_DTYPES),
+                       help="kernel floating-point precision (default: the "
+                            "chain's, i.e. float64; float32 trades ~1e-7 m "
+                            "of FK accuracy for bandwidth — see "
+                            "docs/performance.md)")
+        p.add_argument("--chunk", type=_positive_int, default=None,
+                       help="FK rows per chunked sweep in the lock-step "
+                            "engines (default: per-kernel)")
+
     def add_telemetry(p: argparse.ArgumentParser) -> None:
         p.add_argument("--trace-out", metavar="PATH",
                        help="write a JSONL telemetry trace of every solve")
@@ -74,6 +85,7 @@ def build_parser() -> argparse.ArgumentParser:
         + describe_solver_options(),
     )
     add_common(solve)
+    add_kernel_axes(solve)
     add_telemetry(solve)
     solve.add_argument("--solver", default="JT-Speculation",
                        choices=sorted(SOLVER_REGISTRY))
@@ -125,6 +137,7 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--kernel", default=None, choices=list(KERNEL_MODES),
                        help="FK/Jacobian kernel mode for the evaluation "
                             "chains (default: scalar)")
+    add_kernel_axes(bench)
     add_telemetry(bench)
 
     serve_bench = sub.add_parser(
@@ -153,6 +166,12 @@ def build_parser() -> argparse.ArgumentParser:
     serve_bench.add_argument("--kernel", default=None,
                              choices=list(KERNEL_MODES),
                              help="FK/Jacobian kernel mode for served solves")
+    add_kernel_axes(serve_bench)
+    serve_bench.add_argument("--compaction", default="auto",
+                             choices=["auto", "on", "off"],
+                             help="lock-step active-set compaction for "
+                                  "served batches (auto: on; off keeps the "
+                                  "gather/scatter-per-iteration layout)")
     serve_bench.add_argument("--on-error", default="skip",
                              choices=["raise", "skip", "fallback"],
                              help="per-batch failure policy (serving default: "
@@ -176,6 +195,17 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("robots", help="list available robots")
     return parser
+
+
+def _kernel_spec(args) -> KernelSpec | None:
+    """One :class:`KernelSpec` from ``--kernel`` / ``--dtype`` / ``--chunk``
+    (``None`` when no axis was pinned: inherit the chain's defaults)."""
+    name = getattr(args, "kernel", None)
+    dtype = getattr(args, "dtype", None)
+    chunk = getattr(args, "chunk", None)
+    if name is None and dtype is None and chunk is None:
+        return None
+    return KernelSpec(name=name, dtype=dtype, chunk=chunk)
 
 
 def _resolve_target(chain, args) -> np.ndarray:
@@ -246,7 +276,7 @@ class _TelemetryOutputs:
 def _cmd_solve(args) -> int:
     chain = named_robot(args.robot)
     config = SolverConfig(tolerance=args.tolerance, max_iterations=args.max_iterations,
-                          kernel=args.kernel)
+                          kernel=_kernel_spec(args))
     kwargs = {"speculations": args.speculations} if args.solver == "JT-Speculation" else {}
     kwargs.update(_parse_solver_opts(args.opt))
     solver = make_solver(args.solver, chain, config=config, **kwargs)
@@ -388,8 +418,11 @@ def _cmd_bench(args) -> int:
 
     dofs = tuple(int(d) for d in args.dofs.split(",")) if args.dofs else None
     suite = EvaluationSuite(
-        dofs=dofs, targets_per_dof=args.targets, workers=args.workers,
-        kernel=args.kernel,
+        dofs=dofs, targets_per_dof=args.targets,
+        options=ExecutionOptions(
+            kernel=_kernel_spec(args),
+            workers=None if args.workers == 1 else args.workers,
+        ),
     )
     experiments = PaperExperiments(suite=suite, max_iterations=args.max_iterations)
 
@@ -438,6 +471,11 @@ def _cmd_serve_bench(args) -> int:
         max_wait_ms=args.max_wait_ms,
         workers=args.workers,
         kernel=args.kernel,
+        dtype=args.dtype,
+        chunk=args.chunk,
+        compaction=(
+            None if args.compaction == "auto" else args.compaction == "on"
+        ),
         on_error=args.on_error,
         tolerance=args.tolerance,
         max_iterations=args.max_iterations,

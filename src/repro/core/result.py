@@ -18,6 +18,7 @@ from typing import TYPE_CHECKING, Any, Iterator
 import numpy as np
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (annotations only)
+    from repro.execution import KernelSpec
     from repro.resilience.watchdogs import WatchdogConfig
 
 __all__ = ["SolverConfig", "StepOutcome", "IKResult", "BatchResult"]
@@ -51,11 +52,13 @@ class SolverConfig:
         typed early exit on ``IKResult.status``.  ``None`` (the default)
         costs the hot loop a single ``is not None`` check per solve.
     kernel:
-        FK/Jacobian kernel mode (see :mod:`repro.kinematics.kernels`):
-        ``"scalar"`` pins the original link-by-link loops, ``"vectorized"``
-        the stacked-matmul fast path.  ``None`` (the default) inherits
-        whatever kernel the chain was built with, which is scalar unless
-        the caller opted in.
+        FK/Jacobian kernel selection (see :mod:`repro.kinematics.kernels`):
+        a mode name (``"scalar"`` pins the original link-by-link loops,
+        ``"vectorized"`` the stacked-matmul fast path), a ``"mode:dtype"``
+        shorthand, or a full :class:`~repro.execution.KernelSpec` pinning
+        mode, dtype and chunk size.  ``None`` (the default) inherits
+        whatever kernel the chain was built with, which is scalar/float64
+        unless the caller opted in.
     """
 
     tolerance: float = DEFAULT_TOLERANCE
@@ -63,17 +66,24 @@ class SolverConfig:
     record_history: bool = True
     respect_limits: bool = False
     watchdog: "WatchdogConfig | None" = None
-    kernel: str | None = None
+    kernel: "str | KernelSpec | None" = None
 
     def __post_init__(self) -> None:
         if self.tolerance <= 0.0:
             raise ValueError("tolerance must be positive")
         if self.max_iterations < 1:
             raise ValueError("max_iterations must be >= 1")
-        if self.kernel is not None:
-            from repro.kinematics.kernels import resolve_kernel_mode
+        self.kernel_spec  # validates the mode/dtype eagerly
 
-            resolve_kernel_mode(self.kernel)
+    @property
+    def kernel_spec(self) -> "KernelSpec | None":
+        """``kernel`` normalised to a :class:`~repro.execution.KernelSpec`
+        (``None`` when no kernel preference is set)."""
+        if self.kernel is None:
+            return None
+        from repro.execution import KernelSpec
+
+        return KernelSpec.coerce(self.kernel)
 
 
 @dataclass

@@ -20,6 +20,7 @@ from repro.core.quick_ik import QuickIKSolver
 from repro.core.result import SolverConfig
 from repro.evaluation import paper_data
 from repro.evaluation.tables import TableResult
+from repro.execution import ExecutionOptions
 from repro.ikacc.accelerator import IKAccRunResult
 from repro.ikacc.config import IKAccConfig
 from repro.platforms.atom import AtomModel
@@ -59,7 +60,9 @@ class PaperExperiments:
         workers: int = 1,
         max_iterations: int | None = None,
     ) -> None:
-        self.suite = suite or EvaluationSuite(workers=workers)
+        self.suite = suite or EvaluationSuite(options=ExecutionOptions(
+            workers=None if workers == 1 else workers,
+        ))
         self.speculations = speculations
         self.solver_config = SolverConfig(
             tolerance=paper_data.ACCURACY_M,

@@ -42,6 +42,7 @@ from typing import Any
 import numpy as np
 
 from repro.core.result import BatchResult, IKResult
+from repro.execution import ON_ERROR_MODES
 from repro.parallel.sharding import (
     resolve_batch_q0,
     shard_slices,
@@ -72,9 +73,6 @@ __all__ = [
 #: Pool start method preference: ``fork`` (cheap, inherits the loaded numpy)
 #: where the platform offers it, else the platform default.
 _PREFERRED_START = "fork"
-
-#: Accepted ``on_error`` policies for a sharded batch.
-ON_ERROR_MODES = ("raise", "skip", "fallback")
 
 #: Per-problem retry budget (seconds) when a failed shard degrades in
 #: ``on_error="fallback"`` mode and neither ``retry_timeout`` nor ``timeout``

@@ -26,6 +26,7 @@ from typing import Any
 import numpy as np
 
 from repro.api import resolve_robot
+from repro.execution import ExecutionOptions, KernelSpec
 from repro.serving.request import Overloaded, ServingRejected, SolveRequest
 from repro.serving.server import IKServer, ServerConfig
 from repro.telemetry.sinks import percentile
@@ -53,6 +54,9 @@ def run_serve_bench(
     max_queue: int = 4096,
     workers: int | None = None,
     kernel: str | None = None,
+    dtype: str | None = None,
+    chunk: int | None = None,
+    compaction: bool | None = None,
     on_error: str = "skip",
     tolerance: float | None = None,
     max_iterations: int | None = None,
@@ -73,12 +77,28 @@ def run_serve_bench(
     # Poisson arrivals at the offered rate, fixed before the run starts.
     arrivals = np.cumsum(rng.exponential(1.0 / rate_hz, size=requests))
 
+    base = KernelSpec.coerce(kernel)
+    if dtype is not None or chunk is not None:
+        base = KernelSpec(
+            name=base.name if base is not None else None,
+            dtype=dtype if dtype is not None else (
+                base.dtype if base is not None else None
+            ),
+            chunk=chunk if chunk is not None else (
+                base.chunk if base is not None else None
+            ),
+        )
+    options = ExecutionOptions(
+        kernel=base,
+        workers=workers,
+        on_error=on_error,
+        compaction=compaction,
+    )
     server = IKServer(ServerConfig(
         max_batch_size=max_batch_size,
         max_wait_ms=max_wait_ms,
         max_queue=max_queue,
-        workers=workers,
-        on_error=on_error,
+        options=options,
         warm_start=warm_start,
     ))
     inflight: list[tuple[int, float, Any]] = []  # (index, scheduled_t, future)
@@ -104,7 +124,6 @@ def run_serve_bench(
                 seed=seed + 1 + i,
                 tolerance=tolerance,
                 max_iterations=max_iterations,
-                kernel=kernel,
                 deadline_s=deadline_s,
             )
             try:
@@ -151,6 +170,9 @@ def run_serve_bench(
             "max_queue": max_queue,
             "workers": workers,
             "kernel": kernel,
+            "dtype": dtype,
+            "chunk": chunk,
+            "compaction": compaction,
             "on_error": on_error,
             "warm_start": warm_start,
             "tolerance": tolerance,

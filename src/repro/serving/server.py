@@ -41,6 +41,7 @@ from typing import Any
 import numpy as np
 
 from repro.api import _resolve_config, resolve_robot
+from repro.execution import ExecutionOptions
 from repro.kinematics.chain import KinematicChain
 from repro.parallel.pool import ON_ERROR_MODES
 from repro.serving.batcher import GroupKey, MicroBatch, MicroBatcher, PendingEntry
@@ -75,12 +76,22 @@ class ServerConfig:
         Backpressure bound: admitted-but-unflushed requests across all
         groups; submissions beyond it raise
         :class:`~repro.serving.request.Overloaded`.
+    options:
+        Typed execution policy (:class:`~repro.execution.ExecutionOptions`)
+        forwarded to :func:`repro.api.solve_batch` for every micro-batch —
+        the forward-compatible home for ``workers`` / ``timeout`` /
+        ``on_error`` plus the kernel spec (mode / dtype / chunk) and the
+        lock-step ``compaction`` toggle.  When set, the individual
+        ``workers`` / ``timeout`` / ``on_error`` fields must be left at
+        their defaults, and ``options.on_error`` governs verbatim (note
+        its default is ``"raise"``, not the serving-flavoured ``"skip"``
+        below — set it explicitly when building options by hand).
     workers / timeout / on_error:
-        Forwarded verbatim to :func:`repro.api.solve_batch` for every
-        micro-batch, inheriting the PR-2 sharding and PR-3 resilience
-        semantics.  The serving default is ``on_error="skip"``: one bad
-        request degrades into a typed placeholder result instead of
-        poisoning its batch-mates with an exception.
+        Legacy form of the same policy, kept working: when ``options`` is
+        not given these build it.  The serving default is
+        ``on_error="skip"``: one bad request degrades into a typed
+        placeholder result instead of poisoning its batch-mates with an
+        exception.
     warm_start:
         Server-wide default for the warm-start seed cache (requests can
         override per call).  Off by default, preserving request-level
@@ -102,6 +113,7 @@ class ServerConfig:
     warm_start: bool = False
     seed_cache_capacity: int = 256
     warm_start_max_distance: float | None = None
+    options: "ExecutionOptions | None" = None
 
     def __post_init__(self) -> None:
         if self.max_batch_size < 1:
@@ -118,6 +130,34 @@ class ServerConfig:
             )
         if self.seed_cache_capacity < 0:
             raise ValueError("seed_cache_capacity must be >= 0")
+        if self.options is None:
+            # Legacy form: normalise the individual fields into the typed
+            # policy once, so the execute path has a single source of truth.
+            object.__setattr__(self, "options", ExecutionOptions(
+                workers=self.workers,
+                timeout=self.timeout,
+                on_error=self.on_error,
+            ))
+        else:
+            if not isinstance(self.options, ExecutionOptions):
+                raise TypeError(
+                    "options must be ExecutionOptions, got "
+                    f"{type(self.options).__name__}"
+                )
+            if (
+                self.workers is not None
+                or self.timeout is not None
+                or self.on_error != "skip"
+            ):
+                raise ValueError(
+                    "pass either options= or workers/timeout/on_error, "
+                    "not both"
+                )
+            # Mirror the typed policy into the legacy fields so existing
+            # readers (repr, bench payloads) stay truthful.
+            object.__setattr__(self, "workers", self.options.workers)
+            object.__setattr__(self, "timeout", self.options.timeout)
+            object.__setattr__(self, "on_error", self.options.on_error)
 
 
 @dataclass
@@ -488,9 +528,7 @@ class IKServer:
                 batch.key.solver,
                 q0=q0,
                 config=batch.key.config_key,
-                workers=self.config.workers,
-                timeout=self.config.timeout,
-                on_error=self.config.on_error,
+                options=self.config.options,
                 tracer=tr,
                 **live[0].request.options,
             )

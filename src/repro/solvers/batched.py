@@ -9,6 +9,21 @@ the serial methods (~5x for JT-Serial, whose scalar loop is thousands of tiny
 numpy calls); Quick-IK itself gains only modestly because its inner loop is
 already a 64-wide batch.
 
+**Active-set compaction.**  Problems converge at different iterations, so
+the set of live rows shrinks as the batch drains.  With compaction (the
+default), the engine keeps the survivors' state — configurations, positions,
+targets, errors — in dense blocks maintained across iterations: a retiring
+row is scattered back into the full result arrays exactly once, at
+retirement, and every sweep touches only survivor rows.  Without compaction
+the engine re-gathers ``qs[active]`` / ``targets[active]`` /
+``positions[active]`` from the full arrays and scatters the results back
+*every* iteration — the historical layout, kept selectable
+(``compaction=False`` / ``ExecutionOptions(compaction=False)``) as the A/B
+baseline.  Both layouts feed bit-identical inputs to bit-identical numpy
+ops, so results are bit-for-bit equal (the conformance tier in
+``tests/conformance/test_compaction.py`` pins this at 12-75 DOF); the win
+is the eliminated gather/scatter traffic on late, sparse iterations.
+
 The per-problem semantics match :class:`~repro.core.quick_ik.QuickIKSolver`
 precisely: Buss base step (Eq. 8) with the same degenerate-case fallback, the
 Eq. 9 schedule, first-below-threshold-else-argmin candidate selection, and
@@ -32,7 +47,12 @@ from repro.core.alpha import FALLBACK_ALPHA
 from repro.core.result import BatchResult, IKResult, SolverConfig
 from repro.telemetry.tracer import Tracer, get_tracer
 
-__all__ = ["BatchedQuickIK", "BatchedJacobianTranspose", "LockStepEngine"]
+__all__ = [
+    "ActiveSet",
+    "BatchedQuickIK",
+    "BatchedJacobianTranspose",
+    "LockStepEngine",
+]
 
 #: FK rows evaluated per chunk on the scalar kernel.  Small enough that one
 #: chunk's transform stack (``chunk x N`` 4x4 matrices) stays cache-resident
@@ -46,14 +66,69 @@ DEFAULT_CHUNK = 128
 VECTORIZED_CHUNK = 8192
 
 
+class ActiveSet:
+    """Index bookkeeping for the compacted lock-step working set.
+
+    Tracks which full-array rows the dense survivor blocks correspond to,
+    and implements the two primitives the loop needs:
+
+    * :meth:`scatter` — write masked compact rows back into their
+      full-size arrays (a row retires exactly once);
+    * :meth:`compact` — drop retired rows from the index *and* from any
+      number of dense blocks, keeping everything aligned.
+
+    The gather/scatter round-trip invariant (maintained blocks == fancy
+    indexing the full arrays every step) is property-tested in
+    ``tests/property/test_compaction_properties.py``.
+    """
+
+    def __init__(self, indices: np.ndarray) -> None:
+        self.indices = np.asarray(indices, dtype=np.intp)
+
+    @property
+    def size(self) -> int:
+        """Number of live rows."""
+        return int(self.indices.size)
+
+    def gather(self, *fulls: np.ndarray) -> tuple[np.ndarray, ...]:
+        """Dense copies of the live rows of each full array."""
+        return tuple(full[self.indices] for full in fulls)
+
+    def scatter(
+        self,
+        mask: np.ndarray,
+        pairs: "tuple[tuple[np.ndarray, np.ndarray], ...]",
+    ) -> None:
+        """For each ``(block, full)`` pair, write ``block``'s masked rows
+        into ``full`` at their home positions."""
+        rows = self.indices[mask]
+        for block, full in pairs:
+            full[rows] = block[mask]
+
+    def compact(
+        self, keep: np.ndarray, *blocks: np.ndarray
+    ) -> tuple[np.ndarray, ...]:
+        """Drop rows where ``keep`` is false; returns the filtered blocks."""
+        self.indices = self.indices[keep]
+        return tuple(block[keep] for block in blocks)
+
+
 class LockStepEngine:
     """Shared scaffolding for the lock-step batch engines.
 
     Owns the pieces both engines repeat verbatim: target/``q0`` validation
-    and broadcast, chunked batched FK, tracer resolution, and assembling the
+    and broadcast, chunked batched FK, active-set tracking (compacted or
+    gather/scatter-per-iteration), tracer resolution, and assembling the
     per-problem :class:`IKResult` list into a :class:`BatchResult`.
-    Subclasses implement one lock-step iteration over the active rows in
-    :meth:`_advance` and set :attr:`name` / :attr:`speculations`.
+    Subclasses implement one lock-step iteration over a dense survivor block
+    in :meth:`_advance_dense` and set :attr:`name` / :attr:`speculations`.
+
+    ``config.kernel`` may be a kernel-mode name or a full
+    :class:`~repro.execution.KernelSpec`; a spec's dtype re-materialises the
+    chain (e.g. to float32) and its chunk overrides the per-kernel default
+    unless an explicit ``chunk`` argument is given.  All engine state
+    (configurations, positions, errors, targets) is kept in the chain's
+    dtype so a float32 sweep never round-trips through float64.
     """
 
     name = "lock-step"
@@ -66,13 +141,13 @@ class LockStepEngine:
         chain,
         config: SolverConfig | None = None,
         chunk: int | None = None,
+        compaction: bool | None = None,
     ) -> None:
         self.config = config or SolverConfig()
-        self.chain = (
-            chain.with_kernel(self.config.kernel)
-            if self.config.kernel is not None
-            else chain
-        )
+        spec = self.config.kernel_spec
+        self.chain = spec.apply(chain) if spec is not None else chain
+        if chunk is None and spec is not None:
+            chunk = spec.chunk
         if chunk is None:
             chunk = (
                 VECTORIZED_CHUNK
@@ -82,6 +157,8 @@ class LockStepEngine:
         if chunk < 1:
             raise ValueError("chunk must be >= 1")
         self.chunk = int(chunk)
+        #: Active-set layout: ``None`` (auto) enables compaction.
+        self.compaction = True if compaction is None else bool(compaction)
 
     def _fk_chunked(self, qs: np.ndarray) -> np.ndarray:
         if qs.shape[0] <= self.chunk:
@@ -99,31 +176,35 @@ class LockStepEngine:
         rng: np.random.Generator | None,
     ) -> np.ndarray:
         dof = self.chain.dof
+        dtype = self.chain.dtype
         if q0 is None:
             if rng is None:
                 rng = np.random.default_rng()
+            # Draw in float64 first so a float32 engine consumes the same
+            # random stream (and hence the same starting points) as the
+            # float64 oracle under one seed, then cast once.
             return np.stack(
                 [self.chain.random_configuration(rng) for _ in range(m)]
-            )
-        q0 = np.asarray(q0, dtype=float)
+            ).astype(dtype, copy=False)
+        q0 = np.asarray(q0, dtype=dtype)
         qs = np.tile(q0, (m, 1)) if q0.ndim == 1 else q0.copy()
         if qs.shape != (m, dof):
             raise ValueError(f"q0 must broadcast to ({m}, {dof})")
         return qs
 
-    def _advance(
+    def _advance_dense(
         self,
-        active: np.ndarray,
-        qs: np.ndarray,
-        positions: np.ndarray,
-        errors: np.ndarray,
-        targets: np.ndarray,
+        q_c: np.ndarray,
+        p_c: np.ndarray,
+        t_c: np.ndarray,
         tracer: Tracer,
-    ) -> int:
-        """One lock-step iteration over ``active`` rows (updates in place).
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, int]:
+        """One lock-step iteration over a dense block of survivor rows.
 
-        Returns the FK evaluations charged to each active problem this
-        iteration.
+        ``q_c`` / ``p_c`` / ``t_c`` are the configurations, end positions
+        and targets of the live rows (aligned, C-contiguous).  Returns the
+        new ``(q, position, error)`` blocks plus the FK evaluations charged
+        to each row this iteration.
         """
         raise NotImplementedError
 
@@ -141,7 +222,8 @@ class LockStepEngine:
         defaults to the process-global tracer.
         """
         start_time = time.perf_counter()
-        targets = np.atleast_2d(np.asarray(targets, dtype=float))
+        dtype = self.chain.dtype
+        targets = np.atleast_2d(np.asarray(targets, dtype=dtype))
         if targets.shape[1] != 3:
             raise ValueError("targets must have shape (M, 3)")
         m = targets.shape[0]
@@ -149,59 +231,100 @@ class LockStepEngine:
 
         tr = tracer if tracer is not None else get_tracer()
         traced = tr.enabled
+        gauge = getattr(tr, "gauge", None) if traced else None
         tolerance = self.config.tolerance
         positions = self._fk_chunked(qs)
         errors = np.linalg.norm(targets - positions, axis=1)
         iterations = np.zeros(m, dtype=int)
         fk_evaluations = np.ones(m, dtype=int)
         nonfinite = np.zeros(m, dtype=bool)
-        active = np.flatnonzero(errors >= tolerance)
         if traced:
             tr.solve_start(self.name, self.chain.dof, batch=m,
                            speculations=self.speculations,
-                           kernel=self.chain.kernel)
+                           kernel=self.chain.kernel,
+                           dtype=dtype.name,
+                           compaction=self.compaction)
             tr.count("fk_evaluations", m)
+
+        active = ActiveSet(np.flatnonzero(errors >= tolerance))
+        q_c, p_c, t_c = active.gather(qs, positions, targets)
+        e_c = errors[active.indices]
 
         outer = 0
         while active.size and outer < self.config.max_iterations:
             outer += 1
-            fk_per_problem = self._advance(
-                active, qs, positions, errors, targets, tr
+            if not self.compaction:
+                # Historical layout: re-gather the survivors from the full
+                # arrays every iteration (and scatter back below).  Kept as
+                # the A/B baseline for the compaction conformance tier.
+                q_c, p_c, t_c = active.gather(qs, positions, targets)
+            q_c, p_c, e_c, fk_per_problem = self._advance_dense(
+                q_c, p_c, t_c, tr
             )
-            iterations[active] += 1
-            fk_evaluations[active] += fk_per_problem
+            idx = active.indices
+            n_active = idx.size
+            iterations[idx] += 1
+            fk_evaluations[idx] += fk_per_problem
             if traced:
-                tr.count("fk_evaluations", fk_per_problem * active.size)
-                tr.count("jacobian_builds", active.size)
-                tr.count("candidate_evaluations", self.speculations * active.size)
+                tr.count("fk_evaluations", fk_per_problem * n_active)
+                tr.count("jacobian_builds", n_active)
+                tr.count("candidate_evaluations", self.speculations * n_active)
                 tr.iteration(
                     outer,
-                    float(errors[active].max()),
-                    active=int(active.size),
-                    fk_evaluations=int(fk_per_problem * active.size),
+                    float(e_c.max()),
+                    active=int(n_active),
+                    fk_evaluations=int(fk_per_problem * n_active),
                 )
-            err_act = errors[active]
-            finite = np.isfinite(err_act)
+                if gauge is not None:
+                    gauge("active_rows", int(n_active), iteration=outer)
+                if self.compaction:
+                    # Candidate rows the dense sweep did not have to touch
+                    # (relative to this batch's naive B x Max grid).
+                    tr.count(
+                        "compaction_savings",
+                        self.speculations * (m - int(n_active)),
+                    )
+            finite = np.isfinite(e_c)
             if not finite.all():
                 # Mirror of the scalar driver's non-finite guard: a NaN row
                 # would silently drop out of the comparison below, and a +inf
                 # row would burn the whole iteration budget.  Deactivate both
                 # with a typed status instead.
-                nonfinite[active[~finite]] = True
+                nonfinite[idx[~finite]] = True
                 if traced:
                     tr.count("nonfinite_exits", int((~finite).sum()))
-                active = active[finite]
-                err_act = errors[active]
-            active = active[err_act >= tolerance]
+            keep = finite & (e_c >= tolerance)
+            if self.compaction:
+                dead = ~keep
+                if dead.any():
+                    active.scatter(
+                        dead, ((q_c, qs), (p_c, positions), (e_c, errors))
+                    )
+                    q_c, p_c, t_c, e_c = active.compact(
+                        keep, q_c, p_c, t_c, e_c
+                    )
+                # else: no row retired — the blocks are already dense and
+                # aligned, so the iteration carries zero gather/scatter cost.
+            else:
+                qs[idx] = q_c
+                positions[idx] = p_c
+                errors[idx] = e_c
+                active.indices = idx[keep]
+        if self.compaction and active.size:
+            # Iteration budget exhausted with live rows: flush their state.
+            active.scatter(
+                np.ones(active.size, dtype=bool),
+                ((q_c, qs), (p_c, positions), (e_c, errors)),
+            )
 
         elapsed = time.perf_counter() - start_time
         results = [
             IKResult(
-                q=qs[i].copy(),
+                q=np.array(qs[i], dtype=float),
                 converged=bool(errors[i] < tolerance),
                 iterations=int(iterations[i]),
                 error=float(errors[i]),
-                target=targets[i].copy(),
+                target=np.array(targets[i], dtype=float),
                 solver=self.name,
                 dof=self.chain.dof,
                 speculations=self.speculations,
@@ -236,7 +359,8 @@ class BatchedQuickIK(LockStepEngine):
     """Lock-step Quick-IK over a batch of targets.
 
     Parameters mirror :class:`~repro.core.quick_ik.QuickIKSolver` (linear
-    schedule only — the paper's Eq. 9).  ``chunk`` bounds the FK batch size.
+    schedule only — the paper's Eq. 9).  ``chunk`` bounds the FK batch size;
+    ``compaction`` selects the active-set layout (default on).
     """
 
     name = "JT-Speculation-batched"
@@ -247,29 +371,34 @@ class BatchedQuickIK(LockStepEngine):
         speculations: int = 64,
         config: SolverConfig | None = None,
         chunk: int | None = None,
+        compaction: bool | None = None,
     ) -> None:
-        super().__init__(chain, config=config, chunk=chunk)
+        super().__init__(chain, config=config, chunk=chunk, compaction=compaction)
         if speculations < 1:
             raise ValueError("speculations must be >= 1")
         self.speculations = int(speculations)
-        self._ks = np.arange(1, self.speculations + 1) / self.speculations
+        # Eq. 9 schedule in the engine dtype: under NEP 50 a float64 ks
+        # grid would silently upcast a float32 candidate sweep back to
+        # float64 (and the chain would re-cast per FK call).
+        self._ks = (
+            np.arange(1, self.speculations + 1) / self.speculations
+        ).astype(self.chain.dtype, copy=False)
 
-    def _advance(self, active, qs, positions, errors, targets, tracer) -> int:
+    def _advance_dense(self, q_c, p_c, t_c, tracer):
         timed = tracer.enabled
         if timed:
             t0 = time.perf_counter()
         dof = self.chain.dof
-        q_act = qs[active]
-        e_act = targets[active] - positions[active]
+        e_vec = t_c - p_c
 
-        jacobians = self.chain.jacobian_position_batch(q_act)  # (A,3,N)
-        dq_base = np.einsum("akn,ak->an", jacobians, e_act)  # J^T e
+        jacobians = self.chain.jacobian_position_batch(q_c)  # (A,3,N)
+        dq_base = np.einsum("akn,ak->an", jacobians, e_vec)  # J^T e
         jjte = np.einsum("akn,an->ak", jacobians, dq_base)  # J J^T e
         if timed:
             t1 = time.perf_counter()
             tracer.add_phase("jacobian", t1 - t0)
         denom = np.einsum("ak,ak->a", jjte, jjte)
-        numer = np.einsum("ak,ak->a", e_act, jjte)
+        numer = np.einsum("ak,ak->a", e_vec, jjte)
         with np.errstate(divide="ignore", invalid="ignore"):
             alpha_base = numer / denom
         bad = ~np.isfinite(alpha_base) | (alpha_base <= 0.0) | (denom <= 0.0)
@@ -277,20 +406,20 @@ class BatchedQuickIK(LockStepEngine):
 
         alphas = alpha_base[:, None] * self._ks[None, :]  # (A,Max)
         candidates = (
-            q_act[:, None, :] + alphas[:, :, None] * dq_base[:, None, :]
+            q_c[:, None, :] + alphas[:, :, None] * dq_base[:, None, :]
         )  # (A,Max,N)
         if timed:
             t2 = time.perf_counter()
             tracer.add_phase("alpha", t2 - t1)
         flat = candidates.reshape(-1, dof)
         cand_positions = self._fk_chunked(flat).reshape(
-            active.size, self.speculations, 3
+            q_c.shape[0], self.speculations, 3
         )
         if timed:
             t3 = time.perf_counter()
             tracer.add_phase("fk_sweep", t3 - t2)
         cand_errors = np.linalg.norm(
-            targets[active][:, None, :] - cand_positions, axis=2
+            t_c[:, None, :] - cand_positions, axis=2
         )  # (A,Max)
 
         below = cand_errors < self.config.tolerance
@@ -299,13 +428,13 @@ class BatchedQuickIK(LockStepEngine):
         argmin = cand_errors.argmin(axis=1)
         chosen = np.where(any_below, first_hit, argmin)
 
-        rows = np.arange(active.size)
-        qs[active] = candidates[rows, chosen]
-        positions[active] = cand_positions[rows, chosen]
-        errors[active] = cand_errors[rows, chosen]
+        rows = np.arange(q_c.shape[0])
+        q_new = candidates[rows, chosen]
+        p_new = cand_positions[rows, chosen]
+        e_new = cand_errors[rows, chosen]
         if timed:
             tracer.add_phase("selection", time.perf_counter() - t3)
-        return self.speculations
+        return q_new, p_new, e_new, self.speculations
 
 
 class BatchedJacobianTranspose(LockStepEngine):
@@ -326,37 +455,36 @@ class BatchedJacobianTranspose(LockStepEngine):
         config: SolverConfig | None = None,
         fixed_alpha: float | None = None,
         chunk: int | None = None,
+        compaction: bool | None = None,
     ) -> None:
         from repro.solvers.jacobian_transpose import classic_transpose_gain
 
-        super().__init__(chain, config=config, chunk=chunk)
+        super().__init__(chain, config=config, chunk=chunk, compaction=compaction)
         self.alpha = (
             fixed_alpha if fixed_alpha is not None else classic_transpose_gain(chain)
         )
         if self.alpha <= 0.0:
             raise ValueError("alpha must be positive")
 
-    def _advance(self, active, qs, positions, errors, targets, tracer) -> int:
+    def _advance_dense(self, q_c, p_c, t_c, tracer):
         timed = tracer.enabled
         if timed:
             t0 = time.perf_counter()
         # Jacobians and positions in one pass (the Jacobian batch already
         # computes the frames; re-deriving p_ee from FK keeps the scalar
         # solver's exact operation order).
-        jacobians = self.chain.jacobian_position_batch(qs[active])
-        e_act = targets[active] - positions[active]
-        dq = np.einsum("akn,ak->an", jacobians, e_act)
+        jacobians = self.chain.jacobian_position_batch(q_c)
+        e_vec = t_c - p_c
+        dq = np.einsum("akn,ak->an", jacobians, e_vec)
         if timed:
             t1 = time.perf_counter()
             tracer.add_phase("jacobian", t1 - t0)
-        qs[active] = qs[active] + self.alpha * dq
-        positions[active] = self._fk_chunked(qs[active])
+        q_new = q_c + self.alpha * dq
+        p_new = self._fk_chunked(q_new)
         if timed:
             t2 = time.perf_counter()
             tracer.add_phase("fk_sweep", t2 - t1)
-        errors[active] = np.linalg.norm(
-            targets[active] - positions[active], axis=1
-        )
+        e_new = np.linalg.norm(t_c - p_new, axis=1)
         if timed:
             tracer.add_phase("selection", time.perf_counter() - t2)
-        return 1
+        return q_new, p_new, e_new, 1

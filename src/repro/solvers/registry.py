@@ -121,6 +121,7 @@ def make_batch_solver(
     name: str,
     chain,
     config=None,
+    options=None,
     workers=None,
     timeout=None,
     on_error="raise",
@@ -135,6 +136,14 @@ def make_batch_solver(
     exposes ``solve_batch(targets, q0=None, rng=None, tracer=None) ->
     BatchResult``.
 
+    ``options`` is the typed execution policy
+    (:class:`~repro.execution.ExecutionOptions`): its kernel spec folds into
+    ``config.kernel`` (an error if both are set), ``compaction`` is
+    forwarded to the lock-step engines, and the sharding/failure-policy
+    fields replace the individual keywords below.  The individual
+    ``workers`` / ``timeout`` / ``on_error`` / ``resilience`` keywords keep
+    working but are mutually exclusive with ``options``.
+
     With ``workers`` set, the solver is wrapped in a
     :class:`~repro.parallel.ShardedBatchSolver` that shards every batch
     across that many subprocesses (``workers=1`` runs the identical shard
@@ -148,8 +157,49 @@ def make_batch_solver(
     ``workers`` wraps the solver in a single-worker sharded solver so the
     guard / failure-report machinery still applies.
     """
+    from repro.execution import ExecutionOptions
+
+    if options is None:
+        options = ExecutionOptions(
+            workers=workers,
+            timeout=timeout,
+            on_error=on_error,
+            resilience=resilience,
+        )
+    else:
+        if (
+            workers is not None
+            or timeout is not None
+            or on_error != "raise"
+            or resilience is not None
+        ):
+            raise ValueError(
+                "pass either options= or workers/timeout/on_error/resilience,"
+                " not both"
+            )
+        if not isinstance(options, ExecutionOptions):
+            raise TypeError(
+                f"options must be ExecutionOptions, got {type(options).__name__}"
+            )
+    spec = options.kernel
+    if spec is not None:
+        from dataclasses import replace
+
+        from repro.core.result import SolverConfig
+
+        if config is None:
+            config = SolverConfig(kernel=spec)
+        elif config.kernel is None:
+            config = replace(config, kernel=spec)
+        else:
+            raise ValueError(
+                "kernel configured twice: both config.kernel and "
+                "options.kernel are set"
+            )
     if name in BATCH_REGISTRY:
         factory = BATCH_REGISTRY[name]
+        if options.compaction is not None:
+            kwargs.setdefault("compaction", options.compaction)
         _validate_kwargs(name, factory, kwargs, BATCH_REGISTRY)
         solver = factory(chain, config=config, **kwargs)
     elif name in SOLVER_REGISTRY:
@@ -157,16 +207,16 @@ def make_batch_solver(
     else:
         known = ", ".join(sorted(set(BATCH_REGISTRY) | set(SOLVER_REGISTRY)))
         raise KeyError(f"unknown batch solver {name!r}; known: {known}")
-    if workers is None and on_error == "raise" and resilience is None:
+    if not options.needs_sharding:
         return solver
     from repro.parallel import ShardedBatchSolver
 
     return ShardedBatchSolver(
         solver,
-        workers=workers if workers is not None else 1,
-        timeout=timeout,
-        on_error=on_error,
-        resilience=resilience,
+        workers=options.workers if options.workers is not None else 1,
+        timeout=options.timeout,
+        on_error=options.on_error,
+        resilience=options.resolved_resilience(),
     )
 
 

@@ -39,6 +39,7 @@ from repro.telemetry.sinks import (
 )
 from repro.telemetry.tracer import (
     COUNTER_NAMES,
+    GAUGE_NAMES,
     NULL_TRACER,
     PHASE_NAMES,
     MultiTracer,
@@ -57,6 +58,7 @@ __all__ = [
     "NULL_TRACER",
     "MultiTracer",
     "COUNTER_NAMES",
+    "GAUGE_NAMES",
     "PHASE_NAMES",
     "get_tracer",
     "set_tracer",

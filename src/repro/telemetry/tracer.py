@@ -34,6 +34,7 @@ __all__ = [
     "NULL_TRACER",
     "MultiTracer",
     "COUNTER_NAMES",
+    "GAUGE_NAMES",
     "PHASE_NAMES",
     "get_tracer",
     "set_tracer",
@@ -52,7 +53,11 @@ __all__ = [
 #: (backpressure rejections), ``serve_deadline_expired`` (latency budgets
 #: expired at admission or in queue), and ``serve_cache_hits`` /
 #: ``serve_cache_misses`` (warm-start seed-cache lookups), plus the
-#: ``serve_coalesce`` / ``serve_execute`` phase timers.
+#: ``serve_coalesce`` / ``serve_execute`` phase timers.  The lock-step
+#: engines add ``compaction_savings`` (candidate rows the compacted
+#: active-set sweep skipped relative to the batch's naive ``B x Max``
+#: grid — a per-batch-shape quantity, so unlike the work counters it is
+#: *not* invariant across sharding layouts).
 COUNTER_NAMES = (
     "fk_evaluations",
     "jacobian_builds",
@@ -65,7 +70,13 @@ COUNTER_NAMES = (
     "watchdog_deadline",
     "watchdog_diverged",
     "watchdog_stalled",
+    "compaction_savings",
 )
+
+#: Canonical gauge names (point-in-time values, not accumulating counts).
+#: ``active_rows`` — live problems in a lock-step batch after each
+#: iteration; the shrinking series is the compaction win made visible.
+GAUGE_NAMES = ("active_rows",)
 
 #: Canonical phase-timer names.
 PHASE_NAMES = ("jacobian", "alpha", "fk_sweep", "selection")
@@ -91,6 +102,8 @@ class Tracer(Protocol):
 
     def count(self, counter: str, amount: int = 1) -> None: ...
 
+    def gauge(self, name: str, value: float, **fields: Any) -> None: ...
+
     def add_phase(self, phase: str, seconds: float) -> None: ...
 
 
@@ -107,6 +120,7 @@ class TracerBase:
     def __init__(self) -> None:
         self.counters: dict[str, int] = {}
         self.phase_seconds: dict[str, float] = {}
+        self.gauges: dict[str, float] = {}
         self._clock_start = time.perf_counter()
 
     # -- sink interface -------------------------------------------------
@@ -147,6 +161,16 @@ class TracerBase:
         """Bump a named counter (e.g. ``fk_evaluations``)."""
         self.counters[counter] = self.counters.get(counter, 0) + amount
 
+    def gauge(self, name: str, value: float, **fields: Any) -> None:
+        """Record a point-in-time value (e.g. ``active_rows``).
+
+        Unlike :meth:`count`, gauges do not accumulate: each call emits one
+        ``gauge`` event and overwrites the last value in :attr:`gauges`.
+        """
+        fields.update(name=name, value=value)
+        self._emit("gauge", fields)
+        self.gauges[name] = value
+
     def add_phase(self, phase: str, seconds: float) -> None:
         """Accumulate wall time into a named phase (e.g. ``jacobian``)."""
         self.phase_seconds[phase] = self.phase_seconds.get(phase, 0.0) + seconds
@@ -184,6 +208,9 @@ class NullTracer:
         pass
 
     def count(self, counter: str, amount: int = 1) -> None:
+        pass
+
+    def gauge(self, name: str, value: float, **fields: Any) -> None:
         pass
 
     def add_phase(self, phase: str, seconds: float) -> None:
@@ -228,6 +255,12 @@ class MultiTracer(TracerBase):
     def count(self, counter: str, amount: int = 1) -> None:
         for sink in self.sinks:
             sink.count(counter, amount)
+
+    def gauge(self, name: str, value: float, **fields: Any) -> None:
+        for sink in self.sinks:
+            gauge = getattr(sink, "gauge", None)
+            if gauge is not None:
+                gauge(name, value, **fields)
 
     def add_phase(self, phase: str, seconds: float) -> None:
         for sink in self.sinks:

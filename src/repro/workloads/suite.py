@@ -22,6 +22,7 @@ import numpy as np
 
 from repro.core.base import IterativeIKSolver
 from repro.core.result import IKResult
+from repro.execution import ExecutionOptions
 from repro.kinematics.chain import KinematicChain
 from repro.kinematics.robots import PAPER_DOFS, paper_chain
 from repro.workloads.targets import make_targets
@@ -136,14 +137,18 @@ class EvaluationSuite:
         Master seed; targets and solver restarts derive from it.
     total_reach:
         Reach of the generated manipulators (metres).
+    options:
+        Typed execution policy (:class:`~repro.execution.ExecutionOptions`):
+        the kernel spec (mode / dtype / chunk) is applied to every
+        evaluation chain, and ``workers`` shards each solver run.
     workers:
-        Worker processes per solver run (default 1: in-process).  Any value
-        produces identical per-target results — the sharded path draws the
-        same restart stream (see :mod:`repro.parallel`).
+        Deprecated alias for ``options.workers`` (default 1: in-process).
+        Any value produces identical per-target results — the sharded path
+        draws the same restart stream (see :mod:`repro.parallel`).
     kernel:
-        FK/Jacobian kernel mode for the evaluation chains
-        (:mod:`repro.kinematics.kernels`); ``None`` keeps the chains'
-        default (scalar).
+        Deprecated alias for ``options.kernel``: FK/Jacobian kernel mode
+        for the evaluation chains (:mod:`repro.kinematics.kernels`);
+        ``None`` keeps the chains' default (scalar).
     """
 
     def __init__(
@@ -153,8 +158,9 @@ class EvaluationSuite:
         target_kind: str = "reachable",
         seed: int = 2017,
         total_reach: float = 1.2,
-        workers: int = 1,
+        workers: int | None = None,
         kernel: str | None = None,
+        options: "ExecutionOptions | None" = None,
     ) -> None:
         if dofs is None:
             dofs = default_dofs()
@@ -169,14 +175,18 @@ class EvaluationSuite:
         self.target_kind = target_kind
         self.seed = seed
         self.total_reach = total_reach
-        if workers < 1:
-            raise ValueError("workers must be >= 1")
-        self.workers = int(workers)
-        if kernel is not None:
-            from repro.kinematics.kernels import resolve_kernel_mode
-
-            kernel = resolve_kernel_mode(kernel)
-        self.kernel = kernel
+        # workers=1 was the old explicit default; it adds no information, so
+        # it does not count as a legacy usage worth warning about.
+        self.options = ExecutionOptions.from_legacy(
+            options, "EvaluationSuite",
+            kernel=kernel,
+            workers=None if workers == 1 else workers,
+        )
+        self.workers = (
+            self.options.workers if self.options.workers is not None else 1
+        )
+        spec = self.options.kernel
+        self.kernel = spec.name if spec is not None else None
         self._chains: dict[int, KinematicChain] = {}
         self._targets: dict[int, np.ndarray] = {}
 
@@ -184,8 +194,9 @@ class EvaluationSuite:
         """The (cached) evaluation manipulator for ``dof``."""
         if dof not in self._chains:
             chain = paper_chain(dof, total_reach=self.total_reach)
-            if self.kernel is not None:
-                chain = chain.with_kernel(self.kernel)
+            spec = self.options.kernel
+            if spec is not None:
+                chain = spec.apply(chain)
             self._chains[dof] = chain
         return self._chains[dof]
 
@@ -227,7 +238,8 @@ class EvaluationSuite:
             from repro.parallel import solve_batch_sharded
 
             batch = solve_batch_sharded(
-                solver, self.targets(dof), workers=self.workers, rng=rng
+                solver, self.targets(dof), workers=self.workers, rng=rng,
+                timeout=self.options.timeout,
             )
             return list(batch.results)
         return [solver.solve(t, rng=rng) for t in self.targets(dof)]

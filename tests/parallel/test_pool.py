@@ -156,7 +156,15 @@ class TestTelemetryMerge:
         )
         # Work counters are exact across execution layouts; phase timings
         # are wall-clock and only required to be present.
-        assert sharded.counters == reference.counters
+        # ``compaction_savings`` is excluded: it measures skipped rows
+        # relative to each batch's own naive grid, so it is layout-dependent
+        # by construction (each shard runs its own iteration loop).
+        def work(counters):
+            return {
+                k: v for k, v in counters.items() if k != "compaction_savings"
+            }
+
+        assert work(sharded.counters) == work(reference.counters)
         assert set(sharded.phase_seconds) == set(reference.phase_seconds)
 
     def test_merged_summary_attached_to_batch(self):
