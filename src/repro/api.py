@@ -277,19 +277,25 @@ def serve(config=None, *, tracer=None, start=True, **overrides):
     """Build (and by default start) an in-process IK request server.
 
     The online counterpart of :func:`solve_batch`: individual
-    :class:`~repro.serving.SolveRequest` submissions are coalesced by a
-    micro-batching scheduler into the same vectorized lock-step batches the
-    offline path runs, inheriting the ``workers=`` / ``kernel=`` /
-    ``on_error=`` semantics (see ``docs/serving.md``).
+    :class:`~repro.serving.SolveRequest` submissions are coalesced by an
+    (adaptive) micro-batching scheduler into the same vectorized lock-step
+    batches the offline path runs, inheriting the ``workers=`` /
+    ``kernel=`` / ``on_error=`` semantics (see ``docs/serving.md``).
+    Serving defaults lean online: the IKSel-style warm-start seed cache,
+    adaptive flush triggers and SLO shedding are all **on** (pass
+    ``warm_start=False`` for bit-equivalence with offline solves), and
+    ``dispatch_workers=N`` runs N concurrent dispatch loops so an
+    in-flight batch does not block coalescing the next.
 
     Pass a full :class:`~repro.serving.ServerConfig` or its fields as
     keywords (mutually exclusive)::
 
-        with api.serve(max_batch_size=64, max_wait_ms=2.0) as srv:
+        with api.serve(max_batch_size=64, max_wait_ms=2.0,
+                       dispatch_workers=2) as srv:
             future = srv.submit(SolveRequest("dadu-50dof", target, seed=0))
 
-    ``start=False`` returns the server without launching its worker loop
-    (it auto-starts on the first submission anyway).
+    ``start=False`` returns the server without launching its dispatch
+    loops (they auto-start on the first submission anyway).
     """
     from repro.serving import IKServer, ServerConfig
 

@@ -160,6 +160,27 @@ def build_parser() -> argparse.ArgumentParser:
                              help="micro-batch size flush trigger")
     serve_bench.add_argument("--max-wait-ms", type=float, default=5.0,
                              help="micro-batch age flush trigger (ms)")
+    serve_bench.add_argument("--dispatch-workers", type=_positive_int,
+                             default=1,
+                             help="concurrent dispatch loops draining the "
+                                  "batcher (results are identical for any "
+                                  "count; overlaps batch execution)")
+    serve_bench.add_argument("--adaptive",
+                             action=argparse.BooleanOptionalAction,
+                             default=True,
+                             help="per-group adaptive batching: tune the "
+                                  "size/wait triggers from each group's "
+                                  "arrival rate (--no-adaptive for the "
+                                  "static triggers)")
+    serve_bench.add_argument("--workload", default="iid",
+                             choices=["iid", "tracking"],
+                             help="target stream shape: iid (independent "
+                                  "workspace draws) or tracking (smooth "
+                                  "per-client trajectories — the warm-start "
+                                  "workload)")
+    serve_bench.add_argument("--tracks", type=_positive_int, default=8,
+                             help="simulated clients in the tracking "
+                                  "workload")
     serve_bench.add_argument("--workers", type=_positive_int, default=None,
                              help="shard each micro-batch across this many "
                                   "worker processes (default: in-process)")
@@ -182,10 +203,20 @@ def build_parser() -> argparse.ArgumentParser:
     serve_bench.add_argument("--deadline-ms", type=float, default=None,
                              help="per-request latency budget; expired "
                                   "requests are rejected, not solved late")
-    serve_bench.add_argument("--warm-start", action="store_true",
-                             help="enable the nearest-target seed cache "
-                                  "(trades offline bit-comparability for "
-                                  "fewer iterations)")
+    serve_bench.add_argument("--warm-start",
+                             action=argparse.BooleanOptionalAction,
+                             default=True,
+                             help="IKSel-style ranked seed cache (default "
+                                  "on; --no-warm-start restores the seeded "
+                                  "cold draw and offline bit-comparability)")
+    serve_bench.add_argument("--seed-k", type=_positive_int, default=None,
+                             help="warm-start k-NN neighbourhood size "
+                                  "(default: 8)")
+    serve_bench.add_argument("--no-cold-baseline", dest="cold_baseline",
+                             action="store_false",
+                             help="skip the post-run cold-seed re-solve "
+                                  "that measures the warm-start iteration "
+                                  "reduction")
     serve_bench.add_argument("--seed", type=int, default=2017)
     serve_bench.add_argument("--out", default="BENCH_serving.json",
                              help="payload destination (JSON)")
@@ -469,6 +500,8 @@ def _cmd_serve_bench(args) -> int:
         rate_hz=args.rate,
         max_batch_size=args.max_batch_size,
         max_wait_ms=args.max_wait_ms,
+        dispatch_workers=args.dispatch_workers,
+        adaptive=args.adaptive,
         workers=args.workers,
         kernel=args.kernel,
         dtype=args.dtype,
@@ -480,13 +513,18 @@ def _cmd_serve_bench(args) -> int:
         tolerance=args.tolerance,
         max_iterations=args.max_iterations,
         warm_start=args.warm_start,
+        seed_k=args.seed_k,
+        workload=args.workload,
+        tracks=args.tracks,
+        cold_baseline=args.cold_baseline,
         deadline_s=(
             args.deadline_ms / 1e3 if args.deadline_ms is not None else None
         ),
         seed=args.seed,
     )
     Path(args.out).write_text(
-        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        json.dumps(payload, indent=2, sort_keys=True, allow_nan=False) + "\n",
+        encoding="utf-8",
     )
     serving = payload["serving"]
     latency = payload["latency_s"]
@@ -505,6 +543,21 @@ def _cmd_serve_bench(args) -> int:
         f"peak {serving['occupancy_peak']}, "
         f"queue peak {serving['queue_depth_peak']})"
     )
+    warm = payload["warm_start"]
+    if warm["enabled"]:
+        hits, misses = warm["cache_hits"], warm["cache_misses"]
+        line = f"warm-start: {hits} cache hits / {hits + misses} lookups"
+        baseline = warm.get("cold_baseline")
+        if baseline and baseline["iteration_reduction"] is not None:
+            line += (
+                f"; mean iterations {baseline['warm_mean_iterations']:.1f} "
+                f"warm vs {baseline['mean_iterations']:.1f} cold "
+                f"({baseline['iteration_reduction'] * 100:.1f}% fewer)"
+            )
+        print(line)
+    shed = payload["rejections"].get("slo_shed", 0)
+    if shed:
+        print(f"SLO shedding: {shed} requests shed at dispatch")
     print(f"wrote {args.out}")
     if payload["completed"] and payload["converged"] == 0:
         # Mirror the bench health check: a load test where nothing

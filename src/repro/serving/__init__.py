@@ -24,6 +24,7 @@ from repro.serving.request import (
     Overloaded,
     ServerClosed,
     ServingRejected,
+    SloShed,
     SolveRequest,
 )
 from repro.serving.seeds import SeedCache, SeedCacheStats, chain_fingerprint
@@ -37,6 +38,7 @@ __all__ = [
     "ServingRejected",
     "Overloaded",
     "DeadlineExceeded",
+    "SloShed",
     "ServerClosed",
     "STAGE_SERVING",
     "SeedCache",

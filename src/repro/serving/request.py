@@ -15,6 +15,10 @@ string-matching exception messages:
 * :class:`Overloaded` — the bounded request queue is full (backpressure);
 * :class:`DeadlineExceeded` — the latency budget expired, either at
   admission (``deadline_s <= 0``) or while the request waited in the queue;
+* :class:`SloShed` — the budget had *not yet* expired at dispatch, but the
+  server's execution-time estimate predicted the solve would finish past
+  the deadline, so the request was shed instead of solved late (SLO-aware
+  admission control; see ``ServerConfig.slo_shedding``);
 * :class:`ServerClosed` — submitted to (or still pending in) a server that
   is shutting down.
 """
@@ -33,6 +37,7 @@ __all__ = [
     "ServingRejected",
     "Overloaded",
     "DeadlineExceeded",
+    "SloShed",
     "ServerClosed",
     "STAGE_SERVING",
 ]
@@ -142,6 +147,18 @@ class DeadlineExceeded(ServingRejected):
     """The request's latency budget expired before it could be solved."""
 
     kind = "deadline_exceeded"
+
+
+class SloShed(ServingRejected):
+    """Shed at dispatch: predicted (not yet observed) to miss its deadline.
+
+    Distinct from :class:`DeadlineExceeded` — the budget was still live,
+    but the per-group execution-time estimate said solving would blow it,
+    so the server refused the work instead of spending solver time on an
+    answer the client would discard.
+    """
+
+    kind = "slo_shed"
 
 
 class ServerClosed(ServingRejected):

@@ -1,31 +1,50 @@
 """The in-process IK request server: futures in, lock-step batches out.
 
 :class:`IKServer` accepts individual :class:`~repro.serving.request.SolveRequest`\\ s
-and returns a :class:`concurrent.futures.Future` per request.  A background
-worker loop coalesces compatible requests (same robot / solver / config /
-options) through the :class:`~repro.serving.batcher.MicroBatcher` and
-executes each flushed micro-batch through the existing
-:func:`repro.api.solve_batch` path — so a served batch inherits the whole
-stack built in PRs 1-4: lock-step vectorized engines, ``workers=`` process
-sharding, ``kernel=`` selection and the ``on_error=`` resilience semantics.
+and returns a :class:`concurrent.futures.Future` per request.  A pool of
+dispatch threads (``ServerConfig.dispatch_workers``) coalesces compatible
+requests (same robot / solver / config / options) through the
+:class:`~repro.serving.batcher.MicroBatcher` and executes each flushed
+micro-batch through the existing :func:`repro.api.solve_batch` path — so a
+served batch inherits the whole stack built in PRs 1-6: lock-step
+vectorized engines, ``workers=`` process sharding, the kernel spec
+(mode / dtype / chunk), active-set compaction and the ``on_error=``
+resilience semantics.
 
 Design invariants:
 
-* **Served == offline.**  A request with ``seed=s`` resolves its initial
-  configuration exactly as ``api.solve(..., seed=s)`` would (one
+* **Served == offline** (cold path).  A request with ``seed=s`` and
+  ``warm_start=False`` resolves its initial configuration exactly as
+  ``api.solve(..., seed=s)`` would (one
   ``chain.random_configuration(default_rng(s))`` draw), then rides a batch
   whose per-problem numerics the conformance tier already pins to the
-  scalar driver.  ``tests/serving/test_differential.py`` holds the serving
-  layer to that equivalence per request, across a mixed-robot stream.
+  scalar driver.  Because ``q0`` is fixed at admission and per-problem
+  numerics are independent of batch composition, the guarantee holds for
+  *any* ``dispatch_workers`` count — concurrent dispatch changes which
+  batch a request rides, never its answer.
+  ``tests/serving/test_differential.py`` holds the serving layer to that
+  equivalence per request, across a mixed-robot stream, for
+  ``dispatch_workers`` in {1, 4}.
+* **Warm by default.**  ``warm_start=True`` replaces the seed draw with an
+  IKSel-style ranked nearest-solution seed
+  (:mod:`repro.serving.seeds`) — dramatically fewer iterations on
+  correlated streams, at the price of the bit-comparability above (which
+  is why it is overridable per request and forced off in the differential
+  tier).
 * **Bounded everything.**  The queue is bounded (``max_queue`` →
   :class:`~repro.serving.request.Overloaded`), coalesce latency is bounded
-  (``max_wait_ms``), and per-request deadlines are enforced both at
-  admission and at dispatch
-  (:class:`~repro.serving.request.DeadlineExceeded`).
+  (``max_wait_ms``, adaptively shrunk per group when ``adaptive``), and
+  per-request deadlines are enforced at admission, at dispatch
+  (:class:`~repro.serving.request.DeadlineExceeded`), and *predictively*
+  at dispatch (:class:`~repro.serving.request.SloShed`: a request whose
+  deadline the per-group execution-time estimate says cannot be met is
+  shed instead of solved late).
 * **Observable.**  Counters (``serve_requests`` / ``serve_batches`` /
-  ``serve_overloaded`` / ``serve_deadline_expired`` /
-  ``serve_cache_hits`` / ``serve_cache_misses``) and phases
-  (``serve_coalesce`` / ``serve_execute``) flow through the standard
+  ``serve_overloaded`` / ``serve_deadline_expired`` / ``serve_shed`` /
+  ``serve_adaptive_flushes`` / ``serve_cache_hits`` /
+  ``serve_cache_misses`` / ``serve_warm_iterations`` /
+  ``serve_cold_iterations``) and phases (``serve_coalesce`` /
+  ``serve_execute``) flow through the standard
   :class:`~repro.telemetry.tracer.Tracer` sinks; queue-depth / batch
   occupancy gauges live on :meth:`IKServer.stats`.
 """
@@ -50,12 +69,22 @@ from repro.serving.request import (
     DeadlineExceeded,
     Overloaded,
     ServerClosed,
+    SloShed,
     SolveRequest,
 )
-from repro.serving.seeds import SeedCache
+from repro.serving.seeds import DEFAULT_K, DEFAULT_LIMIT_PENALTY, SeedCache
 from repro.telemetry.tracer import Tracer, get_tracer
 
 __all__ = ["ServerConfig", "ServingStats", "IKServer"]
+
+#: EWMA smoothing factor for per-group batch execution times (the SLO
+#: shedding predictor).
+EXEC_EWMA_ALPHA = 0.3
+
+
+def _finite_or_none(value: float) -> float | None:
+    """NaN/inf-free rendering for strict-JSON payloads."""
+    return float(value) if np.isfinite(value) else None
 
 
 @dataclass(frozen=True)
@@ -65,17 +94,32 @@ class ServerConfig:
     Parameters
     ----------
     max_batch_size:
-        Flush trigger 1: a compatibility group with this many pending
-        requests flushes immediately.
+        Flush trigger 1 (ceiling): a compatibility group with this many
+        pending requests flushes immediately.
     max_wait_ms:
-        Flush trigger 2: the longest any request coalesces before its
-        group flushes regardless of size.  ``0`` disables coalescing
-        (every request is solved as a singleton batch as soon as the
-        worker loop sees it).
+        Flush trigger 2 (ceiling): the longest any request coalesces before
+        its group flushes regardless of size.  ``0`` disables coalescing
+        (every request is solved as a singleton batch as soon as a
+        dispatch loop sees it).
+    adaptive:
+        Tune each group's *effective* batch size / wait from an EWMA of its
+        observed inter-arrival times (see :mod:`repro.serving.batcher`).
+        The static knobs above remain hard ceilings; adaptation only ever
+        shrinks a trigger.  On by default.
+    dispatch_workers:
+        Concurrent dispatch loops draining the micro-batcher.  With one
+        loop, an in-flight batch blocks dispatching the next; N loops keep
+        coalescing while up to N batches execute.  Per-request results are
+        independent of this knob (``q0`` is fixed at admission).
     max_queue:
         Backpressure bound: admitted-but-unflushed requests across all
         groups; submissions beyond it raise
         :class:`~repro.serving.request.Overloaded`.
+    slo_shedding:
+        Predictive admission control at dispatch: a request whose deadline
+        the per-group batch-execution-time EWMA predicts cannot be met is
+        shed (:class:`~repro.serving.request.SloShed`) instead of solved
+        late.  Only affects requests that carry a ``deadline_s``.
     options:
         Typed execution policy (:class:`~repro.execution.ExecutionOptions`)
         forwarded to :func:`repro.api.solve_batch` for every micro-batch —
@@ -94,25 +138,35 @@ class ServerConfig:
         exception.
     warm_start:
         Server-wide default for the warm-start seed cache (requests can
-        override per call).  Off by default, preserving request-level
-        equivalence with offline solves.
+        override per call).  **On by default** since PR 7: correlated
+        online streams converge in a fraction of the cold iteration count.
+        Set ``False`` to restore request-level bit-equivalence with
+        offline solves.
     seed_cache_capacity:
         Per-robot capacity of the warm-start cache; ``0`` disables the
         cache entirely (nothing recorded, every lookup misses).
     warm_start_max_distance:
         Optional radius (metres): cached solutions further than this from
         the new target are not reused.
+    seed_k / seed_limit_penalty:
+        IKSel-style ranking knobs (:class:`~repro.serving.seeds.SeedCache`):
+        candidate pool size and the joint-limit-proximity penalty weight.
     """
 
     max_batch_size: int = 32
     max_wait_ms: float = 2.0
     max_queue: int = 1024
+    dispatch_workers: int = 1
+    adaptive: bool = True
+    slo_shedding: bool = True
     workers: int | None = None
     timeout: float | None = None
     on_error: str = "skip"
-    warm_start: bool = False
+    warm_start: bool = True
     seed_cache_capacity: int = 256
     warm_start_max_distance: float | None = None
+    seed_k: int = DEFAULT_K
+    seed_limit_penalty: float = DEFAULT_LIMIT_PENALTY
     options: "ExecutionOptions | None" = None
 
     def __post_init__(self) -> None:
@@ -122,6 +176,8 @@ class ServerConfig:
             raise ValueError("max_wait_ms must be >= 0")
         if self.max_queue < 1:
             raise ValueError("max_queue must be >= 1")
+        if self.dispatch_workers < 1:
+            raise ValueError("dispatch_workers must be >= 1")
         if self.workers is not None and self.workers < 1:
             raise ValueError("workers must be >= 1 (or None)")
         if self.on_error not in ON_ERROR_MODES:
@@ -130,6 +186,10 @@ class ServerConfig:
             )
         if self.seed_cache_capacity < 0:
             raise ValueError("seed_cache_capacity must be >= 0")
+        if self.seed_k < 1:
+            raise ValueError("seed_k must be >= 1")
+        if self.seed_limit_penalty < 0:
+            raise ValueError("seed_limit_penalty must be >= 0")
         if self.options is None:
             # Legacy form: normalise the individual fields into the typed
             # policy once, so the execute path has a single source of truth.
@@ -167,7 +227,10 @@ class ServingStats:
     ``queue_depth_peak`` and the occupancy fields are the gauges the
     telemetry counters cannot carry (counters only add); everything else
     mirrors a counter so :meth:`to_dict` is a self-contained health
-    snapshot for dashboards and ``BENCH_serving.json``.
+    snapshot for dashboards and ``BENCH_serving.json``.  Ratios that are
+    undefined before any traffic (``mean_occupancy``, ``cache_hit_rate``,
+    …) render as ``None`` in :meth:`to_dict` so the snapshot always
+    survives strict JSON.
     """
 
     submitted: int = 0
@@ -175,16 +238,23 @@ class ServingStats:
     failed: int = 0
     rejected_overloaded: int = 0
     rejected_deadline: int = 0
+    rejected_shed: int = 0
     expired_in_queue: int = 0
     batches: int = 0
     requests_batched: int = 0
+    adaptive_flushes: int = 0
     occupancy_peak: int = 0
     queue_depth_peak: int = 0
+    inflight_peak: int = 0
     coalesce_wait_s: float = 0.0
     coalesce_wait_peak_s: float = 0.0
     execute_s: float = 0.0
     cache_hits: int = 0
     cache_misses: int = 0
+    warm_requests: int = 0
+    warm_iterations: int = 0
+    cold_requests: int = 0
+    cold_iterations: int = 0
 
     @property
     def mean_occupancy(self) -> float:
@@ -202,6 +272,34 @@ class ServingStats:
         total = self.cache_hits + self.cache_misses
         return self.cache_hits / total if total else float("nan")
 
+    @property
+    def mean_warm_iterations(self) -> float:
+        """Mean solver iterations across warm-started completions."""
+        if not self.warm_requests:
+            return float("nan")
+        return self.warm_iterations / self.warm_requests
+
+    @property
+    def mean_cold_iterations(self) -> float:
+        """Mean solver iterations across cold-seeded completions."""
+        if not self.cold_requests:
+            return float("nan")
+        return self.cold_iterations / self.cold_requests
+
+    @property
+    def warm_iteration_reduction(self) -> float:
+        """Fractional in-stream iteration saving of warm vs cold starts.
+
+        Needs both populations in the same stream to be defined; the
+        serve-bench additionally measures the reduction against a
+        dedicated cold-seed baseline re-solve of the same requests.
+        """
+        cold = self.mean_cold_iterations
+        warm = self.mean_warm_iterations
+        if not np.isfinite(cold) or not np.isfinite(warm) or cold <= 0:
+            return float("nan")
+        return 1.0 - warm / cold
+
     def to_dict(self) -> dict[str, Any]:
         return {
             "submitted": self.submitted,
@@ -209,29 +307,40 @@ class ServingStats:
             "failed": self.failed,
             "rejected_overloaded": self.rejected_overloaded,
             "rejected_deadline": self.rejected_deadline,
+            "rejected_shed": self.rejected_shed,
             "expired_in_queue": self.expired_in_queue,
             "batches": self.batches,
             "requests_batched": self.requests_batched,
-            "mean_occupancy": self.mean_occupancy,
+            "adaptive_flushes": self.adaptive_flushes,
+            "mean_occupancy": _finite_or_none(self.mean_occupancy),
             "occupancy_peak": self.occupancy_peak,
             "queue_depth_peak": self.queue_depth_peak,
-            "mean_coalesce_wait_s": self.mean_coalesce_wait_s,
+            "inflight_peak": self.inflight_peak,
+            "mean_coalesce_wait_s": _finite_or_none(self.mean_coalesce_wait_s),
             "coalesce_wait_peak_s": self.coalesce_wait_peak_s,
             "execute_s": self.execute_s,
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
-            "cache_hit_rate": self.cache_hit_rate,
+            "cache_hit_rate": _finite_or_none(self.cache_hit_rate),
+            "warm_requests": self.warm_requests,
+            "mean_warm_iterations": _finite_or_none(self.mean_warm_iterations),
+            "cold_requests": self.cold_requests,
+            "mean_cold_iterations": _finite_or_none(self.mean_cold_iterations),
+            "warm_iteration_reduction": _finite_or_none(
+                self.warm_iteration_reduction
+            ),
         }
 
 
 class IKServer:
-    """In-process IK serving with dynamic micro-batching.
+    """In-process IK serving with adaptive dynamic micro-batching.
 
     Usage::
 
         from repro.serving import IKServer, ServerConfig, SolveRequest
 
-        with IKServer(ServerConfig(max_batch_size=64, max_wait_ms=2.0)) as srv:
+        with IKServer(ServerConfig(max_batch_size=64, max_wait_ms=2.0,
+                                   dispatch_workers=4)) as srv:
             futures = [
                 srv.submit(SolveRequest("dadu-50dof", t, seed=i))
                 for i, t in enumerate(targets)
@@ -243,7 +352,9 @@ class IKServer:
     :class:`~repro.serving.request.DeadlineExceeded` /
     :class:`~repro.serving.request.ServerClosed`) synchronously; a request
     whose deadline expires *while queued* completes its future with
-    :class:`~repro.serving.request.DeadlineExceeded` instead.
+    :class:`~repro.serving.request.DeadlineExceeded`, and one predicted to
+    miss its deadline completes with
+    :class:`~repro.serving.request.SloShed` instead of being solved late.
     """
 
     def __init__(
@@ -255,42 +366,56 @@ class IKServer:
         self._tracer = tracer
         self._cond = threading.Condition()
         self._batcher = MicroBatcher(
-            self.config.max_batch_size, self.config.max_wait_ms / 1e3
+            self.config.max_batch_size,
+            self.config.max_wait_ms / 1e3,
+            adaptive=self.config.adaptive,
         )
         self._seed_cache = (
             SeedCache(
                 capacity=self.config.seed_cache_capacity,
                 max_distance=self.config.warm_start_max_distance,
+                k=self.config.seed_k,
+                limit_penalty=self.config.seed_limit_penalty,
             )
             if self.config.seed_cache_capacity > 0
             else None
         )
         self._stats = ServingStats()
         self._chains: dict[str, KinematicChain] = {}
-        self._thread: threading.Thread | None = None
+        self._threads: list[threading.Thread] = []
+        #: Per-group EWMA of batch execution seconds (the SLO predictor).
+        self._exec_ewma: dict[GroupKey, float] = {}
+        self._inflight = 0
         self._closing = False
         self._closed = False
 
     # -- lifecycle -------------------------------------------------------
 
     def start(self) -> "IKServer":
-        """Launch the worker loop (idempotent; ``submit`` auto-starts)."""
+        """Launch the dispatch loops (idempotent; ``submit`` auto-starts)."""
         with self._cond:
             if self._closed:
                 raise ServerClosed.from_request("server already closed")
-            if self._thread is None:
-                self._thread = threading.Thread(
-                    target=self._worker, name="ik-server", daemon=True
-                )
-                self._thread.start()
+            if not self._threads:
+                self._threads = [
+                    threading.Thread(
+                        target=self._worker, name=f"ik-server-{i}", daemon=True
+                    )
+                    for i in range(self.config.dispatch_workers)
+                ]
+                for thread in self._threads:
+                    thread.start()
         return self
 
     def close(self, drain: bool = True) -> None:
-        """Stop the worker loop.
+        """Stop the dispatch loops.
 
         ``drain=True`` (default) flushes and solves everything still
         queued before returning; ``drain=False`` fails every pending
         future with :class:`~repro.serving.request.ServerClosed`.
+        Idempotent, and safe to call concurrently with ``submit`` (late
+        submissions raise :class:`~repro.serving.request.ServerClosed`;
+        admitted ones keep their future).
         """
         with self._cond:
             if self._closed:
@@ -302,8 +427,9 @@ class IKServer:
                         "server closed before execution", entry.key.solver
                     ))
             self._cond.notify_all()
-        if self._thread is not None:
-            self._thread.join()
+            threads = list(self._threads)
+        for thread in threads:
+            thread.join()
         with self._cond:
             self._closed = True
 
@@ -384,7 +510,7 @@ class IKServer:
             if tr.enabled:
                 tr.count("serve_requests")
             self._cond.notify_all()
-        if self._thread is None:
+        if not self._threads:
             self.start()
         return entry.future
 
@@ -412,6 +538,7 @@ class IKServer:
         """A consistent snapshot of the server's lifetime stats."""
         with self._cond:
             snapshot = replace(self._stats)
+            snapshot.adaptive_flushes = self._batcher.adaptive_adjustments
         if self._seed_cache is not None:
             snapshot.cache_hits = self._seed_cache.stats.hits
             snapshot.cache_misses = self._seed_cache.stats.misses
@@ -463,27 +590,42 @@ class IKServer:
         return chain.random_configuration(rng), False
 
     def _worker(self) -> None:
+        """One dispatch loop: wait for a due batch, pop it, execute it.
+
+        ``pop_one`` hands each loop one batch at a time, so with N loops
+        up to N batches execute concurrently while coalescing continues —
+        an in-flight batch no longer serialises the whole server.
+        """
+        tr = self._tracer if self._tracer is not None else get_tracer()
         while True:
             with self._cond:
                 while True:
-                    if self._batcher.pending_count == 0:
-                        if self._closing:
-                            return
-                        self._cond.wait()
-                        continue
                     now = time.monotonic()
-                    if self._closing or self._batcher.has_ready(now):
+                    adjustments = self._batcher.adaptive_adjustments
+                    batch = self._batcher.pop_one(now, force=self._closing)
+                    if batch is not None:
+                        if (
+                            tr.enabled
+                            and self._batcher.adaptive_adjustments > adjustments
+                        ):
+                            tr.count("serve_adaptive_flushes")
+                        self._inflight += 1
+                        self._stats.inflight_peak = max(
+                            self._stats.inflight_peak, self._inflight
+                        )
                         break
+                    if self._closing and self._batcher.pending_count == 0:
+                        return
                     flush_at = self._batcher.next_flush_at()
                     self._cond.wait(
                         timeout=None if flush_at is None
                         else max(0.0, flush_at - now)
                     )
-                batches = self._batcher.pop_ready(
-                    time.monotonic(), force=self._closing
-                )
-            for batch in batches:
+            try:
                 self._execute(batch)
+            finally:
+                with self._cond:
+                    self._inflight -= 1
 
     @staticmethod
     def _fail_future(future: concurrent.futures.Future, exc: Exception) -> None:
@@ -495,14 +637,28 @@ class IKServer:
         if not future.cancelled():
             future.set_result(result)
 
-    def _execute(self, batch: MicroBatch) -> None:
-        from repro import api
+    def _triage(
+        self, batch: MicroBatch, now: float, tr: Tracer
+    ) -> "list[PendingEntry]":
+        """Deadline triage at dispatch: drop the expired, shed the doomed.
 
-        now = time.monotonic()
-        tr = self._tracer if self._tracer is not None else get_tracer()
+        Expired entries fail with :class:`DeadlineExceeded`.  When SLO
+        shedding is enabled and this group has an execution-time estimate,
+        entries whose deadline precedes ``now + estimate`` fail with
+        :class:`SloShed` — the server refuses work it predicts the client
+        cannot use, and spends the solver time on requests that can still
+        make their SLO.
+        """
+        predicted = (
+            self._exec_ewma.get(batch.key)
+            if self.config.slo_shedding else None
+        )
         live: list[PendingEntry] = []
         for entry in batch.entries:
-            if entry.expiry is not None and now > entry.expiry:
+            if entry.expiry is None:
+                live.append(entry)
+                continue
+            if now > entry.expiry:
                 self._fail_future(entry.future, DeadlineExceeded.from_request(
                     f"expired after {now - entry.enqueue_t:.4f}s in queue",
                     batch.key.solver,
@@ -511,8 +667,26 @@ class IKServer:
                     self._stats.expired_in_queue += 1
                 if tr.enabled:
                     tr.count("serve_deadline_expired")
+            elif predicted is not None and now + predicted > entry.expiry:
+                self._fail_future(entry.future, SloShed.from_request(
+                    f"predicted solve time {predicted:.4f}s exceeds the "
+                    f"remaining {entry.expiry - now:.4f}s budget",
+                    batch.key.solver,
+                ))
+                with self._cond:
+                    self._stats.rejected_shed += 1
+                if tr.enabled:
+                    tr.count("serve_shed")
             else:
                 live.append(entry)
+        return live
+
+    def _execute(self, batch: MicroBatch) -> None:
+        from repro import api
+
+        now = time.monotonic()
+        tr = self._tracer if self._tracer is not None else get_tracer()
+        live = self._triage(batch, now, tr)
         if not live:
             return
 
@@ -544,11 +718,23 @@ class IKServer:
             return
         elapsed = time.perf_counter() - start
 
+        warm_iters = cold_iters = warm_n = cold_n = 0
         with self._cond:
             for entry, res in zip(live, result):
                 if self._seed_cache is not None and res.converged:
                     self._seed_cache.record(chain, entry.target, res.q)
+                if entry.warm_started:
+                    warm_n += 1
+                    warm_iters += res.iterations
+                else:
+                    cold_n += 1
+                    cold_iters += res.iterations
                 self._complete_future(entry.future, res)
+            prev = self._exec_ewma.get(batch.key)
+            self._exec_ewma[batch.key] = (
+                elapsed if prev is None
+                else EXEC_EWMA_ALPHA * elapsed + (1 - EXEC_EWMA_ALPHA) * prev
+            )
             stats = self._stats
             stats.completed += len(live)
             stats.batches += 1
@@ -559,15 +745,25 @@ class IKServer:
                 stats.coalesce_wait_peak_s, max(coalesce_waits)
             )
             stats.execute_s += elapsed
+            stats.warm_requests += warm_n
+            stats.warm_iterations += warm_iters
+            stats.cold_requests += cold_n
+            stats.cold_iterations += cold_iters
         if tr.enabled:
             tr.count("serve_batches")
             tr.add_phase("serve_coalesce", sum(coalesce_waits))
             tr.add_phase("serve_execute", elapsed)
+            if warm_iters:
+                tr.count("serve_warm_iterations", warm_iters)
+            if cold_iters:
+                tr.count("serve_cold_iterations", cold_iters)
 
     def __repr__(self) -> str:
         return (
             f"IKServer(max_batch_size={self.config.max_batch_size}, "
             f"max_wait_ms={self.config.max_wait_ms}, "
+            f"dispatch_workers={self.config.dispatch_workers}, "
+            f"adaptive={self.config.adaptive}, "
             f"on_error={self.config.on_error!r}, "
             f"queue_depth={self.queue_depth})"
         )

@@ -62,6 +62,22 @@ class TestParsing:
         assert args.out == "BENCH_serving.json"
         assert args.on_error == "skip"
         assert args.deadline_ms is None
+        # PR-7 serving defaults: warm start + adaptive batching on, one
+        # dispatch loop, iid target stream.
+        assert args.warm_start is True
+        assert args.adaptive is True
+        assert args.dispatch_workers == 1
+        assert args.workload == "iid"
+
+    def test_serve_bench_negated_booleans(self):
+        args = build_parser().parse_args([
+            "serve-bench", "--no-warm-start", "--no-adaptive",
+            "--dispatch-workers", "4", "--workload", "tracking",
+        ])
+        assert args.warm_start is False
+        assert args.adaptive is False
+        assert args.dispatch_workers == 4
+        assert args.workload == "tracking"
 
 
 class TestSolve:

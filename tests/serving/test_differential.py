@@ -8,6 +8,16 @@ the batched einsum formulation whose per-problem numerics the conformance
 tier pins to the scalar driver at 1e-9, so q is compared at that bound while
 the discrete outcome (iterations / converged / status / FK count) must match
 exactly.
+
+The guarantee is *dispatch-count invariant*: ``q0`` is fixed at admission
+and per-problem numerics are independent of batch composition, so the same
+stream through ``dispatch_workers=4`` must produce the same per-request
+results as through the single loop — pinned here across {1, 4}.
+
+Warm starting is explicitly disabled throughout: it replaces the seeded
+``q0`` draw with a cached solution (by design not offline-comparable), and
+whether a given admission hits the cache depends on how far concurrent
+execution has progressed — the one timing-dependent piece of the pipeline.
 """
 
 from __future__ import annotations
@@ -67,9 +77,13 @@ def _assert_equivalent(served, direct, lock_step: bool) -> None:
         assert served.error == direct.error
 
 
-def test_mixed_stream_matches_direct_solves():
+@pytest.mark.parametrize("dispatch_workers", [1, 4])
+def test_mixed_stream_matches_direct_solves(dispatch_workers):
     stream = _stream(per_cell=2)
-    config = ServerConfig(max_batch_size=4, max_wait_ms=100.0)
+    config = ServerConfig(
+        max_batch_size=4, max_wait_ms=100.0, warm_start=False,
+        dispatch_workers=dispatch_workers,
+    )
     with IKServer(config) as srv:
         futures = [srv.submit(req) for req, _ in stream]
         served = [f.result(timeout=120) for f in futures]
@@ -108,14 +122,50 @@ def test_served_results_independent_of_batch_composition():
             ]
             return [f.result(timeout=120) for f in futures]
 
-    coalesced = run(ServerConfig(max_batch_size=3, max_wait_ms=10_000.0),
+    coalesced = run(ServerConfig(max_batch_size=3, max_wait_ms=10_000.0,
+                                 warm_start=False),
                     [0, 1, 2])
-    singletons = run(ServerConfig(max_batch_size=1, max_wait_ms=0.0),
+    singletons = run(ServerConfig(max_batch_size=1, max_wait_ms=0.0,
+                                  warm_start=False),
                      [0, 1, 2])
     for a, b in zip(coalesced, singletons):
         np.testing.assert_array_equal(a.q, b.q)
         assert a.iterations == b.iterations
         assert a.status == b.status
+
+
+def test_served_results_identical_across_dispatch_worker_counts():
+    # The tentpole acceptance pin: the same request stream through 1 and 4
+    # dispatch loops yields bit-identical per-request results — concurrent
+    # dispatch may change which batch a request rides, never its answer.
+    chain = named_robot("dadu-12dof")
+    rng = np.random.default_rng(11)
+    targets = [
+        chain.end_position(chain.random_configuration(rng)) for _ in range(8)
+    ]
+
+    def run(dispatch_workers):
+        config = ServerConfig(
+            max_batch_size=3, max_wait_ms=5.0, warm_start=False,
+            dispatch_workers=dispatch_workers,
+        )
+        with IKServer(config) as srv:
+            futures = [
+                srv.submit(SolveRequest(
+                    "dadu-12dof", t, seed=3000 + i,
+                    tolerance=TOLERANCE, max_iterations=MAX_ITERATIONS,
+                ))
+                for i, t in enumerate(targets)
+            ]
+            return [f.result(timeout=120) for f in futures]
+
+    single = run(1)
+    multi = run(4)
+    for a, b in zip(single, multi):
+        np.testing.assert_array_equal(a.q, b.q)
+        assert a.iterations == b.iterations
+        assert a.status == b.status
+        assert a.fk_evaluations == b.fk_evaluations
 
 
 def test_sharded_serving_matches_inline():
@@ -129,7 +179,8 @@ def test_sharded_serving_matches_inline():
 
     def run(workers):
         config = ServerConfig(
-            max_batch_size=4, max_wait_ms=10_000.0, workers=workers
+            max_batch_size=4, max_wait_ms=10_000.0, workers=workers,
+            warm_start=False,
         )
         with IKServer(config) as srv:
             futures = [

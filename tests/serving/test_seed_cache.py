@@ -109,6 +109,116 @@ class TestBounds:
             SeedCache(**kwargs)
 
 
+class TestRankedSelection:
+    """IKSel-style scoring: k-NN pool, limit penalty, deterministic ties."""
+
+    def test_tied_distances_resolve_to_most_recent(self, chain):
+        # Two cached solutions for the *same* target: identical distance,
+        # identical limit proximity -> the later recording wins (trajectory
+        # locality), deterministically.
+        cache = SeedCache()
+        cache.record(chain, np.zeros(3), _q(0.2))
+        cache.record(chain, np.zeros(3), _q(-0.2))
+        np.testing.assert_array_equal(
+            cache.lookup(chain, np.zeros(3)), _q(-0.2)
+        )
+        # Repeat lookups stay stable.
+        np.testing.assert_array_equal(
+            cache.lookup(chain, np.zeros(3)), _q(-0.2)
+        )
+
+    def test_limit_penalty_prefers_centred_seed(self, chain):
+        # Equidistant candidates (mirror targets around the query): the
+        # seed pinned against its +/-pi limits loses to the centred one
+        # even though it was recorded more recently.
+        cache = SeedCache()
+        cache.record(chain, [0.1, 0.0, 0.0], _q(0.0))       # centred
+        cache.record(chain, [-0.1, 0.0, 0.0], _q(3.14159))  # on the limits
+        np.testing.assert_array_equal(
+            cache.lookup(chain, np.zeros(3)), _q(0.0)
+        )
+
+    def test_zero_penalty_restores_pure_distance_ranking(self, chain):
+        cache = SeedCache(limit_penalty=0.0)
+        cache.record(chain, [0.1, 0.0, 0.0], _q(0.0))
+        cache.record(chain, [-0.05, 0.0, 0.0], _q(3.14159))
+        # The clamped seed is strictly nearer and nothing penalises it.
+        np.testing.assert_array_equal(
+            cache.lookup(chain, np.zeros(3)), _q(3.14159)
+        )
+
+    def test_k_bounds_the_candidate_pool(self, chain):
+        # With k=1 only the single nearest target is scored, so the
+        # limit penalty cannot rescue the centred-but-farther seed.
+        cache = SeedCache(k=1)
+        cache.record(chain, [0.1, 0.0, 0.0], _q(0.0))
+        cache.record(chain, [-0.05, 0.0, 0.0], _q(3.14159))
+        np.testing.assert_array_equal(
+            cache.lookup(chain, np.zeros(3)), _q(3.14159)
+        )
+
+    def test_nonfinite_cached_target_is_never_selected(self, chain):
+        cache = SeedCache()
+        cache.record(chain, [np.nan, 0.0, 0.0], _q(9.0))
+        cache.record(chain, [0.2, 0.0, 0.0], _q(1.0))
+        np.testing.assert_array_equal(
+            cache.lookup(chain, np.zeros(3)), _q(1.0)
+        )
+
+    @pytest.mark.parametrize(
+        "kwargs", [{"k": 0}, {"limit_penalty": -0.5}],
+    )
+    def test_ranking_knob_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            SeedCache(**kwargs)
+
+
+class TestMixedRobotStreams:
+    def test_interleaved_robots_stay_isolated(self):
+        # A mixed stream must never cross-pollinate: each robot's lookups
+        # only ever see its own recordings.
+        cache = SeedCache()
+        a, b = named_robot("planar-8dof"), named_robot("dadu-12dof")
+        for i in range(4):
+            cache.record(a, [0.1 * i, 0.0, 0.0], _q(float(i), 8))
+            cache.record(b, [0.1 * i, 0.0, 0.0], _q(float(-i), 12))
+        got_a = cache.lookup(a, [0.3, 0.0, 0.0])
+        got_b = cache.lookup(b, [0.3, 0.0, 0.0])
+        assert got_a.shape == (8,) and got_b.shape == (12,)
+        np.testing.assert_array_equal(got_a, _q(3.0, 8))
+        np.testing.assert_array_equal(got_b, _q(-3.0, 12))
+
+    def test_mid_stream_mutation_invalidates_only_that_robot(self):
+        cache = SeedCache()
+        a, b = named_robot("planar-8dof"), named_robot("dadu-12dof")
+        cache.record(a, np.zeros(3), _q(1.0, 8))
+        cache.record(b, np.zeros(3), _q(2.0, 12))
+        a._const[0, 0, 3] += 0.25  # a's geometry changes under the cache
+        assert cache.lookup(a, np.zeros(3)) is None
+        np.testing.assert_array_equal(
+            cache.lookup(b, np.zeros(3)), _q(2.0, 12)
+        )
+        # Recording under the mutated geometry starts a fresh entry set.
+        cache.record(a, np.zeros(3), _q(5.0, 8))
+        np.testing.assert_array_equal(
+            cache.lookup(a, np.zeros(3)), _q(5.0, 8)
+        )
+
+    def test_eviction_is_fifo_within_the_ranked_pool(self, chain):
+        # Capacity 3, four recordings: the oldest falls out, and ranked
+        # selection over the survivors returns the nearest of the three
+        # newest — eviction order is insertion order, not score order.
+        cache = SeedCache(capacity=3)
+        for i in range(4):
+            cache.record(chain, [float(i), 0.0, 0.0], _q(float(i)))
+        np.testing.assert_array_equal(
+            cache.lookup(chain, [0.0, 0.0, 0.0]), _q(1.0)
+        )
+        np.testing.assert_array_equal(
+            cache.lookup(chain, [3.0, 0.0, 0.0]), _q(3.0)
+        )
+
+
 class TestStats:
     def test_hit_rate(self, chain):
         cache = SeedCache()

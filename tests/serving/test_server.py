@@ -274,11 +274,11 @@ class TestFacade:
     def test_api_serve_start_false_defers_worker(self):
         srv = api.serve(start=False, max_wait_ms=20.0)
         try:
-            assert srv._thread is None
+            assert srv._threads == []
             (target,) = reachable_targets(ROBOT, 1)
-            # submit auto-starts the loop.
+            # submit auto-starts the loops.
             assert srv.solve(request(target), timeout=60).converged
-            assert srv._thread is not None
+            assert len(srv._threads) == srv.config.dispatch_workers
         finally:
             srv.close()
 
@@ -295,10 +295,22 @@ class TestConfigValidation:
             {"max_wait_ms": -1.0},
             {"max_queue": 0},
             {"workers": 0},
+            {"dispatch_workers": 0},
             {"on_error": "explode"},
             {"seed_cache_capacity": -1},
+            {"seed_k": 0},
+            {"seed_limit_penalty": -0.1},
         ],
     )
     def test_bad_config_rejected(self, kwargs):
         with pytest.raises(ValueError):
             ServerConfig(**kwargs)
+
+    def test_serving_defaults(self):
+        # PR-7 defaults: warm-start on, adaptive batching on, predictive
+        # shedding on, one dispatch loop.
+        config = ServerConfig()
+        assert config.warm_start is True
+        assert config.adaptive is True
+        assert config.slo_shedding is True
+        assert config.dispatch_workers == 1
