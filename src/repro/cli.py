@@ -173,14 +173,19 @@ def build_parser() -> argparse.ArgumentParser:
                                   "arrival rate (--no-adaptive for the "
                                   "static triggers)")
     serve_bench.add_argument("--workload", default="iid",
-                             choices=["iid", "tracking"],
+                             choices=["iid", "tracking", "sessions"],
                              help="target stream shape: iid (independent "
-                                  "workspace draws) or tracking (smooth "
+                                  "workspace draws), tracking (smooth "
                                   "per-client trajectories — the warm-start "
-                                  "workload)")
+                                  "workload), or sessions (the same "
+                                  "trajectories streamed through "
+                                  "TrackingSession handles: each tick is "
+                                  "warm-started from that session's last "
+                                  "solution; see docs/serving.md)")
     serve_bench.add_argument("--tracks", type=_positive_int, default=8,
-                             help="simulated clients in the tracking "
-                                  "workload")
+                             help="simulated clients in the tracking/"
+                                  "sessions workloads (sessions: one "
+                                  "TrackingSession per client)")
     serve_bench.add_argument("--workers", type=_positive_int, default=None,
                              help="shard each micro-batch across this many "
                                   "worker processes (default: in-process)")
@@ -552,6 +557,23 @@ def _cmd_serve_bench(args) -> int:
             line += (
                 f"; mean iterations {baseline['warm_mean_iterations']:.1f} "
                 f"warm vs {baseline['mean_iterations']:.1f} cold "
+                f"({baseline['iteration_reduction'] * 100:.1f}% fewer)"
+            )
+        print(line)
+    sessions = payload.get("sessions")
+    if sessions:
+        manager = sessions["manager"]
+        line = (
+            f"sessions: {sessions['count']} streams, "
+            f"{manager['ticks']} ticks "
+            f"({manager['warm_ticks']} warm-chained)"
+        )
+        baseline = sessions.get("cold_baseline")
+        if baseline and baseline["iteration_reduction"] is not None:
+            line += (
+                f"; mean iterations "
+                f"{baseline['warm_mean_iterations']:.1f} warm vs "
+                f"{baseline['mean_iterations']:.1f} cold per-tick "
                 f"({baseline['iteration_reduction'] * 100:.1f}% fewer)"
             )
         print(line)

@@ -16,7 +16,27 @@ import numpy as np
 from repro.core.result import IKResult
 from repro.kinematics.chain import KinematicChain
 
-__all__ = ["interpolate_line", "interpolate_waypoints", "TrackingReport", "TrajectoryFollower"]
+__all__ = [
+    "interpolate_line",
+    "interpolate_waypoints",
+    "next_seed",
+    "TrackingReport",
+    "TrajectoryFollower",
+]
+
+
+def next_seed(result: IKResult, fallback: np.ndarray) -> np.ndarray:
+    """The warm-start seed to carry into the next solve of a stream.
+
+    The single seed contract shared by :class:`TrajectoryFollower` and the
+    serving layer's :class:`~repro.serving.sessions.TrackingSession`: a
+    converged, finite solution becomes the next seed; anything else keeps
+    the previous seed (re-solving from the last good configuration instead
+    of chasing a diverged or capped-out iterate).
+    """
+    if result.converged and bool(np.all(np.isfinite(result.q))):
+        return np.asarray(result.q, dtype=float)
+    return fallback
 
 
 def interpolate_line(start: np.ndarray, end: np.ndarray, steps: int) -> np.ndarray:
@@ -122,7 +142,7 @@ class TrajectoryFollower:
             results.append(result)
             if not result.converged and stop_on_failure:
                 break
-            q = result.q
+            q = next_seed(result, q)
             joint_path.append(q.copy())
         return TrackingReport(
             waypoints=waypoints,

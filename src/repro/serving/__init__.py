@@ -29,6 +29,16 @@ from repro.serving.request import (
 )
 from repro.serving.seeds import SeedCache, SeedCacheStats, chain_fingerprint
 from repro.serving.server import IKServer, ServerConfig, ServingStats
+from repro.serving.sessions import (
+    SessionClosed,
+    SessionConfig,
+    SessionExpired,
+    SessionLimit,
+    SessionManager,
+    SessionRejected,
+    SessionStats,
+    TrackingSession,
+)
 
 __all__ = [
     "IKServer",
@@ -49,4 +59,12 @@ __all__ = [
     "GroupKey",
     "PendingEntry",
     "run_serve_bench",
+    "SessionManager",
+    "TrackingSession",
+    "SessionConfig",
+    "SessionStats",
+    "SessionRejected",
+    "SessionLimit",
+    "SessionExpired",
+    "SessionClosed",
 ]

@@ -16,6 +16,14 @@ Two target workloads:
   trajectory-tracking shape real IK services see, and the workload where
   IKSel-style warm starting pays: each tick's best seed is the track's
   previous solution.
+* ``"sessions"`` — the same interleaved random walks, but each track
+  streams through a :class:`~repro.serving.sessions.TrackingSession`
+  (``tracks`` sessions on one :class:`~repro.serving.sessions.
+  SessionManager`), so every tick is admitted with an explicit ``q0``
+  chained from that session's previous solution instead of relying on the
+  server-side seed cache.  The payload gains a ``"sessions"`` section with
+  the manager's aggregate stats and a cold per-tick baseline re-solve
+  measuring the warm-chaining iteration reduction.
 
 The payload records throughput, end-to-end latency percentiles measured
 from each request's *scheduled* arrival, **scheduler lag** (how late the
@@ -48,6 +56,7 @@ from repro.api import resolve_robot
 from repro.execution import ExecutionOptions, KernelSpec
 from repro.serving.request import Overloaded, ServingRejected, SolveRequest
 from repro.serving.server import IKServer, ServerConfig
+from repro.serving.sessions import SessionConfig, SessionManager
 from repro.telemetry.sinks import percentile
 
 __all__ = ["run_serve_bench", "WORKLOADS"]
@@ -56,7 +65,7 @@ __all__ = ["run_serve_bench", "WORKLOADS"]
 PERCENTILES = (50.0, 90.0, 99.0)
 
 #: Target-stream shapes the loadgen can drive.
-WORKLOADS = ("iid", "tracking")
+WORKLOADS = ("iid", "tracking", "sessions")
 
 #: Simulated concurrent clients in the tracking workload.
 DEFAULT_TRACKS = 8
@@ -167,7 +176,8 @@ def run_serve_bench(
 
     chain = resolve_robot(robot)
     rng = np.random.default_rng(seed)
-    if workload == "tracking":
+    sessions_mode = workload == "sessions"
+    if workload in ("tracking", "sessions"):
         targets = _tracking_targets(chain, requests, rng, tracks=tracks)
     else:
         targets = _reachable_targets(chain, requests, rng)
@@ -214,25 +224,53 @@ def run_serve_bench(
             done_at[index] = time.monotonic()
         return _cb
 
+    manager: SessionManager | None = None
+    sessions: list = []
     with server:
+        if sessions_mode:
+            # One streaming session per simulated client.  Session j's
+            # seed matches its first tick's global request index (j), so
+            # the cold per-tick baseline below re-draws exactly the first
+            # tick's fallback seed.
+            manager = SessionManager(
+                server,
+                SessionConfig(
+                    max_sessions=max(1, min(tracks, requests)),
+                    idle_expiry_s=None,
+                ),
+            )
+            sessions = [
+                manager.open(
+                    chain, solver=solver, seed=seed + 1 + j,
+                    tolerance=tolerance, max_iterations=max_iterations,
+                )
+                for j in range(min(tracks, requests))
+            ]
         t0 = time.monotonic()
         for i in range(requests):
             scheduled = t0 + float(arrivals[i])
             delay = scheduled - time.monotonic()
             if delay > 0:
                 time.sleep(delay)
-            request = SolveRequest(
-                robot=chain,
-                target=targets[i],
-                solver=solver,
-                seed=seed + 1 + i,
-                tolerance=tolerance,
-                max_iterations=max_iterations,
-                deadline_s=deadline_s,
-            )
             try:
                 submitted_at[i] = time.monotonic()
-                future = server.submit(request)
+                if sessions_mode:
+                    # tick() waits on the session's previous result (the
+                    # warm-start chain), so a session stream is closed-loop
+                    # per client while arrivals stay scheduled.
+                    future = sessions[i % len(sessions)].tick(
+                        targets[i], deadline_s=deadline_s
+                    )
+                else:
+                    future = server.submit(SolveRequest(
+                        robot=chain,
+                        target=targets[i],
+                        solver=solver,
+                        seed=seed + 1 + i,
+                        tolerance=tolerance,
+                        max_iterations=max_iterations,
+                        deadline_s=deadline_s,
+                    ))
             except Overloaded as exc:
                 # Open loop: an overloaded server drops, the client does
                 # not retry — the drop rate is part of the measurement.
@@ -266,6 +304,9 @@ def run_serve_bench(
             completed_indices.append(i)
             converged += int(result.converged)
             statuses[result.status] = statuses.get(result.status, 0) + 1
+        session_stats = manager.stats() if manager is not None else None
+        if manager is not None:
+            manager.close_all()
         makespan = time.monotonic() - t0
     stats = server.stats()
 
@@ -277,11 +318,34 @@ def run_serve_bench(
             float(np.mean(iterations)) if iterations else None
         ),
     }
-    if warm_start and cold_baseline and completed_indices:
+    if warm_start and cold_baseline and completed_indices and not sessions_mode:
         warm_payload["cold_baseline"] = _cold_baseline(
             chain, solver, targets, completed_indices, seed,
             tolerance, max_iterations, options, iterations,
         )
+
+    sessions_payload: dict[str, Any] | None = None
+    if sessions_mode:
+        # The session acceptance measurement: mean iterations of the
+        # streamed (warm-chained) ticks vs a cold per-tick re-solve of the
+        # same targets from the seeded draws a session-less client would
+        # have used.
+        sessions_payload = {
+            "count": len(sessions),
+            "manager": session_stats,
+            "mean_iterations": (
+                float(np.mean(iterations)) if iterations else None
+            ),
+        }
+        if cold_baseline and completed_indices:
+            baseline = _cold_baseline(
+                chain, solver, targets, completed_indices, seed,
+                tolerance, max_iterations, options, iterations,
+            )
+            sessions_payload["cold_baseline"] = baseline
+            sessions_payload["iteration_reduction"] = (
+                baseline["iteration_reduction"]
+            )
 
     completed = len(latencies)
     payload: dict[str, Any] = {
@@ -307,7 +371,9 @@ def run_serve_bench(
             "on_error": on_error,
             "warm_start": warm_start,
             "seed_k": seed_k,
-            "tracks": tracks if workload == "tracking" else None,
+            "tracks": (
+                tracks if workload in ("tracking", "sessions") else None
+            ),
             "tolerance": tolerance,
             "max_iterations": max_iterations,
             "deadline_s": deadline_s,
@@ -326,6 +392,7 @@ def run_serve_bench(
         "scheduler_lag_s": _sample_stats(scheduler_lags),
         "warm_start": warm_payload,
         "serving": stats.to_dict(),
+        **({"sessions": sessions_payload} if sessions_payload else {}),
         "notes": (
             "open-loop seeded Poisson arrivals; latency_s is measured from "
             "each request's scheduled arrival (so it includes scheduler "

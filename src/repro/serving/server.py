@@ -534,6 +534,23 @@ class IKServer:
         with self._cond:
             return self._batcher.pending_count
 
+    def warm_seed(
+        self, robot: Any, target: np.ndarray
+    ) -> "np.ndarray | None":
+        """Ranked warm-start seed for ``target``, or ``None`` on a miss.
+
+        The session layer's first-tick fallback: a locked lookup into the
+        server's :class:`~repro.serving.seeds.SeedCache` (which is not
+        thread-safe on its own).  Pure lookup — hit/miss counters are the
+        caller's concern, and nothing is recorded.
+        """
+        if self._seed_cache is None:
+            return None
+        chain = self._resolve_chain(robot)
+        target = np.asarray(target, dtype=float)
+        with self._cond:
+            return self._seed_cache.lookup(chain, target)
+
     def stats(self) -> ServingStats:
         """A consistent snapshot of the server's lifetime stats."""
         with self._cond:
@@ -719,16 +736,30 @@ class IKServer:
         elapsed = time.perf_counter() - start
 
         warm_iters = cold_iters = warm_n = cold_n = 0
+        for entry, res in zip(live, result):
+            if entry.warm_started:
+                warm_n += 1
+                warm_iters += res.iterations
+            else:
+                cold_n += 1
+                cold_iters += res.iterations
+        # Emit the batch's telemetry *before* completing any future: a
+        # caller chaining submissions off a result (e.g. a tracking
+        # session awaiting tick N before submitting tick N+1) then
+        # observes a deterministic counter sequence, which the golden
+        # trace fixture relies on.
+        if tr.enabled:
+            tr.count("serve_batches")
+            tr.add_phase("serve_coalesce", sum(coalesce_waits))
+            tr.add_phase("serve_execute", elapsed)
+            if warm_iters:
+                tr.count("serve_warm_iterations", warm_iters)
+            if cold_iters:
+                tr.count("serve_cold_iterations", cold_iters)
         with self._cond:
             for entry, res in zip(live, result):
                 if self._seed_cache is not None and res.converged:
                     self._seed_cache.record(chain, entry.target, res.q)
-                if entry.warm_started:
-                    warm_n += 1
-                    warm_iters += res.iterations
-                else:
-                    cold_n += 1
-                    cold_iters += res.iterations
                 self._complete_future(entry.future, res)
             prev = self._exec_ewma.get(batch.key)
             self._exec_ewma[batch.key] = (
@@ -749,14 +780,6 @@ class IKServer:
             stats.warm_iterations += warm_iters
             stats.cold_requests += cold_n
             stats.cold_iterations += cold_iters
-        if tr.enabled:
-            tr.count("serve_batches")
-            tr.add_phase("serve_coalesce", sum(coalesce_waits))
-            tr.add_phase("serve_execute", elapsed)
-            if warm_iters:
-                tr.count("serve_warm_iterations", warm_iters)
-            if cold_iters:
-                tr.count("serve_cold_iterations", cold_iters)
 
     def __repr__(self) -> str:
         return (

@@ -16,7 +16,9 @@ from repro.solvers.batched import (
 )
 from repro.solvers.ccd import CyclicCoordinateDescentSolver
 from repro.solvers.dls import DampedLeastSquaresSolver
+from repro.solvers.fdik import ForwardDynamicsSolver
 from repro.solvers.jacobian_transpose import JacobianTransposeSolver
+from repro.solvers.mdik import MirrorDescentSolver
 from repro.solvers.nullspace import NullSpaceSolver, limit_centering_gradient
 from repro.solvers.pose_ik import PoseQuickIKSolver
 from repro.solvers.pseudoinverse import PseudoinverseSolver, damped_pinv
@@ -43,7 +45,9 @@ __all__ = [
     "LockStepEngine",
     "CyclicCoordinateDescentSolver",
     "DampedLeastSquaresSolver",
+    "ForwardDynamicsSolver",
     "JacobianTransposeSolver",
+    "MirrorDescentSolver",
     "NullSpaceSolver",
     "limit_centering_gradient",
     "PoseQuickIKSolver",

@@ -27,7 +27,9 @@ from repro.core.quick_ik import QuickIKSolver
 from repro.solvers.batched import BatchedJacobianTranspose, BatchedQuickIK
 from repro.solvers.ccd import CyclicCoordinateDescentSolver
 from repro.solvers.dls import DampedLeastSquaresSolver
+from repro.solvers.fdik import ForwardDynamicsSolver
 from repro.solvers.jacobian_transpose import JacobianTransposeSolver
+from repro.solvers.mdik import MirrorDescentSolver
 from repro.solvers.nullspace import NullSpaceSolver
 from repro.solvers.pseudoinverse import PseudoinverseSolver
 from repro.solvers.sdls import SelectivelyDampedSolver
@@ -52,6 +54,8 @@ SOLVER_REGISTRY = {
     "CCD": CyclicCoordinateDescentSolver,
     "J-1-SVD+nullspace": NullSpaceSolver,
     "JT-Hybrid": HybridSpeculativeSolver,
+    "fdik": ForwardDynamicsSolver,
+    "mdik": MirrorDescentSolver,
 }
 
 #: Lock-step batch engines, keyed by the scalar solver they accelerate.

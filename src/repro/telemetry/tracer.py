@@ -53,7 +53,12 @@ __all__ = [
 #: (backpressure rejections), ``serve_deadline_expired`` (latency budgets
 #: expired at admission or in queue), and ``serve_cache_hits`` /
 #: ``serve_cache_misses`` (warm-start seed-cache lookups), plus the
-#: ``serve_coalesce`` / ``serve_execute`` phase timers.  The lock-step
+#: ``serve_coalesce`` / ``serve_execute`` phase timers.  The session layer
+#: (:mod:`repro.serving.sessions`) adds ``serve_session_opened`` /
+#: ``serve_session_closed`` / ``serve_session_expired`` /
+#: ``serve_session_rejected`` (lifecycle) and ``serve_session_ticks`` /
+#: ``serve_session_warm_ticks`` / ``serve_session_cold_ticks`` (stream
+#: admissions, split by warm chaining).  The lock-step
 #: engines add ``compaction_savings`` (candidate rows the compacted
 #: active-set sweep skipped relative to the batch's naive ``B x Max``
 #: grid — a per-batch-shape quantity, so unlike the work counters it is

@@ -79,6 +79,18 @@ class TestParsing:
         assert args.dispatch_workers == 4
         assert args.workload == "tracking"
 
+    def test_serve_bench_sessions_workload(self):
+        args = build_parser().parse_args([
+            "serve-bench", "--workload", "sessions", "--tracks", "3",
+        ])
+        assert args.workload == "sessions"
+        assert args.tracks == 3
+
+    @pytest.mark.parametrize("solver", ["fdik", "mdik"])
+    def test_new_solver_families_are_choices(self, solver):
+        args = build_parser().parse_args(["solve", "--solver", solver])
+        assert args.solver == solver
+
 
 class TestSolve:
     def test_converged_exits_0(self, capsys):
@@ -106,6 +118,18 @@ class TestSolve:
         rc = main(["solve", "--robot", "dadu-12dof", "--workers", "2",
                    "--max-iterations", "2000"])
         assert rc == 0
+
+    @pytest.mark.parametrize("solver", ["fdik", "mdik"])
+    def test_new_families_converge(self, solver, capsys):
+        rc = main(["solve", "--robot", "dadu-12dof", "--solver", solver,
+                   "--max-iterations", "2000"])
+        assert rc == 0
+        assert "converged" in capsys.readouterr().out
+
+    @pytest.mark.parametrize("solver", ["fdik", "mdik"])
+    def test_new_families_unconverged_exit_1(self, solver):
+        assert main(["solve", "--robot", "dadu-12dof", "--solver", solver,
+                     "--max-iterations", "1"]) == 1
 
 
 class TestSimulateAndTrace:
@@ -152,6 +176,35 @@ class TestServeBench:
         assert payload["converged"] > 0
         assert payload["serving"]["mean_occupancy"] >= 1.0
         assert set(payload["latency_s"]) >= {"mean", "p50", "p90", "p99"}
+
+    def test_sessions_workload_records_section(self, tmp_path, capsys):
+        out = tmp_path / "bench_sessions.json"
+        rc = main([
+            "serve-bench", "--robot", "dadu-12dof", "--requests", "12",
+            "--rate", "300", "--workload", "sessions", "--tracks", "3",
+            "--max-iterations", "2000", "--seed", "7", "--out", str(out),
+        ])
+        assert rc == 0
+        assert "sessions: 3 streams, 12 ticks" in capsys.readouterr().out
+        payload = json.loads(out.read_text())
+        sessions = payload["sessions"]
+        assert sessions["count"] == 3
+        assert sessions["manager"]["ticks"] == 12
+        assert sessions["manager"]["cold_ticks"] == 3
+        assert sessions["manager"]["warm_ticks"] == 9
+        # Streamed warm-chaining must beat the cold per-tick baseline.
+        assert sessions["cold_baseline"]["iteration_reduction"] > 0.0
+
+    def test_zero_converged_health_check_exits_1(self, tmp_path, capsys):
+        out = tmp_path / "bench_failed.json"
+        rc = main([
+            "serve-bench", "--robot", "dadu-12dof", "--requests", "6",
+            "--rate", "300", "--workload", "sessions", "--tracks", "2",
+            "--max-iterations", "1", "--no-cold-baseline",
+            "--out", str(out),
+        ])
+        assert rc == 1
+        assert "serve-bench FAILED" in capsys.readouterr().err
 
 
 class TestRobots:

@@ -26,13 +26,15 @@ TIMING_FIELDS = {"t", "wall_time", "phase_seconds"}
 
 def generate_trace(path) -> None:
     """The fixture workload: one scalar solve, one lock-step batch, one
-    sharded batch, one skip-mode batch with a guarded target, and one
-    resilient solve that exhausts its fallback chain — covering every event
-    shape the solve paths emit."""
+    sharded batch, one skip-mode batch with a guarded target, one resilient
+    solve that exhausts its fallback chain, and a two-tick streaming session
+    — covering every event shape the solve and serving paths emit (including
+    the ``serve_session_*`` counters)."""
     import numpy as np
 
     from repro import api
     from repro.resilience import ResilienceConfig
+    from repro.serving import IKServer, ServerConfig, SessionManager
 
     chain = api.resolve_robot("dadu-12dof")
     rng = np.random.default_rng(1)
@@ -58,6 +60,24 @@ def generate_trace(path) -> None:
             chain, targets[0], "JT-Speculation", seed=2, max_iterations=1,
             resilience=ResilienceConfig(), tracer=tracer,
         )
+        # Streaming session: sequential awaited ticks against a single
+        # dispatch loop (no adaptive tuning, no seed cache) keep the
+        # per-event counter snapshots deterministic — the server emits all
+        # batch telemetry before completing futures.
+        server_config = ServerConfig(
+            max_batch_size=4, max_wait_ms=1.0, dispatch_workers=1,
+            adaptive=False, warm_start=False, seed_cache_capacity=0,
+        )
+        with IKServer(server_config, tracer=tracer) as server:
+            manager = SessionManager(server)
+            session = manager.open(
+                chain, solver="JT-DLS", seed=3,
+                tolerance=1e-2, max_iterations=60,
+            )
+            for target in targets[:2]:
+                session.tick(target).result(timeout=120)
+            session.drain()
+            manager.close_all()
 
 
 def _schema(events):

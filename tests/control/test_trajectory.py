@@ -127,3 +127,73 @@ class TestTrajectoryFollower:
         assert report.mean_iterations == 0.0
         assert report.max_error == 0.0
         assert report.joint_velocity_proxy().size == 0
+
+
+def _result(q, converged):
+    from repro.core.result import IKResult
+
+    q = np.asarray(q, dtype=float)
+    return IKResult(
+        q=q, converged=converged, iterations=1, error=0.0,
+        target=np.zeros(3), solver="JT-DLS", dof=q.size,
+    )
+
+
+class TestNextSeed:
+    def test_converged_result_becomes_seed(self):
+        from repro.control.trajectory import next_seed
+
+        q = np.array([0.1, 0.2])
+        fallback = np.zeros(2)
+        np.testing.assert_array_equal(
+            next_seed(_result(q, converged=True), fallback), q
+        )
+
+    def test_unconverged_or_nonfinite_keeps_fallback(self):
+        from repro.control.trajectory import next_seed
+
+        fallback = np.array([0.5, 0.5])
+        capped = _result([0.1, 0.2], converged=False)
+        assert next_seed(capped, fallback) is fallback
+        blown = _result([np.nan, 0.2], converged=True)
+        assert next_seed(blown, fallback) is fallback
+
+
+class TestServingParity:
+    def test_follower_matches_tracking_session(self, rng):
+        # The control loop and the serving layer share one warm-start
+        # contract (next_seed), so following a trajectory offline must
+        # reproduce a TrackingSession streaming the same waypoints from
+        # the same start configuration, bit for bit.
+        from repro.serving import IKServer, ServerConfig, SessionManager
+        from repro.solvers import make_solver
+
+        chain = paper_chain(12)
+        config = SolverConfig(tolerance=1e-2, max_iterations=300)
+        q_start = chain.random_configuration(rng)
+        goal = chain.end_position(chain.random_configuration(rng))
+        waypoints = interpolate_line(chain.end_position(q_start), goal, 5)
+
+        solver = make_solver("fdik", chain, config=config)
+        report = TrajectoryFollower(solver).follow(
+            waypoints, q_start=q_start, stop_on_failure=False
+        )
+
+        server_config = ServerConfig(
+            max_wait_ms=1.0, seed_cache_capacity=0, warm_start=False
+        )
+        with IKServer(server_config) as srv:
+            manager = SessionManager(srv)
+            session = manager.open(
+                chain, solver="fdik", q0=q_start,
+                tolerance=1e-2, max_iterations=300,
+            )
+            served = [session.tick(w).result(timeout=120) for w in waypoints]
+            manager.close_all()
+
+        assert len(served) == len(report.results)
+        for offline, online in zip(report.results, served):
+            np.testing.assert_array_equal(offline.q, online.q)
+            assert offline.iterations == online.iterations
+            assert offline.converged == online.converged
+            assert offline.error == online.error

@@ -1,0 +1,112 @@
+"""Tests for forward-dynamics IK (virtual-model damped dynamics steps)."""
+
+import numpy as np
+import pytest
+
+from repro.core.alpha import buss_alpha
+from repro.core.result import SolverConfig
+from repro.kinematics.robots import paper_chain
+from repro.solvers.fdik import ForwardDynamicsSolver
+
+
+class TestForwardDynamics:
+    def test_converges_12dof(self, rng):
+        chain = paper_chain(12)
+        solver = ForwardDynamicsSolver(
+            chain, config=SolverConfig(max_iterations=5000)
+        )
+        target = chain.end_position(chain.random_configuration(rng))
+        assert solver.solve(target, rng=rng).converged
+
+    def test_converges_50dof(self, rng):
+        chain = paper_chain(50)
+        solver = ForwardDynamicsSolver(
+            chain, config=SolverConfig(max_iterations=5000)
+        )
+        target = chain.end_position(chain.random_configuration(rng))
+        assert solver.solve(target, rng=rng).converged
+
+    def test_step_matches_closed_form(self, rng):
+        # First step from rest: qd = force_scale * alpha * J^T e.
+        chain = paper_chain(12)
+        solver = ForwardDynamicsSolver(
+            chain, damping=0.75, force_scale=1.0, error_clamp=None
+        )
+        q = chain.random_configuration(rng)
+        solver.initial_configuration(q, rng)  # resets the velocity state
+        position = chain.end_position(q)
+        target = chain.end_position(chain.random_configuration(rng))
+        outcome = solver._step(q, position, target)
+        jac = chain.jacobian_position(q)
+        error = target - position
+        tau = jac.T @ error
+        expected = q + buss_alpha(error, jac @ tau) * tau
+        np.testing.assert_allclose(outcome.q, expected)
+
+    def test_momentum_accumulates_across_steps(self, rng):
+        # damping < 1 keeps a fraction of the previous velocity: two steps
+        # toward the same target move further than two memoryless steps.
+        chain = paper_chain(12)
+        q = chain.random_configuration(rng)
+        target = chain.end_position(chain.random_configuration(rng))
+
+        def two_steps(damping):
+            solver = ForwardDynamicsSolver(chain, damping=damping)
+            solver.initial_configuration(q, rng)
+            q1 = solver._step(q, chain.end_position(q), target).q
+            q2 = solver._step(q1, chain.end_position(q1), target).q
+            return q2
+
+        with_momentum = two_steps(damping=0.25)
+        memoryless = two_steps(damping=1.0)
+        assert np.linalg.norm(with_momentum - q) > np.linalg.norm(
+            memoryless - q
+        )
+
+    def test_full_damping_recovers_buss_transpose_mode(self, rng):
+        # damping=1 discards all velocity memory: each step is exactly the
+        # Buss-normalized Jacobian-transpose step.
+        chain = paper_chain(12)
+        solver = ForwardDynamicsSolver(chain, damping=1.0, error_clamp=None)
+        q = chain.random_configuration(rng)
+        target = chain.end_position(chain.random_configuration(rng))
+        solver.initial_configuration(q, rng)
+        first = solver._step(q, chain.end_position(q), target).q
+        solver.initial_configuration(q, rng)
+        again = solver._step(q, chain.end_position(q), target).q
+        np.testing.assert_array_equal(first, again)
+
+    def test_velocity_state_resets_between_solves(self, rng):
+        # The per-solve reset is what makes fdik deterministic across the
+        # scalar, batch-fallback and sharded execution paths.
+        chain = paper_chain(12)
+        solver = ForwardDynamicsSolver(
+            chain, config=SolverConfig(max_iterations=2000)
+        )
+        target = chain.end_position(chain.random_configuration(rng))
+        first = solver.solve(target, rng=np.random.default_rng(5))
+        second = solver.solve(target, rng=np.random.default_rng(5))
+        np.testing.assert_array_equal(first.q, second.q)
+        assert first.iterations == second.iterations
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"damping": 0.0},
+            {"damping": 1.5},
+            {"force_scale": 0.0},
+            {"error_clamp": 0.0},
+            {"error_clamp": -1.0},
+        ],
+    )
+    def test_invalid_parameters_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            ForwardDynamicsSolver(paper_chain(12), **kwargs)
+
+    def test_registry_name(self):
+        from repro.solvers.registry import SOLVER_REGISTRY, make_solver
+
+        assert SOLVER_REGISTRY["fdik"] is ForwardDynamicsSolver
+        solver = make_solver("fdik", paper_chain(6), damping=0.5)
+        assert solver.damping == 0.5
+        assert solver.name == "fdik"

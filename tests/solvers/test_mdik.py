@@ -1,0 +1,127 @@
+"""Tests for mirror-descent IK (sigmoid/logit mirror map over limit boxes).
+
+The structural box invariance is property-tested in
+``tests/property/test_mdik_properties.py``; these are the deterministic
+unit cases: convergence, the closed-form step, boundary seeds, unbounded
+joints, and constructor validation.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.result import SolverConfig
+from repro.kinematics.robots import paper_chain
+from repro.solvers.mdik import MirrorDescentSolver
+
+
+class TestMirrorDescent:
+    def test_converges_12dof(self, rng):
+        chain = paper_chain(12)
+        solver = MirrorDescentSolver(
+            chain, config=SolverConfig(max_iterations=5000)
+        )
+        target = chain.end_position(chain.random_configuration(rng))
+        result = solver.solve(target, rng=rng)
+        assert result.converged
+        assert chain.within_limits(result.q)
+
+    def test_converges_50dof(self, rng):
+        chain = paper_chain(50)
+        solver = MirrorDescentSolver(
+            chain, config=SolverConfig(max_iterations=5000)
+        )
+        target = chain.end_position(chain.random_configuration(rng))
+        assert solver.solve(target, rng=rng).converged
+
+    def test_step_is_mirror_map_exactly(self, rng):
+        # One step == logit-space gradient step mapped back by sigmoid.
+        chain = paper_chain(12)
+        solver = MirrorDescentSolver(chain, error_clamp=None)
+        q = chain.random_configuration(rng)
+        position = chain.end_position(q)
+        target = chain.end_position(chain.random_configuration(rng))
+        outcome = solver._step(q, position, target)
+
+        from repro.core.alpha import buss_alpha
+
+        jac = chain.jacobian_position(q)
+        error = target - position
+        grad = jac.T @ error
+        alpha = buss_alpha(error, jac @ grad)
+        lower = chain.lower_limits
+        width = chain.upper_limits - lower
+        ratio = np.clip((q - lower) / width, 1e-9, 1.0 - 1e-9)
+        z = np.log(ratio) - np.log1p(-ratio)
+        z_new = np.clip(z + (4.0 * alpha / width) * grad, -36.0, 36.0)
+        expected = lower + width / (1.0 + np.exp(-z_new))
+        np.testing.assert_allclose(outcome.q, expected, atol=1e-12)
+
+    def test_boundary_seed_is_finite(self, rng):
+        chain = paper_chain(12)
+        solver = MirrorDescentSolver(chain)
+        target = chain.end_position(chain.random_configuration(rng))
+        q = solver._step(
+            chain.upper_limits.copy(),
+            chain.end_position(chain.upper_limits),
+            target,
+        ).q
+        assert np.all(np.isfinite(q))
+        assert chain.within_limits(q)
+
+    def test_unbounded_joints_fall_back_to_euclidean(self, rng):
+        # A chain with a non-finite limit pair cannot use the mirror map
+        # on that joint; the solver must still take finite steps.
+        chain = paper_chain(6)
+        lower = chain.lower_limits.copy()
+        upper = chain.upper_limits.copy()
+        lower[2], upper[2] = -np.inf, np.inf
+
+        class Unbounded:
+            dof = chain.dof
+            name = chain.name
+            lower_limits = lower
+            upper_limits = upper
+
+            def __getattr__(self, attr):
+                return getattr(chain, attr)
+
+        solver = MirrorDescentSolver(Unbounded())
+        q = chain.random_configuration(rng)
+        target = chain.end_position(chain.random_configuration(rng))
+        stepped = solver._step(q, chain.end_position(q), target).q
+        assert np.all(np.isfinite(stepped))
+        # the boxed joints still honour their limits
+        boxed = np.isfinite(lower) & np.isfinite(upper)
+        assert np.all(stepped[boxed] >= lower[boxed])
+        assert np.all(stepped[boxed] <= upper[boxed])
+
+    def test_deterministic_across_repeat_solves(self, rng):
+        chain = paper_chain(12)
+        solver = MirrorDescentSolver(
+            chain, config=SolverConfig(max_iterations=2000)
+        )
+        target = chain.end_position(chain.random_configuration(rng))
+        first = solver.solve(target, rng=np.random.default_rng(9))
+        second = solver.solve(target, rng=np.random.default_rng(9))
+        np.testing.assert_array_equal(first.q, second.q)
+        assert first.iterations == second.iterations
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"step_scale": 0.0},
+            {"step_scale": -1.0},
+            {"error_clamp": 0.0},
+        ],
+    )
+    def test_invalid_parameters_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            MirrorDescentSolver(paper_chain(12), **kwargs)
+
+    def test_registry_name(self):
+        from repro.solvers.registry import SOLVER_REGISTRY, make_solver
+
+        assert SOLVER_REGISTRY["mdik"] is MirrorDescentSolver
+        solver = make_solver("mdik", paper_chain(6), step_scale=2.0)
+        assert solver.step_scale == 2.0
+        assert solver.name == "mdik"
