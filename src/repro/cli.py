@@ -7,6 +7,8 @@ Commands
 ``trace``     render the pipeline Gantt of one accelerator iteration
 ``bench``     regenerate a paper experiment table
 ``serve-bench``  open-loop load test of the micro-batching IK server
+``experiment``  declarative sweeps + the SQLite result store
+              (``run`` / ``resume`` / ``query`` / ``import``)
 ``report``    write the full EXPERIMENTS.md
 ``robots``    list the available robots
 """
@@ -225,6 +227,94 @@ def build_parser() -> argparse.ArgumentParser:
     serve_bench.add_argument("--seed", type=int, default=2017)
     serve_bench.add_argument("--out", default="BENCH_serving.json",
                              help="payload destination (JSON)")
+
+    experiment = sub.add_parser(
+        "experiment",
+        help="declarative sweeps + the SQLite result store",
+        description="Expand a robot x solver x kernel x workers x workload "
+                    "grid, execute it resumably, and persist every cell's "
+                    "metrics in a queryable SQLite store "
+                    "(see docs/experiments.md).",
+    )
+    esub = experiment.add_subparsers(dest="experiment_command", required=True)
+
+    def add_store(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--store", default="experiments.sqlite",
+                       help="SQLite result store path (created on demand)")
+        p.add_argument("--lock-timeout", type=float, default=5.0,
+                       help="seconds to wait on another writer before "
+                            "failing with a locked-store error")
+
+    exp_run = esub.add_parser(
+        "run", help="expand a sweep grid and execute it (resumable)",
+    )
+    add_store(exp_run)
+    exp_run.add_argument("--name", default="sweep",
+                         help="sweep name (the store groups history by it)")
+    exp_run.add_argument("--robots", default="dadu-12dof",
+                         help="comma list of robot names")
+    exp_run.add_argument("--solvers", default="JT-Speculation",
+                         help="comma list of SOLVER_REGISTRY names")
+    exp_run.add_argument("--kernels", default="-",
+                         help="comma list of kernel specs (mode[:dtype]); "
+                              "'-' inherits the chain's default")
+    exp_run.add_argument("--workers", default="-", metavar="LIST",
+                         help="comma list of sharding widths (e.g. 1,4); "
+                              "'-' runs in-process")
+    exp_run.add_argument("--workloads", default="batch",
+                         help="comma list of workloads: batch, suite, serve")
+    exp_run.add_argument("--targets", type=_positive_int, default=20,
+                         help="problems (serve: requests) per cell")
+    exp_run.add_argument("--seed", type=int, default=2017)
+    exp_run.add_argument("--tolerance", type=float, default=None)
+    exp_run.add_argument("--max-iterations", type=_positive_int, default=None)
+    exp_run.add_argument("--rate", type=float, default=200.0,
+                         help="offered load (req/s) for serve-workload cells")
+    exp_run.add_argument("--fresh", action="store_true",
+                         help="start a new run row even if an identical "
+                              "sweep exists (records history for "
+                              "regression queries instead of resuming)")
+
+    exp_resume = esub.add_parser(
+        "resume",
+        help="re-run a stored sweep, executing only unfinished cells",
+    )
+    add_store(exp_resume)
+    exp_resume.add_argument("--name", default="sweep",
+                            help="sweep name to resume (newest run wins)")
+
+    exp_query = esub.add_parser(
+        "query", help="typed queries over the result store (strict JSON out)",
+    )
+    add_store(exp_query)
+    what = exp_query.add_mutually_exclusive_group(required=True)
+    what.add_argument("--runs", action="store_true",
+                      help="list every run with its cell tally")
+    what.add_argument("--latest", metavar="METRIC",
+                      help="newest recorded value of METRIC")
+    what.add_argument("--regressions", type=float, metavar="THRESHOLD",
+                      help="flag (run-name, cell, metric) triples that "
+                           "worsened by more than THRESHOLD (fraction) "
+                           "between the two newest same-name runs; exits 1 "
+                           "when any are found")
+    what.add_argument("--compare", nargs=2, type=int,
+                      metavar=("RUN_A", "RUN_B"),
+                      help="join two runs' metrics on (cell, metric)")
+    exp_query.add_argument("--cell", default=None,
+                           help="restrict --latest to one cell key")
+    exp_query.add_argument("--run-name", default=None,
+                           help="restrict --latest/--regressions to one "
+                                "run name")
+    exp_query.add_argument("--metric", default=None,
+                           help="restrict --regressions to one metric name")
+
+    exp_import = esub.add_parser(
+        "import",
+        help="backfill committed BENCH_*.json payloads into the store",
+    )
+    add_store(exp_import)
+    exp_import.add_argument("files", nargs="+",
+                            help="BENCH_*.json payload files to import")
 
     report = sub.add_parser("report", help="write the EXPERIMENTS.md report")
     report.add_argument("output", nargs="?", default="EXPERIMENTS.md")
@@ -592,6 +682,144 @@ def _cmd_serve_bench(args) -> int:
     return 0
 
 
+def _csv_axis(text: str, convert=None) -> tuple:
+    """Parse a comma-list sweep axis; ``-`` (or empty) items mean ``None``."""
+    values = []
+    for item in text.split(","):
+        item = item.strip()
+        if item in ("", "-", "none", "None"):
+            values.append(None)
+        else:
+            values.append(convert(item) if convert is not None else item)
+    return tuple(values)
+
+
+def _print_json(payload) -> None:
+    import json
+
+    print(json.dumps(payload, indent=2, sort_keys=True, allow_nan=False))
+
+
+def _cmd_experiment(args) -> int:
+    """Dispatch ``experiment run/resume/query/import`` against one store.
+
+    Every subcommand prints one strict-JSON document; locked stores exit 1
+    with a one-line stderr diagnosis instead of a traceback.
+    """
+    from repro.experiments import ResultStore, StoreLocked
+
+    try:
+        store = ResultStore(args.store, timeout_s=args.lock_timeout)
+    except StoreLocked as exc:
+        print(f"experiment store locked: {exc}", file=sys.stderr)
+        return 1
+    try:
+        with store:
+            return _EXPERIMENT_COMMANDS[args.experiment_command](args, store)
+    except StoreLocked as exc:
+        print(f"experiment store locked: {exc}", file=sys.stderr)
+        return 1
+
+
+def _experiment_run(args, store) -> int:
+    from repro.experiments import SweepRunner, SweepSpec
+
+    try:
+        spec = SweepSpec(
+            name=args.name,
+            robots=_csv_axis(args.robots),
+            solvers=_csv_axis(args.solvers),
+            kernels=_csv_axis(args.kernels),
+            workers=_csv_axis(args.workers, convert=int),
+            workloads=_csv_axis(args.workloads),
+            targets=args.targets,
+            seed=args.seed,
+            tolerance=args.tolerance,
+            max_iterations=args.max_iterations,
+            rate_hz=args.rate,
+        )
+    except (TypeError, ValueError) as exc:
+        print(f"bad sweep spec: {exc}", file=sys.stderr)
+        return 2
+    result = SweepRunner(spec, store, fresh=args.fresh).run()
+    _print_json({"sweep": spec.name, "store": args.store, **result.to_dict()})
+    return 0 if result.failed == 0 else 1
+
+
+def _experiment_resume(args, store) -> int:
+    from repro.experiments import SweepRunner, SweepSpec
+
+    run_id = store.latest_run_id(args.name)
+    row = store.run_row(run_id) if run_id is not None else None
+    if row is None or row["source"] != "sweep" or not row["spec_json"]:
+        print(
+            f"no resumable sweep named {args.name!r} in {args.store}"
+            " (imports cannot be resumed)",
+            file=sys.stderr,
+        )
+        return 1
+    spec = SweepSpec.from_json(row["spec_json"])
+    result = SweepRunner(spec, store).run()
+    _print_json({"sweep": spec.name, "store": args.store, **result.to_dict()})
+    return 0 if result.failed == 0 else 1
+
+
+def _experiment_query(args, store) -> int:
+    if args.runs:
+        _print_json({"runs": store.runs()})
+        return 0
+    if args.latest is not None:
+        value = store.latest_metric(
+            args.latest, cell_key=args.cell, run_name=args.run_name
+        )
+        _print_json({
+            "metric": args.latest,
+            "cell": args.cell,
+            "run_name": args.run_name,
+            "value": value,
+        })
+        return 0
+    if args.compare is not None:
+        run_a, run_b = args.compare
+        _print_json({
+            "run_a": run_a,
+            "run_b": run_b,
+            "rows": store.compare_runs(run_a, run_b),
+        })
+        return 0
+    flagged = store.regressions(
+        args.regressions, metric=args.metric, run_name=args.run_name
+    )
+    _print_json({
+        "threshold": args.regressions,
+        "regressions": [r.to_dict() for r in flagged],
+    })
+    # A nonempty answer *is* the CI perf gate tripping.
+    return 1 if flagged else 0
+
+
+def _experiment_import(args, store) -> int:
+    from repro.experiments import import_bench_file
+
+    imports = []
+    for path in args.files:
+        try:
+            imports.append(import_bench_file(store, path))
+        except (OSError, ValueError) as exc:
+            print(f"import failed: {exc}", file=sys.stderr)
+            return 1
+    _print_json({"imported": imports})
+    return 0
+
+
+_EXPERIMENT_COMMANDS = {
+    "run": _experiment_run,
+    "resume": _experiment_resume,
+    "query": _experiment_query,
+    "import": _experiment_import,
+}
+
+
 def _cmd_report(args) -> int:
     from repro.evaluation.report import main as report_main
 
@@ -617,6 +845,7 @@ _COMMANDS = {
     "trace": _cmd_trace,
     "bench": _cmd_bench,
     "serve-bench": _cmd_serve_bench,
+    "experiment": _cmd_experiment,
     "report": _cmd_report,
     "robots": _cmd_robots,
 }

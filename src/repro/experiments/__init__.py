@@ -1,0 +1,65 @@
+"""Experiment orchestration and the persistent SQLite result store.
+
+The perf trajectory behind every reproduction claim — kernel speedups,
+warm-start savings, session convergence — used to live in one-shot
+``BENCH_*.json`` blobs and ephemeral :class:`~repro.workloads.suite.
+EvaluationSuite` runs.  This package makes it declarative, resumable and
+queryable:
+
+* :mod:`repro.experiments.spec` — :class:`ScenarioSpec` /
+  :class:`SweepSpec`: a validated grid over robot × solver × kernel ×
+  workers × workload, expanded into deterministic cell keys;
+* :mod:`repro.experiments.runner` — :class:`SweepRunner`: executes each
+  cell through the existing ``api.solve_batch`` / ``EvaluationSuite`` /
+  ``run_serve_bench`` entry points, records per-cell status, and resumes a
+  killed sweep by skipping completed cells;
+* :mod:`repro.experiments.store` — :class:`ResultStore`: the SQLite
+  ledger (``runs``/``cells``/``metrics``/``artifacts``, WAL mode,
+  schema-versioned) with typed queries — :meth:`~ResultStore.latest_metric`,
+  :meth:`~ResultStore.compare_runs`, :meth:`~ResultStore.regressions`;
+* :mod:`repro.experiments.importer` — backfills the committed
+  ``BENCH_*.json`` payloads so history starts populated.
+
+CLI: ``python -m repro experiment run/resume/query/import`` (see
+``docs/experiments.md``).
+"""
+
+from repro.experiments.importer import (
+    BENCH_RUN_NAMES,
+    import_bench_file,
+    import_bench_payloads,
+)
+from repro.experiments.runner import SweepResult, SweepRunner, execute_scenario
+from repro.experiments.spec import (
+    EXPERIMENT_WORKLOADS,
+    ScenarioSpec,
+    SweepSpec,
+)
+from repro.experiments.store import (
+    MIGRATIONS,
+    SCHEMA_VERSION,
+    Regression,
+    ResultStore,
+    StoreLocked,
+    StoreVersionError,
+    metric_direction,
+)
+
+__all__ = [
+    "EXPERIMENT_WORKLOADS",
+    "ScenarioSpec",
+    "SweepSpec",
+    "SweepRunner",
+    "SweepResult",
+    "execute_scenario",
+    "ResultStore",
+    "Regression",
+    "StoreLocked",
+    "StoreVersionError",
+    "SCHEMA_VERSION",
+    "MIGRATIONS",
+    "metric_direction",
+    "import_bench_file",
+    "import_bench_payloads",
+    "BENCH_RUN_NAMES",
+]

@@ -1,0 +1,164 @@
+"""Backfill committed ``BENCH_*.json`` payloads into a result store.
+
+The repo's perf trajectory predates the store: kernel speedups live in
+``BENCH_kernels.json``, the parallel-scaling curve in
+``BENCH_parallel.json``, and the serving load tests in
+``BENCH_serving.json``.  This importer maps each payload shape onto the
+``runs``/``cells``/``metrics`` schema so history starts populated — a
+fresh store can immediately answer "did the 50-DOF engine solve regress?"
+against the committed numbers.
+
+Each file becomes one run (``source='import'``); its logical groups
+become cells keyed by a readable path (``engine/vectorized/float32/
+compaction=on``), and every finite scalar underneath becomes a metric with
+a direction inferred by :func:`~repro.experiments.store.metric_direction`.
+The raw payload is attached as a run-level artifact, so nothing the
+flattening drops is lost.
+
+Importing the *same* file twice creates a second run with the same name —
+which is exactly what :meth:`ResultStore.regressions` compares, making
+"re-run the benchmark, import, query" the whole CI perf gate.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+from typing import Any
+
+from repro.experiments.store import ResultStore
+
+__all__ = ["import_bench_file", "import_bench_payloads", "BENCH_RUN_NAMES"]
+
+#: ``payload["benchmark"]`` tag → run name used in the store.
+BENCH_RUN_NAMES = {
+    "kernel-speedup": "bench-kernels",
+    "parallel-scaling": "bench-parallel",
+    "serving": "bench-serving",
+}
+
+#: Keys that describe configuration rather than measurement; their numeric
+#: values would otherwise import as (meaningless, never-regressing) metrics.
+_CONFIG_KEYS = ("config", "workload", "notes", "benchmark", "seed", "robot")
+
+
+def _numeric(value: Any) -> bool:
+    return (
+        isinstance(value, (int, float))
+        and not isinstance(value, bool)
+        and math.isfinite(float(value))
+    )
+
+
+def _flatten(payload: dict, prefix: str = "") -> dict[str, float]:
+    """Finite scalars from a nested dict, dotted-path keyed.
+
+    Non-numeric leaves, nulls (the strict-JSON spelling of "undefined")
+    and non-finite values are skipped — they are description, not
+    measurement.
+    """
+    out: dict[str, float] = {}
+    for key, value in payload.items():
+        path = f"{prefix}{key}"
+        if isinstance(value, dict):
+            out.update(_flatten(value, prefix=f"{path}."))
+        elif _numeric(value):
+            out[path] = float(value)
+    return out
+
+
+def _kernel_cells(payload: dict) -> dict[str, dict[str, float]]:
+    cells: dict[str, dict[str, float]] = {}
+    headline = {
+        name: float(payload[name])
+        for name in ("headline_speedup", "engine_headline_speedup")
+        if _numeric(payload.get(name))
+    }
+    if headline:
+        cells["headline"] = headline
+    for section, values in payload.get("sections", {}).items():
+        cells[f"sections/{section}"] = _flatten(values)
+    for label, values in payload.get("kernel_matrix", {}).items():
+        cells[f"kernel_matrix/{label}"] = _flatten(values)
+    for case, values in payload.get("engine", {}).get("cases", {}).items():
+        cells[f"engine/{case}"] = _flatten(values)
+    return cells
+
+
+def _parallel_cells(payload: dict) -> dict[str, dict[str, float]]:
+    cells: dict[str, dict[str, float]] = {}
+    for run in payload.get("runs", []):
+        metrics = _flatten(run)
+        metrics.pop("workers", None)
+        cells[f"workers={run['workers']}"] = metrics
+    return cells
+
+
+def _serving_cells(payload: dict) -> dict[str, dict[str, float]]:
+    workload = payload.get("workload", "iid")
+    metrics = _flatten({
+        key: value
+        for key, value in payload.items()
+        if key not in _CONFIG_KEYS
+    })
+    # `requests`/`dof` are workload shape, not measurements.
+    for shape_key in ("requests", "dof", "offered_rate_hz"):
+        metrics.pop(shape_key, None)
+    return {f"workload={workload}": metrics}
+
+
+_CELL_BUILDERS = {
+    "kernel-speedup": _kernel_cells,
+    "parallel-scaling": _parallel_cells,
+    "serving": _serving_cells,
+}
+
+
+def import_bench_file(
+    store: ResultStore,
+    path: "str | Path",
+    run_name: str | None = None,
+) -> dict[str, Any]:
+    """Import one ``BENCH_*.json`` payload; returns an import summary.
+
+    The payload must carry a known ``"benchmark"`` tag (see
+    :data:`BENCH_RUN_NAMES`); unknown shapes are rejected rather than
+    half-imported.
+    """
+    path = Path(path)
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    benchmark = payload.get("benchmark")
+    if benchmark not in _CELL_BUILDERS:
+        known = ", ".join(sorted(_CELL_BUILDERS))
+        raise ValueError(
+            f"{path}: unknown benchmark tag {benchmark!r}; importable: {known}"
+        )
+    name = run_name or BENCH_RUN_NAMES[benchmark]
+    cells = _CELL_BUILDERS[benchmark](payload)
+    if not cells:
+        raise ValueError(f"{path}: payload produced no importable cells")
+    run_id = store.create_run(name, source="import", spec_json=None)
+    store.ensure_cells(run_id, [(key, None) for key in cells])
+    n_metrics = 0
+    for key, metrics in cells.items():
+        store.mark_cell(run_id, key, "done")
+        if metrics:
+            n_metrics += store.record_metrics(run_id, key, metrics)
+    store.record_artifact(run_id, path.name, payload)
+    store.finish_run(run_id, "done")
+    return {
+        "file": str(path),
+        "benchmark": benchmark,
+        "run_name": name,
+        "run_id": run_id,
+        "cells": len(cells),
+        "metrics": n_metrics,
+    }
+
+
+def import_bench_payloads(
+    store: ResultStore, paths: "list[str | Path]"
+) -> list[dict[str, Any]]:
+    """Import several payload files (the committed trio, typically)."""
+    return [import_bench_file(store, path) for path in paths]

@@ -1,0 +1,354 @@
+"""Resumable sweep execution: expand a grid, run each cell, record it.
+
+:class:`SweepRunner` turns a :class:`~repro.experiments.spec.SweepSpec`
+into store rows: one ``runs`` row per (name, spec-fingerprint) pair, one
+``cells`` row per grid cell (unique, so restarts cannot duplicate work),
+metrics and a JSON artifact per completed cell.
+
+The resume contract:
+
+* a cell that finished (``done``) is **skipped** on every later run — its
+  metrics are history, not something to overwrite;
+* a cell found ``pending``, ``failed``, or stale-``running`` (the status a
+  killed process leaves behind) is (re)executed;
+* cell identity is the deterministic cell key, so the same spec always
+  maps onto the same rows no matter how many times the process died.
+
+Each cell executes through one of the repo's existing entry points,
+selected by the scenario's ``workload``:
+
+* ``batch`` — :func:`repro.api.solve_batch` over seeded reachable targets;
+* ``suite`` — the paper's :class:`~repro.workloads.suite.EvaluationSuite`
+  aggregation for the robot's DOF;
+* ``serve`` — the open-loop :func:`~repro.serving.loadgen.run_serve_bench`
+  loadgen (offered load from ``SweepSpec.rate_hz``).
+
+Telemetry: the runner emits ``experiment_runs_started``,
+``experiment_cells_started`` / ``_completed`` / ``_failed`` / ``_skipped``
+counters and times each execution under the ``experiment_cell`` phase,
+through whatever :class:`~repro.telemetry.tracer.Tracer` is installed.
+
+Fault injection: ``fault_hook(index, scenario)`` is invoked before each
+cell executes; an exception it raises propagates *uncaught* — the hook
+models the process dying mid-sweep (chaos-style), not a solver error, so
+the cell is left ``running`` in the store exactly as a SIGKILL would.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import zlib
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.execution import ExecutionOptions
+from repro.experiments.spec import ScenarioSpec, SweepSpec
+from repro.experiments.store import ResultStore
+from repro.telemetry.tracer import Tracer, get_tracer
+
+__all__ = ["SweepRunner", "SweepResult", "execute_scenario"]
+
+
+@dataclass
+class SweepResult:
+    """Outcome of one :meth:`SweepRunner.run` pass."""
+
+    run_id: int
+    total: int
+    executed: int = 0
+    skipped: int = 0
+    failed: int = 0
+    statuses: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def completed(self) -> bool:
+        """Every cell is ``done`` (the sweep needs no further resume)."""
+        return all(status == "done" for status in self.statuses.values())
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "run_id": self.run_id,
+            "total": self.total,
+            "executed": self.executed,
+            "skipped": self.skipped,
+            "failed": self.failed,
+            "completed": self.completed,
+            "statuses": dict(self.statuses),
+        }
+
+
+def _scenario_rng(scenario: ScenarioSpec) -> np.random.Generator:
+    """Deterministic per-cell generator: seed × stable key CRC.
+
+    The CRC (not ``hash()``, which is salted per process) keeps the target
+    draw reproducible across runs and machines, and distinct per cell so
+    two cells never share a workload by accident.
+    """
+    key_crc = zlib.crc32(scenario.cell_key().encode("utf-8"))
+    return np.random.default_rng((scenario.seed, key_crc))
+
+
+def _reachable_targets(chain, n: int, rng: np.random.Generator) -> np.ndarray:
+    return np.stack([
+        chain.end_position(chain.random_configuration(rng)) for _ in range(n)
+    ])
+
+
+def _options(scenario: ScenarioSpec) -> ExecutionOptions:
+    return ExecutionOptions(kernel=scenario.kernel, workers=scenario.workers)
+
+
+def _run_batch(scenario: ScenarioSpec) -> tuple[dict, dict]:
+    from repro import api
+
+    chain = api.resolve_robot(scenario.robot)
+    rng = _scenario_rng(scenario)
+    targets = _reachable_targets(chain, scenario.targets, rng)
+    start = time.perf_counter()
+    batch = api.solve_batch(
+        chain,
+        targets,
+        scenario.solver,
+        rng=rng,
+        tolerance=scenario.tolerance,
+        max_iterations=scenario.max_iterations,
+        options=_options(scenario),
+    )
+    wall_s = time.perf_counter() - start
+    iterations = [result.iterations for result in batch]
+    metrics = {
+        "wall_s": wall_s,
+        "solves_per_s": len(batch) / wall_s if wall_s > 0 else 0.0,
+        "converged": batch.converged_count,
+        "convergence_rate": batch.converged_count / len(batch),
+        "mean_iterations": float(np.mean(iterations)),
+        "total_iterations": batch.total_iterations,
+        "mean_error": float(np.mean([result.error for result in batch])),
+    }
+    artifact = {
+        "entry_point": "api.solve_batch",
+        "targets": scenario.targets,
+        "iterations": iterations,
+        "statuses": sorted({result.status for result in batch}),
+    }
+    return metrics, artifact
+
+
+def _run_suite(scenario: ScenarioSpec) -> tuple[dict, dict]:
+    from repro.api import resolve_robot
+    from repro.core.result import SolverConfig
+    from repro.solvers.registry import make_solver
+    from repro.workloads.suite import EvaluationSuite
+
+    dof = resolve_robot(scenario.robot).dof
+    suite = EvaluationSuite(
+        dofs=(dof,),
+        targets_per_dof=scenario.targets,
+        seed=scenario.seed,
+        options=_options(scenario),
+    )
+    config = None
+    if scenario.tolerance is not None or scenario.max_iterations is not None:
+        defaults = SolverConfig()
+        config = SolverConfig(
+            tolerance=(
+                scenario.tolerance
+                if scenario.tolerance is not None
+                else defaults.tolerance
+            ),
+            max_iterations=(
+                scenario.max_iterations
+                if scenario.max_iterations is not None
+                else defaults.max_iterations
+            ),
+        )
+    solver = make_solver(scenario.solver, suite.chain(dof), config=config)
+    stats = suite.run_solver(solver, dof)
+    metrics = {
+        "mean_iterations": stats.mean_iterations,
+        "median_iterations": stats.median_iterations,
+        "max_iterations": stats.max_iterations,
+        "mean_work": stats.mean_work,
+        "mean_fk_evaluations": stats.mean_fk_evaluations,
+        "success_rate": stats.success_rate,
+        "mean_error": stats.mean_error,
+        "mean_wall_s": stats.mean_wall_time,
+    }
+    artifact = {
+        "entry_point": "EvaluationSuite.run_solver",
+        "dof": dof,
+        "targets": stats.n_targets,
+        "speculations": stats.speculations,
+    }
+    return metrics, artifact
+
+
+def _run_serve(scenario: ScenarioSpec, rate_hz: float) -> tuple[dict, dict]:
+    from repro.serving.loadgen import run_serve_bench
+
+    from repro.execution import KernelSpec
+
+    spec = KernelSpec.coerce(scenario.kernel)
+    payload = run_serve_bench(
+        robot=scenario.robot,
+        solver=scenario.solver,
+        requests=scenario.targets,
+        rate_hz=rate_hz,
+        workers=scenario.workers,
+        kernel=spec.name if spec is not None else None,
+        dtype=spec.dtype if spec is not None else None,
+        tolerance=scenario.tolerance,
+        max_iterations=scenario.max_iterations,
+        cold_baseline=False,
+        seed=scenario.seed,
+    )
+    metrics = {
+        "completed": payload["completed"],
+        "converged": payload["converged"],
+        "throughput_rps": payload["throughput_rps"],
+        "makespan_s": payload["makespan_s"],
+    }
+    if payload["convergence_rate"] is not None:
+        metrics["convergence_rate"] = payload["convergence_rate"]
+    for name, value in payload["latency_s"].items():
+        if value is not None:
+            metrics[f"latency_{name}_s"] = value
+    return metrics, {"entry_point": "run_serve_bench", "payload": payload}
+
+
+def execute_scenario(
+    scenario: ScenarioSpec, rate_hz: float = 200.0
+) -> tuple[dict, dict]:
+    """Run one cell through its workload's entry point.
+
+    Returns ``(metrics, artifact)``: finite scalar measurements for the
+    ``metrics`` table, and a JSON payload describing the run for the
+    ``artifacts`` table.
+    """
+    if scenario.workload == "batch":
+        return _run_batch(scenario)
+    if scenario.workload == "suite":
+        return _run_suite(scenario)
+    if scenario.workload == "serve":
+        return _run_serve(scenario, rate_hz)
+    raise ValueError(f"unknown workload {scenario.workload!r}")  # unreachable
+
+
+class SweepRunner:
+    """Execute a :class:`SweepSpec` against a :class:`ResultStore`.
+
+    Parameters
+    ----------
+    spec:
+        The validated grid to run.
+    store:
+        Where rows land; reopened stores resume, fresh stores start clean.
+    tracer:
+        Telemetry sink; defaults to the process-global tracer.
+    fault_hook:
+        Chaos-test injection point, called as ``fault_hook(index,
+        scenario)`` immediately before each cell executes.  Exceptions
+        propagate uncaught (they model the process dying, so the cell must
+        be left ``running`` in the store).
+    fresh:
+        Force a new run row even when a resumable (same name + same spec
+        fingerprint) run exists — the knob that turns repeated sweeps into
+        *history* for ``regressions()`` instead of no-op resumes.
+    """
+
+    def __init__(
+        self,
+        spec: SweepSpec,
+        store: ResultStore,
+        tracer: "Tracer | None" = None,
+        fault_hook: "Callable[[int, ScenarioSpec], None] | None" = None,
+        fresh: bool = False,
+    ) -> None:
+        self.spec = spec
+        self.store = store
+        self._tracer = tracer
+        self.fault_hook = fault_hook
+        self.fresh = fresh
+
+    @property
+    def tracer(self) -> Tracer:
+        return self._tracer if self._tracer is not None else get_tracer()
+
+    def _ensure_run(self) -> int:
+        fingerprint = self.spec.fingerprint()
+        run_id = (
+            None
+            if self.fresh
+            else self.store.find_resumable_run(self.spec.name, fingerprint)
+        )
+        if run_id is None:
+            run_id = self.store.create_run(
+                self.spec.name,
+                source="sweep",
+                spec_json=self.spec.to_json(),
+                fingerprint=fingerprint,
+            )
+        self.store.ensure_cells(run_id, [
+            (
+                scenario.cell_key(),
+                json.dumps(
+                    scenario.to_dict(), sort_keys=True, allow_nan=False
+                ),
+            )
+            for scenario in self.spec.expand()
+        ])
+        return run_id
+
+    def run(self) -> SweepResult:
+        """One pass over the grid: execute what isn't ``done``, skip the rest.
+
+        Always returns (no exception) for per-cell execution errors —
+        those mark the cell ``failed`` and continue, so one diverging
+        solver cannot starve the rest of the grid.  Only fault-hook
+        exceptions (simulated kills) and store errors propagate.
+        """
+        tracer = self.tracer
+        run_id = self._ensure_run()
+        tracer.count("experiment_runs_started")
+        statuses = self.store.cell_statuses(run_id)
+        result = SweepResult(run_id=run_id, total=len(self.spec.expand()))
+        for index, scenario in enumerate(self.spec.expand()):
+            key = scenario.cell_key()
+            if statuses.get(key) == "done":
+                result.skipped += 1
+                result.statuses[key] = "done"
+                tracer.count("experiment_cells_skipped")
+                continue
+            self.store.mark_cell(run_id, key, "running")
+            tracer.count("experiment_cells_started")
+            if self.fault_hook is not None:
+                # Raises propagate uncaught: the cell stays 'running', the
+                # exact state a SIGKILL mid-execution leaves behind.
+                self.fault_hook(index, scenario)
+            try:
+                with tracer.phase("experiment_cell"):
+                    metrics, artifact = execute_scenario(
+                        scenario, rate_hz=self.spec.rate_hz
+                    )
+            except Exception as exc:
+                self.store.mark_cell(
+                    run_id, key, "failed",
+                    error=f"{type(exc).__name__}: {exc}",
+                )
+                result.failed += 1
+                result.statuses[key] = "failed"
+                tracer.count("experiment_cells_failed")
+                continue
+            self.store.record_metrics(run_id, key, metrics)
+            self.store.record_artifact(run_id, "cell_result", artifact, key)
+            self.store.mark_cell(run_id, key, "done")
+            result.executed += 1
+            result.statuses[key] = "done"
+            tracer.count("experiment_cells_completed")
+        self.store.finish_run(
+            run_id, "done" if result.failed == 0 else "failed"
+        )
+        return result

@@ -1,0 +1,341 @@
+"""Declarative sweep specs: :class:`ScenarioSpec` and :class:`SweepSpec`.
+
+A *scenario* is one fully-pinned experiment cell — robot × solver × kernel
+× workers × workload plus the workload-shape knobs (problem count, seed,
+convergence policy).  A *sweep* is a named grid over those axes; expanding
+it yields the scenarios in a deterministic order, each addressable by a
+stable **cell key** that encodes every field and decodes back losslessly
+(:meth:`ScenarioSpec.cell_key` / :meth:`ScenarioSpec.from_cell_key`).
+
+Validation happens at construction, against the real registries: a typo'd
+solver name is rejected with the ``SOLVER_REGISTRY`` listing, a bad kernel
+with the ``KernelSpec`` modes, a bad robot with the robot zoo's naming
+rule — the same error a mis-typed ``api.solve`` call would produce, but
+*before* a 40-cell sweep burns half its budget.
+
+Cell keys (``field=value`` pairs joined with ``&``, values percent-quoted)
+are what the SQLite store indexes on: the same spec always expands to the
+same keys, which is what makes sweeps resumable and histories comparable
+across runs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+from dataclasses import asdict, dataclass, field
+from urllib.parse import quote, unquote
+
+from repro.execution import KernelSpec
+from repro.kinematics.robots import named_robot
+from repro.solvers.registry import SOLVER_REGISTRY
+
+__all__ = [
+    "EXPERIMENT_WORKLOADS",
+    "ScenarioSpec",
+    "SweepSpec",
+]
+
+#: Entry points a cell can execute through: ``batch`` → ``api.solve_batch``
+#: over seeded workspace targets, ``suite`` → the paper's
+#: :class:`~repro.workloads.suite.EvaluationSuite` aggregation, ``serve`` →
+#: the open-loop :func:`~repro.serving.loadgen.run_serve_bench` loadgen.
+EXPERIMENT_WORKLOADS = ("batch", "suite", "serve")
+
+#: Field order of the cell-key encoding (also the decode contract — a key
+#: with fields missing or reordered is rejected, not guessed at).
+_KEY_FIELDS = (
+    "robot",
+    "solver",
+    "kernel",
+    "workers",
+    "workload",
+    "targets",
+    "seed",
+    "tolerance",
+    "max_iterations",
+)
+
+
+def _validate_robot(robot: str) -> str:
+    if not isinstance(robot, str) or not robot:
+        raise ValueError(f"robot must be a non-empty name, got {robot!r}")
+    try:
+        named_robot(robot)
+    except KeyError as exc:
+        # named_robot's message already lists the zoo + generator patterns.
+        raise ValueError(f"bad robot in spec: {exc.args[0]}") from None
+    return robot
+
+
+def _validate_solver(solver: str) -> str:
+    if solver not in SOLVER_REGISTRY:
+        known = ", ".join(sorted(SOLVER_REGISTRY))
+        raise ValueError(
+            f"unknown solver {solver!r} in spec; registered solvers: {known}"
+        )
+    return solver
+
+
+def _canonical_kernel(kernel) -> str | None:
+    """Canonicalise a kernel axis value to a ``mode[:dtype]`` string.
+
+    Accepts ``None`` (inherit the chain's kernel), a mode name, a
+    ``"mode:dtype"`` shorthand, or a :class:`KernelSpec`; validation is
+    delegated to :meth:`KernelSpec.coerce` so the error names the known
+    modes/dtypes.
+    """
+    spec = KernelSpec.coerce(kernel)
+    if spec is None:
+        return None
+    if spec.chunk is not None:
+        raise ValueError(
+            "spec kernels pin mode/dtype only; chunk is a tuning knob, "
+            "not a sweep axis"
+        )
+    if spec.name is None and spec.dtype is None:
+        return None
+    if spec.dtype is None:
+        return spec.name
+    return f"{spec.name or 'scalar'}:{spec.dtype}"
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One sweep cell: everything a run needs to be reproducible.
+
+    Parameters
+    ----------
+    robot:
+        Robot name (the zoo's ``named_robot`` naming rule).
+    solver:
+        Any ``SOLVER_REGISTRY`` name.
+    kernel:
+        ``None`` (inherit), a kernel mode, or ``"mode:dtype"``.
+    workers:
+        Process-sharding width for the batch path (``None`` = in-process).
+    workload:
+        One of :data:`EXPERIMENT_WORKLOADS`.
+    targets:
+        Problems per cell (requests, for the ``serve`` workload).
+    seed:
+        Master seed; targets and solver randomness derive from it.
+    tolerance / max_iterations:
+        Convergence policy overrides (``None`` = solver defaults).
+    """
+
+    robot: str
+    solver: str
+    kernel: str | None = None
+    workers: int | None = None
+    workload: str = "batch"
+    targets: int = 20
+    seed: int = 2017
+    tolerance: float | None = None
+    max_iterations: int | None = None
+
+    def __post_init__(self) -> None:
+        _validate_robot(self.robot)
+        _validate_solver(self.solver)
+        object.__setattr__(self, "kernel", _canonical_kernel(self.kernel))
+        if self.workers is not None:
+            workers = int(self.workers)
+            if workers < 1:
+                raise ValueError("workers must be >= 1")
+            object.__setattr__(self, "workers", workers)
+        if self.workload not in EXPERIMENT_WORKLOADS:
+            known = ", ".join(EXPERIMENT_WORKLOADS)
+            raise ValueError(
+                f"unknown workload {self.workload!r} in spec; known: {known}"
+            )
+        if self.workload == "suite" and not self.robot.startswith("dadu-"):
+            raise ValueError(
+                "the suite workload runs the paper's evaluation chains; "
+                f"robot must be dadu-<N>dof, got {self.robot!r}"
+            )
+        if int(self.targets) < 1:
+            raise ValueError("targets must be >= 1")
+        object.__setattr__(self, "targets", int(self.targets))
+        object.__setattr__(self, "seed", int(self.seed))
+        if self.tolerance is not None:
+            tolerance = float(self.tolerance)
+            if tolerance <= 0:
+                raise ValueError("tolerance must be positive")
+            object.__setattr__(self, "tolerance", tolerance)
+        if self.max_iterations is not None:
+            cap = int(self.max_iterations)
+            if cap < 1:
+                raise ValueError("max_iterations must be >= 1")
+            object.__setattr__(self, "max_iterations", cap)
+
+    # -- cell keys -------------------------------------------------------
+
+    def cell_key(self) -> str:
+        """Stable, lossless identity: ``field=value&...`` in fixed order.
+
+        ``None`` encodes as the empty value; everything else is
+        percent-quoted ``repr``-free text (floats via :func:`repr` so the
+        decode is bit-exact).
+        """
+        parts = []
+        for name in _KEY_FIELDS:
+            value = getattr(self, name)
+            if value is None:
+                text = ""
+            elif isinstance(value, float):
+                text = repr(value)
+            else:
+                text = str(value)
+            parts.append(f"{name}={quote(text, safe='')}")
+        return "&".join(parts)
+
+    @classmethod
+    def from_cell_key(cls, key: str) -> "ScenarioSpec":
+        """Inverse of :meth:`cell_key`; rejects malformed keys loudly."""
+        fields: dict[str, str] = {}
+        for part in key.split("&"):
+            name, sep, value = part.partition("=")
+            if not sep or name not in _KEY_FIELDS or name in fields:
+                raise ValueError(f"malformed cell key {key!r} (at {part!r})")
+            fields[name] = unquote(value)
+        missing = [name for name in _KEY_FIELDS if name not in fields]
+        if missing:
+            raise ValueError(f"cell key {key!r} is missing fields {missing}")
+        return cls(
+            robot=fields["robot"],
+            solver=fields["solver"],
+            kernel=fields["kernel"] or None,
+            workers=int(fields["workers"]) if fields["workers"] else None,
+            workload=fields["workload"],
+            targets=int(fields["targets"]),
+            seed=int(fields["seed"]),
+            tolerance=float(fields["tolerance"]) if fields["tolerance"] else None,
+            max_iterations=(
+                int(fields["max_iterations"])
+                if fields["max_iterations"]
+                else None
+            ),
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-safe dict (the store's ``scenario_json`` payload)."""
+        return asdict(self)
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A named grid over the scenario axes.
+
+    Axis tuples may not be empty; duplicates are rejected (a duplicated
+    axis value would silently halve the apparent grid).  ``rate_hz`` only
+    matters for cells with the ``serve`` workload (the offered load).
+    """
+
+    name: str
+    robots: tuple[str, ...] = ("dadu-12dof",)
+    solvers: tuple[str, ...] = ("JT-Speculation",)
+    kernels: tuple[str | None, ...] = (None,)
+    workers: tuple[int | None, ...] = (None,)
+    workloads: tuple[str, ...] = ("batch",)
+    targets: int = 20
+    seed: int = 2017
+    tolerance: float | None = None
+    max_iterations: int | None = None
+    rate_hz: float = 200.0
+    _scenarios: tuple[ScenarioSpec, ...] = field(
+        default=(), init=False, repr=False, compare=False
+    )
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.name, str) or not self.name.strip():
+            raise ValueError("sweep name must be a non-empty string")
+        for axis in ("robots", "solvers", "kernels", "workers", "workloads"):
+            values = getattr(self, axis)
+            if not isinstance(values, tuple):
+                values = tuple(values)
+                object.__setattr__(self, axis, values)
+            if not values:
+                raise ValueError(f"sweep axis {axis!r} must be non-empty")
+            if len(set(values)) != len(values):
+                raise ValueError(f"sweep axis {axis!r} has duplicate values")
+        if self.rate_hz <= 0:
+            raise ValueError("rate_hz must be positive")
+        # Expanding eagerly front-loads *all* validation: a bad value on any
+        # axis fails SweepSpec construction with the registry-aware message.
+        object.__setattr__(self, "_scenarios", self._expand())
+
+    def _expand(self) -> tuple[ScenarioSpec, ...]:
+        scenarios = []
+        for robot, solver, kernel, workers, workload in itertools.product(
+            self.robots, self.solvers, self.kernels, self.workers,
+            self.workloads,
+        ):
+            scenarios.append(ScenarioSpec(
+                robot=robot,
+                solver=solver,
+                kernel=kernel,
+                workers=workers,
+                workload=workload,
+                targets=self.targets,
+                seed=self.seed,
+                tolerance=self.tolerance,
+                max_iterations=self.max_iterations,
+            ))
+        keys = [s.cell_key() for s in scenarios]
+        if len(set(keys)) != len(keys):  # pragma: no cover - defence in depth
+            raise ValueError("sweep expansion produced duplicate cell keys")
+        return tuple(scenarios)
+
+    def expand(self) -> tuple[ScenarioSpec, ...]:
+        """The grid's scenarios, in deterministic product order."""
+        return self._scenarios
+
+    def cell_keys(self) -> tuple[str, ...]:
+        """The grid's cell keys (same order as :meth:`expand`)."""
+        return tuple(s.cell_key() for s in self._scenarios)
+
+    # -- persistence -----------------------------------------------------
+
+    def to_json(self) -> str:
+        """Canonical JSON (sorted keys) — the store's ``spec_json``."""
+        payload = {
+            "name": self.name,
+            "robots": list(self.robots),
+            "solvers": list(self.solvers),
+            "kernels": list(self.kernels),
+            "workers": list(self.workers),
+            "workloads": list(self.workloads),
+            "targets": self.targets,
+            "seed": self.seed,
+            "tolerance": self.tolerance,
+            "max_iterations": self.max_iterations,
+            "rate_hz": self.rate_hz,
+        }
+        return json.dumps(payload, sort_keys=True, allow_nan=False)
+
+    @classmethod
+    def from_json(cls, text: str) -> "SweepSpec":
+        payload = json.loads(text)
+        return cls(
+            name=payload["name"],
+            robots=tuple(payload["robots"]),
+            solvers=tuple(payload["solvers"]),
+            kernels=tuple(payload["kernels"]),
+            workers=tuple(payload["workers"]),
+            workloads=tuple(payload["workloads"]),
+            targets=payload["targets"],
+            seed=payload["seed"],
+            tolerance=payload["tolerance"],
+            max_iterations=payload["max_iterations"],
+            rate_hz=payload["rate_hz"],
+        )
+
+    def fingerprint(self) -> str:
+        """Content hash of the canonical JSON; the resume identity.
+
+        Two sweeps resume into the same run row iff their fingerprints
+        match — a changed grid starts a fresh run instead of silently
+        mixing histories.
+        """
+        return hashlib.sha256(self.to_json().encode("utf-8")).hexdigest()[:16]

@@ -1,0 +1,616 @@
+"""SQLite-backed experiment ledger: schema, migrations, typed queries.
+
+One :class:`ResultStore` wraps one SQLite file holding the whole perf
+trajectory:
+
+* ``runs`` — one row per sweep execution or benchmark import (name, spec
+  JSON, fingerprint, source, status, timestamps);
+* ``cells`` — one row per grid cell per run, unique on
+  ``(run_id, cell_key)`` so a resumed sweep can never duplicate work;
+  status walks ``pending → running → done`` (or ``failed``);
+* ``metrics`` — scalar measurements per cell, unique on
+  ``(cell_id, name)``, each tagged with a direction (``lower``/``higher``
+  is better) so regressions are a query, not a convention;
+* ``artifacts`` — full JSON payloads (e.g. a serve-bench result) attached
+  to a run or a cell.
+
+Durability/versioning contract:
+
+* the database runs in WAL journal mode (concurrent readers never block
+  on the writer);
+* ``PRAGMA user_version`` carries the schema version.  Opening an older
+  store applies the :data:`MIGRATIONS` chain one step at a time inside a
+  transaction; opening a *newer* store (written by a future version of
+  this code) refuses loudly rather than guessing;
+* every metric value must be finite — the store shares the repo's strict
+  ``allow_nan=False`` JSON convention, and SQLite would silently coerce a
+  NaN to NULL otherwise (a lost measurement masquerading as a write).
+
+Lock handling: all public methods translate SQLite's ``database is
+locked`` into :class:`StoreLocked` after the configured ``timeout_s``, so
+CLI callers can report "someone else holds the store" instead of dumping
+a traceback.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import sqlite3
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, Iterator
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "MIGRATIONS",
+    "StoreLocked",
+    "StoreVersionError",
+    "ResultStore",
+    "Regression",
+    "metric_direction",
+]
+
+#: Current schema version, persisted via ``PRAGMA user_version``.
+SCHEMA_VERSION = 1
+
+#: Migration hooks: ``{from_version: callable(connection)}`` upgrading a
+#: store one schema version.  Version 1 is the genesis schema, so the chain
+#: is empty today; a future PR that adds a column registers
+#: ``MIGRATIONS[1]`` and bumps :data:`SCHEMA_VERSION` to 2.
+MIGRATIONS: dict[int, Callable[[sqlite3.Connection], None]] = {}
+
+
+class StoreLocked(RuntimeError):
+    """Another connection holds the store's write lock past ``timeout_s``."""
+
+
+class StoreVersionError(RuntimeError):
+    """The store was written by a newer schema than this code understands."""
+
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS runs (
+    id          INTEGER PRIMARY KEY,
+    name        TEXT NOT NULL,
+    source      TEXT NOT NULL CHECK (source IN ('sweep', 'import')),
+    fingerprint TEXT,
+    spec_json   TEXT,
+    status      TEXT NOT NULL DEFAULT 'running'
+                CHECK (status IN ('running', 'done', 'failed')),
+    created_at  REAL NOT NULL,
+    finished_at REAL
+);
+CREATE INDEX IF NOT EXISTS idx_runs_name ON runs (name, id);
+
+CREATE TABLE IF NOT EXISTS cells (
+    id            INTEGER PRIMARY KEY,
+    run_id        INTEGER NOT NULL REFERENCES runs (id) ON DELETE CASCADE,
+    cell_key      TEXT NOT NULL,
+    scenario_json TEXT,
+    status        TEXT NOT NULL DEFAULT 'pending'
+                  CHECK (status IN ('pending', 'running', 'done', 'failed')),
+    error         TEXT,
+    started_at    REAL,
+    finished_at   REAL,
+    UNIQUE (run_id, cell_key)
+);
+CREATE INDEX IF NOT EXISTS idx_cells_key ON cells (cell_key);
+
+CREATE TABLE IF NOT EXISTS metrics (
+    id        INTEGER PRIMARY KEY,
+    cell_id   INTEGER NOT NULL REFERENCES cells (id) ON DELETE CASCADE,
+    name      TEXT NOT NULL,
+    value     REAL NOT NULL,
+    unit      TEXT,
+    direction TEXT NOT NULL DEFAULT 'lower'
+              CHECK (direction IN ('lower', 'higher')),
+    UNIQUE (cell_id, name)
+);
+CREATE INDEX IF NOT EXISTS idx_metrics_name ON metrics (name);
+
+CREATE TABLE IF NOT EXISTS artifacts (
+    id         INTEGER PRIMARY KEY,
+    run_id     INTEGER NOT NULL REFERENCES runs (id) ON DELETE CASCADE,
+    cell_id    INTEGER REFERENCES cells (id) ON DELETE CASCADE,
+    name       TEXT NOT NULL,
+    json       TEXT NOT NULL,
+    created_at REAL NOT NULL
+);
+"""
+
+#: Substrings marking a metric where *larger* values are better.  Everything
+#: else (times, latencies, iteration counts, errors) regresses upward.
+_HIGHER_IS_BETTER = (
+    "speedup",
+    "converged",
+    "convergence",
+    "success",
+    "throughput",
+    "per_s",
+    "reduction",
+    "hit_rate",
+    "hits",
+    "occupancy",
+    "completed",
+)
+
+
+def metric_direction(name: str) -> str:
+    """Heuristic direction for a metric name: ``'higher'`` or ``'lower'``.
+
+    Callers can always override per metric at insert time; this keeps the
+    committed-benchmark importer and the sweep runner from hand-tagging
+    every field.
+    """
+    lowered = name.lower()
+    if any(token in lowered for token in _HIGHER_IS_BETTER):
+        return "higher"
+    return "lower"
+
+
+@dataclass(frozen=True)
+class Regression:
+    """One flagged (run-name, cell, metric) degradation."""
+
+    run_name: str
+    cell_key: str
+    metric: str
+    direction: str
+    baseline: float
+    latest: float
+    baseline_run_id: int
+    latest_run_id: int
+
+    @property
+    def ratio(self) -> float:
+        """``latest / baseline`` (``inf`` when the baseline is zero)."""
+        if self.baseline == 0.0:
+            return math.inf
+        return self.latest / self.baseline
+
+    def to_dict(self) -> dict[str, Any]:
+        ratio = self.ratio
+        return {
+            "run_name": self.run_name,
+            "cell_key": self.cell_key,
+            "metric": self.metric,
+            "direction": self.direction,
+            "baseline": self.baseline,
+            "latest": self.latest,
+            "ratio": ratio if math.isfinite(ratio) else None,
+            "baseline_run_id": self.baseline_run_id,
+            "latest_run_id": self.latest_run_id,
+        }
+
+
+class ResultStore:
+    """One SQLite experiment ledger; safe to reopen and resume against.
+
+    Parameters
+    ----------
+    path:
+        Database file (created on first open).  ``":memory:"`` works for
+        tests.
+    timeout_s:
+        How long to wait on another writer before raising
+        :class:`StoreLocked`.
+    """
+
+    def __init__(self, path: "str | Path", timeout_s: float = 5.0) -> None:
+        self.path = str(path)
+        self.timeout_s = float(timeout_s)
+        self._conn: sqlite3.Connection | None = None
+        with self._guard():
+            self._connect()
+
+    # -- connection / schema --------------------------------------------
+
+    def _connect(self) -> None:
+        conn = sqlite3.connect(self.path, timeout=self.timeout_s)
+        conn.row_factory = sqlite3.Row
+        conn.execute("PRAGMA journal_mode=WAL")
+        conn.execute("PRAGMA foreign_keys=ON")
+        self._conn = conn
+        version = conn.execute("PRAGMA user_version").fetchone()[0]
+        if version > SCHEMA_VERSION:
+            conn.close()
+            self._conn = None
+            raise StoreVersionError(
+                f"store {self.path!r} has schema version {version}, but this "
+                f"code understands <= {SCHEMA_VERSION}; upgrade repro before "
+                "touching it"
+            )
+        if version == 0:
+            with conn:
+                conn.executescript(_SCHEMA)
+                conn.execute(f"PRAGMA user_version = {SCHEMA_VERSION}")
+            return
+        while version < SCHEMA_VERSION:
+            try:
+                migrate = MIGRATIONS[version]
+            except KeyError:
+                raise StoreVersionError(
+                    f"no migration registered from schema version {version} "
+                    f"(store {self.path!r}; code is at {SCHEMA_VERSION})"
+                ) from None
+            with conn:
+                migrate(conn)
+                version += 1
+                conn.execute(f"PRAGMA user_version = {version}")
+
+    @property
+    def conn(self) -> sqlite3.Connection:
+        if self._conn is None:
+            raise RuntimeError("store is closed")
+        return self._conn
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def __enter__(self) -> "ResultStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    @property
+    def schema_version(self) -> int:
+        return self.conn.execute("PRAGMA user_version").fetchone()[0]
+
+    @contextmanager
+    def _guard(self) -> Iterator[None]:
+        """Translate lock contention into :class:`StoreLocked`."""
+        try:
+            yield
+        except sqlite3.OperationalError as exc:
+            if "locked" in str(exc) or "busy" in str(exc):
+                raise StoreLocked(
+                    f"experiment store {self.path!r} is locked by another "
+                    f"process (waited {self.timeout_s:g}s); retry when the "
+                    "other run finishes or point --store elsewhere"
+                ) from exc
+            raise
+
+    # -- runs ------------------------------------------------------------
+
+    def create_run(
+        self,
+        name: str,
+        source: str = "sweep",
+        spec_json: str | None = None,
+        fingerprint: str | None = None,
+    ) -> int:
+        with self._guard(), self.conn as conn:
+            cursor = conn.execute(
+                "INSERT INTO runs (name, source, fingerprint, spec_json,"
+                " created_at) VALUES (?, ?, ?, ?, ?)",
+                (name, source, fingerprint, spec_json, time.time()),
+            )
+            return int(cursor.lastrowid)
+
+    def find_resumable_run(self, name: str, fingerprint: str) -> int | None:
+        """Newest sweep run with this name + spec fingerprint, if any."""
+        with self._guard():
+            row = self.conn.execute(
+                "SELECT id FROM runs WHERE name = ? AND fingerprint = ?"
+                " AND source = 'sweep' ORDER BY id DESC LIMIT 1",
+                (name, fingerprint),
+            ).fetchone()
+        return int(row["id"]) if row else None
+
+    def run_row(self, run_id: int) -> dict[str, Any]:
+        with self._guard():
+            row = self.conn.execute(
+                "SELECT * FROM runs WHERE id = ?", (run_id,)
+            ).fetchone()
+        if row is None:
+            raise KeyError(f"no run with id {run_id}")
+        return dict(row)
+
+    def latest_run_id(self, name: str) -> int | None:
+        with self._guard():
+            row = self.conn.execute(
+                "SELECT id FROM runs WHERE name = ? ORDER BY id DESC LIMIT 1",
+                (name,),
+            ).fetchone()
+        return int(row["id"]) if row else None
+
+    def finish_run(self, run_id: int, status: str) -> None:
+        if status not in ("done", "failed"):
+            raise ValueError("run status must be 'done' or 'failed'")
+        with self._guard(), self.conn as conn:
+            conn.execute(
+                "UPDATE runs SET status = ?, finished_at = ? WHERE id = ?",
+                (status, time.time(), run_id),
+            )
+
+    def runs(self) -> list[dict[str, Any]]:
+        """Every run row, oldest first, with its cell-status tally."""
+        with self._guard():
+            rows = self.conn.execute(
+                "SELECT r.*, COUNT(c.id) AS cells,"
+                " SUM(c.status = 'done') AS cells_done,"
+                " SUM(c.status = 'failed') AS cells_failed"
+                " FROM runs r LEFT JOIN cells c ON c.run_id = r.id"
+                " GROUP BY r.id ORDER BY r.id",
+            ).fetchall()
+        return [dict(row) for row in rows]
+
+    # -- cells -----------------------------------------------------------
+
+    def ensure_cells(
+        self, run_id: int, cells: "list[tuple[str, str | None]]"
+    ) -> None:
+        """Insert ``(cell_key, scenario_json)`` rows that don't exist yet.
+
+        ``INSERT OR IGNORE`` against the ``(run_id, cell_key)`` uniqueness
+        constraint is what makes resume idempotent: re-running a sweep can
+        only ever *fill in* missing rows, never duplicate them.
+        """
+        with self._guard(), self.conn as conn:
+            conn.executemany(
+                "INSERT OR IGNORE INTO cells (run_id, cell_key,"
+                " scenario_json) VALUES (?, ?, ?)",
+                [(run_id, key, scenario) for key, scenario in cells],
+            )
+
+    def cell_statuses(self, run_id: int) -> dict[str, str]:
+        with self._guard():
+            rows = self.conn.execute(
+                "SELECT cell_key, status FROM cells WHERE run_id = ?",
+                (run_id,),
+            ).fetchall()
+        return {row["cell_key"]: row["status"] for row in rows}
+
+    def cell_id(self, run_id: int, cell_key: str) -> int:
+        with self._guard():
+            row = self.conn.execute(
+                "SELECT id FROM cells WHERE run_id = ? AND cell_key = ?",
+                (run_id, cell_key),
+            ).fetchone()
+        if row is None:
+            raise KeyError(f"run {run_id} has no cell {cell_key!r}")
+        return int(row["id"])
+
+    def mark_cell(
+        self,
+        run_id: int,
+        cell_key: str,
+        status: str,
+        error: str | None = None,
+    ) -> None:
+        if status not in ("pending", "running", "done", "failed"):
+            raise ValueError(f"bad cell status {status!r}")
+        column = "started_at" if status == "running" else "finished_at"
+        with self._guard(), self.conn as conn:
+            updated = conn.execute(
+                f"UPDATE cells SET status = ?, error = ?, {column} = ?"
+                " WHERE run_id = ? AND cell_key = ?",
+                (status, error, time.time(), run_id, cell_key),
+            ).rowcount
+        if updated != 1:
+            raise KeyError(f"run {run_id} has no cell {cell_key!r}")
+
+    def cells(self, run_id: int) -> list[dict[str, Any]]:
+        with self._guard():
+            rows = self.conn.execute(
+                "SELECT * FROM cells WHERE run_id = ? ORDER BY id",
+                (run_id,),
+            ).fetchall()
+        return [dict(row) for row in rows]
+
+    # -- metrics / artifacts ---------------------------------------------
+
+    def record_metrics(
+        self,
+        run_id: int,
+        cell_key: str,
+        metrics: "dict[str, float]",
+        units: "dict[str, str] | None" = None,
+        directions: "dict[str, str] | None" = None,
+    ) -> int:
+        """Upsert scalar metrics for one cell; returns the count written.
+
+        Values must be finite (the strict-JSON convention; SQLite would
+        otherwise coerce NaN to NULL and lose the measurement silently).
+        Non-numeric and ``None`` values are rejected, not skipped — the
+        caller decides what is a metric.
+        """
+        cell = self.cell_id(run_id, cell_key)
+        rows = []
+        for name, value in metrics.items():
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise TypeError(
+                    f"metric {name!r} must be a number, got {value!r}"
+                )
+            value = float(value)
+            if not math.isfinite(value):
+                raise ValueError(
+                    f"metric {name!r} is {value!r}; the store is strict-JSON "
+                    "(allow_nan=False) — record undefined ratios as absent, "
+                    "not NaN"
+                )
+            direction = (directions or {}).get(name) or metric_direction(name)
+            if direction not in ("lower", "higher"):
+                raise ValueError(f"bad direction {direction!r} for {name!r}")
+            rows.append((cell, name, value, (units or {}).get(name), direction))
+        with self._guard(), self.conn as conn:
+            conn.executemany(
+                "INSERT INTO metrics (cell_id, name, value, unit, direction)"
+                " VALUES (?, ?, ?, ?, ?)"
+                " ON CONFLICT (cell_id, name) DO UPDATE SET"
+                " value = excluded.value, unit = excluded.unit,"
+                " direction = excluded.direction",
+                rows,
+            )
+        return len(rows)
+
+    def metrics_for_cell(self, run_id: int, cell_key: str) -> dict[str, float]:
+        cell = self.cell_id(run_id, cell_key)
+        with self._guard():
+            rows = self.conn.execute(
+                "SELECT name, value FROM metrics WHERE cell_id = ?"
+                " ORDER BY name",
+                (cell,),
+            ).fetchall()
+        return {row["name"]: row["value"] for row in rows}
+
+    def record_artifact(
+        self,
+        run_id: int,
+        name: str,
+        payload: Any,
+        cell_key: str | None = None,
+    ) -> None:
+        """Attach a JSON artifact to a run (or one of its cells)."""
+        text = json.dumps(payload, sort_keys=True, allow_nan=False)
+        cell = self.cell_id(run_id, cell_key) if cell_key is not None else None
+        with self._guard(), self.conn as conn:
+            conn.execute(
+                "INSERT INTO artifacts (run_id, cell_id, name, json,"
+                " created_at) VALUES (?, ?, ?, ?, ?)",
+                (run_id, cell, name, text, time.time()),
+            )
+
+    def artifacts(self, run_id: int) -> list[dict[str, Any]]:
+        with self._guard():
+            rows = self.conn.execute(
+                "SELECT id, cell_id, name, json, created_at FROM artifacts"
+                " WHERE run_id = ? ORDER BY id",
+                (run_id,),
+            ).fetchall()
+        return [
+            {**dict(row), "payload": json.loads(row["json"])} for row in rows
+        ]
+
+    # -- typed queries ---------------------------------------------------
+
+    def latest_metric(
+        self,
+        metric: str,
+        cell_key: str | None = None,
+        run_name: str | None = None,
+    ) -> float | None:
+        """The newest recorded value of ``metric`` (filtered by cell/run).
+
+        "Newest" is by run id then cell id — insertion order, which the
+        append-only runs table makes chronological.
+        """
+        query = (
+            "SELECT m.value FROM metrics m"
+            " JOIN cells c ON c.id = m.cell_id"
+            " JOIN runs r ON r.id = c.run_id"
+            " WHERE m.name = ?"
+        )
+        params: list[Any] = [metric]
+        if cell_key is not None:
+            query += " AND c.cell_key = ?"
+            params.append(cell_key)
+        if run_name is not None:
+            query += " AND r.name = ?"
+            params.append(run_name)
+        query += " ORDER BY r.id DESC, c.id DESC LIMIT 1"
+        with self._guard():
+            row = self.conn.execute(query, params).fetchone()
+        return float(row["value"]) if row else None
+
+    def compare_runs(self, run_a: int, run_b: int) -> list[dict[str, Any]]:
+        """Join two runs' metrics on ``(cell_key, metric)``.
+
+        Returns one row per shared measurement with both values and the
+        ``b / a`` ratio (``None`` when ``a`` is zero); cells or metrics
+        present in only one run are omitted (they have nothing to compare
+        against).
+        """
+        with self._guard():
+            rows = self.conn.execute(
+                "SELECT ca.cell_key AS cell_key, ma.name AS metric,"
+                " ma.direction AS direction,"
+                " ma.value AS value_a, mb.value AS value_b"
+                " FROM cells ca"
+                " JOIN metrics ma ON ma.cell_id = ca.id"
+                " JOIN cells cb ON cb.run_id = ? AND cb.cell_key = ca.cell_key"
+                " JOIN metrics mb ON mb.cell_id = cb.id AND mb.name = ma.name"
+                " WHERE ca.run_id = ?"
+                " ORDER BY ca.cell_key, ma.name",
+                (run_b, run_a),
+            ).fetchall()
+        out = []
+        for row in rows:
+            value_a, value_b = row["value_a"], row["value_b"]
+            out.append({
+                "cell_key": row["cell_key"],
+                "metric": row["metric"],
+                "direction": row["direction"],
+                "value_a": value_a,
+                "value_b": value_b,
+                "ratio": (value_b / value_a) if value_a != 0.0 else None,
+            })
+        return out
+
+    def regressions(
+        self,
+        threshold: float = 0.1,
+        metric: str | None = None,
+        run_name: str | None = None,
+    ) -> list[Regression]:
+        """Every (run-name, cell, metric) that moved the wrong way.
+
+        For each run *name*, the newest run is compared against the run
+        immediately before it (same name); a measurement regresses when it
+        worsens by more than ``threshold`` (fractional) in its direction —
+        a latency up 10%+, a speedup down 10%+.  Run names with fewer than
+        two runs contribute nothing: history has to exist to regress
+        against.
+        """
+        if threshold < 0:
+            raise ValueError("threshold must be >= 0")
+        with self._guard():
+            names = [
+                row["name"]
+                for row in self.conn.execute(
+                    "SELECT name FROM runs"
+                    + (" WHERE name = ?" if run_name is not None else "")
+                    + " GROUP BY name HAVING COUNT(*) >= 2 ORDER BY name",
+                    (run_name,) if run_name is not None else (),
+                ).fetchall()
+            ]
+        flagged: list[Regression] = []
+        for name in names:
+            with self._guard():
+                pair = self.conn.execute(
+                    "SELECT id FROM runs WHERE name = ?"
+                    " ORDER BY id DESC LIMIT 2",
+                    (name,),
+                ).fetchall()
+            latest_id, baseline_id = int(pair[0]["id"]), int(pair[1]["id"])
+            for row in self.compare_runs(baseline_id, latest_id):
+                if metric is not None and row["metric"] != metric:
+                    continue
+                baseline, latest = row["value_a"], row["value_b"]
+                if baseline == 0.0:
+                    worse = row["direction"] == "lower" and latest > 0.0
+                elif row["direction"] == "lower":
+                    worse = latest > baseline * (1.0 + threshold)
+                else:
+                    worse = latest < baseline * (1.0 - threshold)
+                if worse:
+                    flagged.append(Regression(
+                        run_name=name,
+                        cell_key=row["cell_key"],
+                        metric=row["metric"],
+                        direction=row["direction"],
+                        baseline=baseline,
+                        latest=latest,
+                        baseline_run_id=baseline_id,
+                        latest_run_id=latest_id,
+                    ))
+        return flagged
+
+    def __repr__(self) -> str:
+        return f"ResultStore({self.path!r}, schema=v{SCHEMA_VERSION})"

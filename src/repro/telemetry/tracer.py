@@ -62,7 +62,13 @@ __all__ = [
 #: engines add ``compaction_savings`` (candidate rows the compacted
 #: active-set sweep skipped relative to the batch's naive ``B x Max``
 #: grid — a per-batch-shape quantity, so unlike the work counters it is
-#: *not* invariant across sharding layouts).
+#: *not* invariant across sharding layouts).  The experiment orchestrator
+#: (:mod:`repro.experiments`) adds ``experiment_runs_started`` (sweep
+#: passes begun, fresh or resumed) and ``experiment_cells_started`` /
+#: ``experiment_cells_completed`` / ``experiment_cells_failed`` /
+#: ``experiment_cells_skipped`` (per-cell lifecycle; skipped counts cells
+#: already ``done`` in the store that a resume pass left untouched), plus
+#: the ``experiment_cell`` phase timer around each cell's execution.
 COUNTER_NAMES = (
     "fk_evaluations",
     "jacobian_builds",

@@ -8,10 +8,20 @@ module stays tier-1 fast.
 from __future__ import annotations
 
 import json
+from pathlib import Path
 
 import pytest
 
 from repro.cli import build_parser, main
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def strict_loads(text: str):
+    """Parse JSON refusing NaN/Infinity — the repo's output contract."""
+    def _reject(token):
+        raise ValueError(f"non-strict JSON constant {token!r} in output")
+    return json.loads(text, parse_constant=_reject)
 
 
 class TestParsing:
@@ -205,6 +215,147 @@ class TestServeBench:
         ])
         assert rc == 1
         assert "serve-bench FAILED" in capsys.readouterr().err
+
+
+class TestExperimentParsing:
+    @pytest.mark.parametrize(
+        "argv", [
+            ["experiment"],
+            ["experiment", "explode"],
+            ["experiment", "run", "--targets", "0"],
+            ["experiment", "run", "--max-iterations", "0"],
+            ["experiment", "query"],  # a selector is required
+            ["experiment", "query", "--runs", "--latest", "wall_s"],
+            ["experiment", "import"],  # at least one file
+        ],
+    )
+    def test_invalid_usage_exits_2(self, argv):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(argv)
+        assert excinfo.value.code == 2
+
+    def test_run_flags_land_in_namespace(self):
+        args = build_parser().parse_args([
+            "experiment", "run", "--store", "x.sqlite", "--name", "nightly",
+            "--robots", "planar-4dof,dadu-6dof", "--solvers", "JT-DLS",
+            # a leading '-' value needs the '=' spelling (argparse rule)
+            "--kernels=-,vectorized:float32", "--workers=-,2",
+            "--workloads", "batch", "--targets", "3",
+            "--max-iterations", "400", "--fresh",
+        ])
+        assert args.command == "experiment"
+        assert args.experiment_command == "run"
+        assert args.store == "x.sqlite"
+        assert args.robots == "planar-4dof,dadu-6dof"
+        assert args.kernels == "-,vectorized:float32"
+        assert args.fresh is True
+
+    def test_query_selectors_parse(self):
+        args = build_parser().parse_args([
+            "experiment", "query", "--regressions", "0.1",
+            "--run-name", "bench-kernels", "--metric", "headline_speedup",
+        ])
+        assert args.regressions == 0.1
+        assert args.run_name == "bench-kernels"
+        assert args.metric == "headline_speedup"
+
+
+class TestExperimentCommands:
+    SWEEP = ["--name", "smoke", "--robots", "planar-4dof",
+             "--solvers", "JT-DLS", "--targets", "2",
+             "--max-iterations", "400"]
+
+    def _store_args(self, tmp_path):
+        return ["--store", str(tmp_path / "exp.sqlite")]
+
+    def test_run_emits_strict_json_and_exits_0(self, tmp_path, capsys):
+        rc = main(["experiment", "run", *self._store_args(tmp_path),
+                   *self.SWEEP])
+        assert rc == 0
+        payload = strict_loads(capsys.readouterr().out)
+        assert payload["sweep"] == "smoke"
+        assert payload["executed"] == payload["total"] == 1
+        assert payload["completed"] is True
+
+    def test_resume_skips_finished_cells(self, tmp_path, capsys):
+        store_args = self._store_args(tmp_path)
+        assert main(["experiment", "run", *store_args, *self.SWEEP]) == 0
+        capsys.readouterr()
+        rc = main(["experiment", "resume", *store_args, "--name", "smoke"])
+        assert rc == 0
+        payload = strict_loads(capsys.readouterr().out)
+        assert payload["skipped"] == payload["total"] == 1
+        assert payload["executed"] == 0
+
+    def test_resume_unknown_sweep_exits_1(self, tmp_path, capsys):
+        rc = main(["experiment", "resume", *self._store_args(tmp_path),
+                   "--name", "ghost"])
+        assert rc == 1
+        assert "no resumable sweep" in capsys.readouterr().err
+
+    def test_bad_spec_exits_2(self, tmp_path, capsys):
+        rc = main(["experiment", "run", *self._store_args(tmp_path),
+                   "--robots", "not-a-robot"])
+        assert rc == 2
+        assert "bad sweep spec" in capsys.readouterr().err
+
+    def test_import_then_query_round_trip(self, tmp_path, capsys):
+        store_args = self._store_args(tmp_path)
+        bench = [str(REPO_ROOT / name) for name in (
+            "BENCH_kernels.json", "BENCH_parallel.json", "BENCH_serving.json",
+        )]
+        rc = main(["experiment", "import", *store_args, *bench])
+        assert rc == 0
+        imported = strict_loads(capsys.readouterr().out)["imported"]
+        assert [i["run_name"] for i in imported] == [
+            "bench-kernels", "bench-parallel", "bench-serving",
+        ]
+
+        assert main(["experiment", "query", *store_args, "--runs"]) == 0
+        runs = strict_loads(capsys.readouterr().out)["runs"]
+        assert len(runs) == 3
+        assert all(r["source"] == "import" for r in runs)
+
+        assert main(["experiment", "query", *store_args,
+                     "--latest", "headline_speedup",
+                     "--run-name", "bench-kernels"]) == 0
+        latest = strict_loads(capsys.readouterr().out)
+        assert latest["value"] is not None and latest["value"] > 1.0
+
+        # One import per name == no history: the regression gate is quiet.
+        assert main(["experiment", "query", *store_args,
+                     "--regressions", "0.1"]) == 0
+        payload = strict_loads(capsys.readouterr().out)
+        assert payload["regressions"] == []
+
+    def test_import_unknown_payload_exits_1(self, tmp_path, capsys):
+        bogus = tmp_path / "not_a_bench.json"
+        bogus.write_text(json.dumps({"benchmark": "mystery"}))
+        rc = main(["experiment", "import", *self._store_args(tmp_path),
+                   str(bogus)])
+        assert rc == 1
+        assert "unknown benchmark tag" in capsys.readouterr().err
+
+    def test_locked_store_exits_1(self, tmp_path, capsys):
+        import sqlite3
+
+        from repro.experiments import ResultStore
+
+        path = tmp_path / "exp.sqlite"
+        ResultStore(path).close()
+        blocker = sqlite3.connect(path)
+        blocker.execute("BEGIN IMMEDIATE")
+        try:
+            rc = main([
+                "experiment", "import", "--store", str(path),
+                "--lock-timeout", "0.05",
+                str(REPO_ROOT / "BENCH_kernels.json"),
+            ])
+        finally:
+            blocker.rollback()
+            blocker.close()
+        assert rc == 1
+        assert "experiment store locked" in capsys.readouterr().err
 
 
 class TestRobots:

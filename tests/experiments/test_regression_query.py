@@ -1,0 +1,117 @@
+"""Regression-as-query over the committed benchmark trajectory (slow tier).
+
+The CI perf gate in one test: import the repo's committed ``BENCH_*.json``
+files into a store, re-import an artificially degraded copy under the same
+run name, and assert that ``regressions()`` flags exactly the degraded
+metrics — and stays quiet on the real (undegraded) history.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import (
+    BENCH_RUN_NAMES,
+    ResultStore,
+    import_bench_file,
+    import_bench_payloads,
+)
+
+pytestmark = pytest.mark.slow
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+BENCH_FILES = (
+    REPO_ROOT / "BENCH_kernels.json",
+    REPO_ROOT / "BENCH_parallel.json",
+    REPO_ROOT / "BENCH_serving.json",
+)
+
+
+@pytest.fixture
+def store(tmp_path):
+    with ResultStore(tmp_path / "history.sqlite") as s:
+        yield s
+
+
+def test_committed_bench_files_exist():
+    for path in BENCH_FILES:
+        assert path.is_file(), f"committed benchmark missing: {path}"
+
+
+def test_import_populates_all_three_benchmarks(store):
+    summaries = import_bench_payloads(store, list(BENCH_FILES))
+    assert [s["run_name"] for s in summaries] == [
+        "bench-kernels", "bench-parallel", "bench-serving"
+    ]
+    assert set(BENCH_RUN_NAMES.values()) == {s["run_name"] for s in summaries}
+    for summary in summaries:
+        assert summary["cells"] >= 1
+        assert summary["metrics"] >= 1
+        run = store.run_row(summary["run_id"])
+        assert run["source"] == "import"
+        assert run["status"] == "done"
+    # The raw payloads survive as artifacts — nothing is lost in flattening.
+    for summary in summaries:
+        (artifact,) = store.artifacts(summary["run_id"])
+        assert artifact["payload"]["benchmark"] is not None
+
+
+def test_real_trajectory_is_quiet(store):
+    """Importing the committed trio twice == identical history: no flags."""
+    import_bench_payloads(store, list(BENCH_FILES))
+    import_bench_payloads(store, list(BENCH_FILES))
+    assert store.regressions(threshold=0.1) == []
+
+
+def test_degraded_copy_is_flagged(store, tmp_path):
+    import_bench_payloads(store, list(BENCH_FILES))
+
+    # Degrade the kernel benchmark's headline speedup by 2x and re-import
+    # under the same run name — the exact shape of a perf regression
+    # landing between two CI runs.
+    payload = json.loads(BENCH_FILES[0].read_text(encoding="utf-8"))
+    original = payload["headline_speedup"]
+    payload["headline_speedup"] = original * 0.5
+    degraded = tmp_path / "BENCH_kernels.json"
+    degraded.write_text(
+        json.dumps(payload, allow_nan=False), encoding="utf-8"
+    )
+    import_bench_file(store, degraded)
+
+    flagged = store.regressions(threshold=0.1)
+    assert flagged, "halving the headline speedup must trip the gate"
+    hit = next(r for r in flagged if r.metric == "headline_speedup")
+    assert hit.run_name == "bench-kernels"
+    assert hit.direction == "higher"
+    assert hit.baseline == pytest.approx(original)
+    assert hit.latest == pytest.approx(original * 0.5)
+    assert hit.ratio == pytest.approx(0.5)
+    # Every flag traces back to the degraded import, not the other benches.
+    assert all(r.run_name == "bench-kernels" for r in flagged)
+    # The untouched run names stay quiet even at a tight threshold.
+    assert store.regressions(threshold=0.01, run_name="bench-serving") == []
+
+
+def test_degraded_latency_is_flagged_lower_direction(store, tmp_path):
+    import_bench_payloads(store, list(BENCH_FILES))
+
+    payload = json.loads(BENCH_FILES[2].read_text(encoding="utf-8"))
+    degraded = tmp_path / "BENCH_serving.json"
+    # Double every latency quantile (lower-is-better metrics).
+    latency = payload["latency_s"]
+    touched = [k for k, v in latency.items() if isinstance(v, (int, float))]
+    assert touched, "serving payload must carry latency quantiles"
+    for key in touched:
+        latency[key] = latency[key] * 2.0
+    degraded.write_text(
+        json.dumps(payload, allow_nan=False), encoding="utf-8"
+    )
+    import_bench_file(store, degraded)
+
+    flagged = store.regressions(threshold=0.1, run_name="bench-serving")
+    names = {r.metric for r in flagged}
+    assert {f"latency_s.{key}" for key in touched} <= names
+    assert all(r.direction == "lower" for r in flagged)

@@ -1,0 +1,191 @@
+"""Runner tier: full sweeps, resume semantics, kill injection, telemetry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import ResultStore, SweepRunner, SweepSpec
+from repro.telemetry.sinks import SummaryTracer
+
+
+@pytest.fixture
+def store(tmp_path):
+    with ResultStore(tmp_path / "exp.sqlite") as s:
+        yield s
+
+
+def small_sweep(**overrides):
+    kwargs = dict(
+        name="grid",
+        robots=("planar-4dof", "dadu-6dof"),
+        solvers=("JT-DLS",),
+        workloads=("batch",),
+        targets=3,
+        max_iterations=400,
+    )
+    kwargs.update(overrides)
+    return SweepSpec(**kwargs)
+
+
+class SimulatedKill(BaseException):
+    """Out of the Exception hierarchy so the runner cannot swallow it."""
+
+
+def kill_at(target_index):
+    def hook(index, scenario):
+        if index == target_index:
+            raise SimulatedKill(f"killed before cell {index}")
+    return hook
+
+
+class TestFullSweep:
+    def test_all_cells_done_with_metrics(self, store):
+        spec = small_sweep()
+        result = SweepRunner(spec, store).run()
+        assert result.completed
+        assert result.executed == len(spec.expand()) == 2
+        assert result.skipped == result.failed == 0
+        for key in spec.cell_keys():
+            metrics = store.metrics_for_cell(result.run_id, key)
+            assert metrics["convergence_rate"] > 0
+            assert metrics["wall_s"] > 0
+        # One artifact per cell, all attached to real cells.
+        artifacts = store.artifacts(result.run_id)
+        assert len(artifacts) == 2
+        assert all(a["cell_id"] is not None for a in artifacts)
+        assert store.run_row(result.run_id)["status"] == "done"
+
+    def test_suite_and_serve_workloads_execute(self, store):
+        spec = small_sweep(
+            robots=("dadu-6dof",),
+            workloads=("suite", "serve"),
+            rate_hz=500.0,
+        )
+        result = SweepRunner(spec, store).run()
+        assert result.completed
+        keys = dict(zip(spec.cell_keys(), spec.expand()))
+        for key, scenario in keys.items():
+            metrics = store.metrics_for_cell(result.run_id, key)
+            if scenario.workload == "suite":
+                assert "mean_work" in metrics
+            else:
+                assert metrics["completed"] == scenario.targets
+                assert metrics["throughput_rps"] > 0
+
+    def test_failed_cell_does_not_starve_the_grid(self, store, monkeypatch):
+        import repro.experiments.runner as runner_mod
+
+        spec = small_sweep()
+        real = runner_mod.execute_scenario
+        broken_key = spec.cell_keys()[0]
+
+        def flaky(scenario, rate_hz=200.0):
+            if scenario.cell_key() == broken_key:
+                raise RuntimeError("solver diverged")
+            return real(scenario, rate_hz=rate_hz)
+
+        monkeypatch.setattr(runner_mod, "execute_scenario", flaky)
+        result = SweepRunner(spec, store).run()
+        assert result.failed == 1
+        assert result.executed == 1
+        assert not result.completed
+        cells = {c["cell_key"]: c for c in store.cells(result.run_id)}
+        assert cells[broken_key]["status"] == "failed"
+        assert "RuntimeError: solver diverged" in cells[broken_key]["error"]
+        assert store.run_row(result.run_id)["status"] == "failed"
+
+
+class TestResume:
+    def test_completed_sweep_resumes_to_noop(self, store):
+        spec = small_sweep()
+        first = SweepRunner(spec, store).run()
+        second = SweepRunner(spec, store).run()
+        assert second.run_id == first.run_id
+        assert second.skipped == second.total
+        assert second.executed == 0
+        # Exactly one row per cell, ever.
+        assert len(store.cells(first.run_id)) == len(spec.expand())
+        assert len(store.runs()) == 1
+
+    def test_kill_mid_sweep_then_resume_completes(self, store):
+        spec = small_sweep()
+        with pytest.raises(SimulatedKill):
+            SweepRunner(spec, store, fault_hook=kill_at(1)).run()
+        # The kill left cell 0 done and cell 1 'running' (as SIGKILL would).
+        run_id = store.latest_run_id("grid")
+        statuses = store.cell_statuses(run_id)
+        assert sorted(statuses.values()) == ["done", "running"]
+
+        resumed = SweepRunner(spec, store).run()
+        assert resumed.run_id == run_id
+        assert resumed.completed
+        assert resumed.skipped == 1  # the done cell was never re-run
+        assert resumed.executed == 1  # only the interrupted cell
+        # No duplicate rows: unique (run_id, cell_key) held through the kill.
+        assert len(store.cells(run_id)) == len(spec.expand())
+        assert len(store.runs()) == 1
+
+    def test_kill_before_first_cell_then_resume(self, store):
+        spec = small_sweep()
+        with pytest.raises(SimulatedKill):
+            SweepRunner(spec, store, fault_hook=kill_at(0)).run()
+        resumed = SweepRunner(spec, store).run()
+        assert resumed.completed
+        assert resumed.executed == len(spec.expand())
+
+    def test_fresh_forces_new_run_row(self, store):
+        spec = small_sweep()
+        first = SweepRunner(spec, store).run()
+        second = SweepRunner(spec, store, fresh=True).run()
+        assert second.run_id != first.run_id
+        assert second.executed == second.total
+        assert len(store.runs()) == 2
+
+    def test_changed_spec_does_not_resume(self, store):
+        first = SweepRunner(small_sweep(), store).run()
+        changed = small_sweep(targets=4)
+        second = SweepRunner(changed, store).run()
+        assert second.run_id != first.run_id
+        assert second.executed == second.total
+
+
+class TestDeterminism:
+    def test_identical_cells_draw_identical_targets(self, store, tmp_path):
+        from repro.experiments.runner import (
+            _reachable_targets,
+            _scenario_rng,
+        )
+        from repro.api import resolve_robot
+
+        spec = small_sweep()
+        scenario = spec.expand()[0]
+        chain = resolve_robot(scenario.robot)
+        a = _reachable_targets(
+            chain, scenario.targets, _scenario_rng(scenario)
+        )
+        b = _reachable_targets(
+            chain, scenario.targets, _scenario_rng(scenario)
+        )
+        assert (a == b).all()
+        # A different cell draws a different workload.
+        other = spec.expand()[1]
+        other_chain = resolve_robot(other.robot)
+        c = _reachable_targets(
+            other_chain, other.targets, _scenario_rng(other)
+        )
+        assert a.shape != c.shape or not (a == c).all()
+
+
+class TestTelemetry:
+    def test_counters_cover_the_lifecycle(self, store):
+        spec = small_sweep()
+        tracer = SummaryTracer()
+        with pytest.raises(SimulatedKill):
+            SweepRunner(spec, store, tracer=tracer, fault_hook=kill_at(1)).run()
+        SweepRunner(spec, store, tracer=tracer).run()
+        summary = tracer.summary()
+        assert summary.counters["experiment_runs_started"] == 2
+        assert summary.counters["experiment_cells_started"] == 3
+        assert summary.counters["experiment_cells_completed"] == 2
+        assert summary.counters["experiment_cells_skipped"] == 1
+        assert "experiment_cell" in summary.phase_seconds

@@ -1,0 +1,162 @@
+"""Spec tier: registry-aware validation, deterministic grids, key codec."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import EXPERIMENT_WORKLOADS, ScenarioSpec, SweepSpec
+
+
+class TestScenarioValidation:
+    def test_unknown_solver_names_the_registry(self):
+        with pytest.raises(ValueError, match="JT-Speculation"):
+            ScenarioSpec(robot="dadu-12dof", solver="JT-Typo")
+
+    def test_unknown_robot_names_the_zoo_rule(self):
+        with pytest.raises(ValueError, match="dadu-<N>dof"):
+            ScenarioSpec(robot="not-a-robot", solver="JT-DLS")
+
+    def test_unknown_kernel_mode_names_known_modes(self):
+        with pytest.raises(ValueError, match="scalar"):
+            ScenarioSpec(robot="dadu-12dof", solver="JT-DLS", kernel="quantum")
+
+    def test_unknown_kernel_dtype_rejected(self):
+        with pytest.raises(ValueError, match="float32"):
+            ScenarioSpec(
+                robot="dadu-12dof", solver="JT-DLS",
+                kernel="vectorized:float16",
+            )
+
+    def test_unknown_workload_names_known_workloads(self):
+        with pytest.raises(ValueError, match="batch"):
+            ScenarioSpec(
+                robot="dadu-12dof", solver="JT-DLS", workload="quantum"
+            )
+
+    def test_suite_workload_requires_paper_chain(self):
+        with pytest.raises(ValueError, match="dadu-<N>dof"):
+            ScenarioSpec(robot="puma560", solver="JT-DLS", workload="suite")
+        # dadu-* is fine.
+        ScenarioSpec(robot="dadu-12dof", solver="JT-DLS", workload="suite")
+
+    @pytest.mark.parametrize(
+        "kwargs", [
+            {"workers": 0},
+            {"targets": 0},
+            {"tolerance": 0.0},
+            {"tolerance": -1.0},
+            {"max_iterations": 0},
+        ],
+    )
+    def test_bad_numeric_fields_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            ScenarioSpec(robot="dadu-12dof", solver="JT-DLS", **kwargs)
+
+    def test_kernel_canonicalised(self):
+        spec = ScenarioSpec(
+            robot="dadu-12dof", solver="JT-DLS", kernel="vectorized:float32"
+        )
+        assert spec.kernel == "vectorized:float32"
+        bare = ScenarioSpec(
+            robot="dadu-12dof", solver="JT-DLS", kernel="scalar"
+        )
+        assert bare.kernel == "scalar"
+
+    def test_kernel_chunk_is_not_a_sweep_axis(self):
+        from repro.execution import KernelSpec
+
+        with pytest.raises(ValueError, match="chunk"):
+            ScenarioSpec(
+                robot="dadu-12dof", solver="JT-DLS",
+                kernel=KernelSpec(name="vectorized", chunk=64),
+            )
+
+
+class TestCellKeys:
+    def test_round_trip_all_fields(self):
+        spec = ScenarioSpec(
+            robot="dadu-25dof", solver="JT-Speculation",
+            kernel="vectorized:float32", workers=4, workload="serve",
+            targets=7, seed=99, tolerance=1e-3, max_iterations=500,
+        )
+        assert ScenarioSpec.from_cell_key(spec.cell_key()) == spec
+
+    def test_round_trip_none_fields(self):
+        spec = ScenarioSpec(robot="planar-3dof", solver="CCD")
+        decoded = ScenarioSpec.from_cell_key(spec.cell_key())
+        assert decoded == spec
+        assert decoded.kernel is None
+        assert decoded.workers is None
+        assert decoded.tolerance is None
+
+    def test_tolerance_survives_bit_exactly(self):
+        spec = ScenarioSpec(
+            robot="dadu-12dof", solver="JT-DLS", tolerance=0.1 + 0.2,
+        )
+        assert ScenarioSpec.from_cell_key(spec.cell_key()).tolerance \
+            == spec.tolerance
+
+    @pytest.mark.parametrize(
+        "key", [
+            "",
+            "robot=dadu-12dof",
+            "not a key at all",
+            "robot=dadu-12dof&robot=dadu-12dof",
+        ],
+    )
+    def test_malformed_keys_rejected(self, key):
+        with pytest.raises(ValueError):
+            ScenarioSpec.from_cell_key(key)
+
+
+class TestSweepSpec:
+    def test_expansion_is_deterministic(self):
+        kwargs = dict(
+            name="grid",
+            robots=("dadu-12dof", "planar-4dof"),
+            solvers=("JT-DLS", "CCD"),
+            kernels=(None, "vectorized"),
+            workers=(None, 2),
+            targets=3,
+        )
+        a, b = SweepSpec(**kwargs), SweepSpec(**kwargs)
+        assert a.cell_keys() == b.cell_keys()
+        assert len(a.cell_keys()) == 2 * 2 * 2 * 2
+        assert len(set(a.cell_keys())) == len(a.cell_keys())
+
+    def test_expansion_validates_every_axis_value(self):
+        with pytest.raises(ValueError, match="JT-Speculation"):
+            SweepSpec(name="bad", solvers=("JT-DLS", "JT-Typo"))
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            SweepSpec(name="bad", robots=())
+
+    def test_duplicate_axis_value_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            SweepSpec(name="bad", solvers=("JT-DLS", "JT-DLS"))
+
+    def test_blank_name_rejected(self):
+        with pytest.raises(ValueError, match="name"):
+            SweepSpec(name="  ")
+
+    def test_json_round_trip_preserves_fingerprint(self):
+        spec = SweepSpec(
+            name="grid", robots=("dadu-12dof",), solvers=("JT-DLS",),
+            kernels=("vectorized:float32",), targets=5, tolerance=1e-3,
+        )
+        again = SweepSpec.from_json(spec.to_json())
+        assert again == spec
+        assert again.fingerprint() == spec.fingerprint()
+
+    def test_fingerprint_distinguishes_grids(self):
+        base = SweepSpec(name="grid", solvers=("JT-DLS",))
+        other = SweepSpec(name="grid", solvers=("CCD",))
+        assert base.fingerprint() != other.fingerprint()
+
+    def test_workloads_axis_accepts_all_kinds(self):
+        spec = SweepSpec(
+            name="grid", robots=("dadu-12dof",),
+            workloads=EXPERIMENT_WORKLOADS,
+        )
+        assert len(spec.expand()) == len(EXPERIMENT_WORKLOADS)

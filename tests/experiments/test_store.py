@@ -1,0 +1,258 @@
+"""Store tier: WAL/versioning, round-trips, constraints, locking, queries."""
+
+from __future__ import annotations
+
+import math
+import sqlite3
+
+import pytest
+
+from repro.experiments import store as store_mod
+from repro.experiments.store import (
+    SCHEMA_VERSION,
+    Regression,
+    ResultStore,
+    StoreLocked,
+    StoreVersionError,
+    metric_direction,
+)
+
+
+@pytest.fixture
+def db(tmp_path):
+    with ResultStore(tmp_path / "exp.sqlite") as s:
+        yield s
+
+
+def _one_cell_run(db, name="run", key="cell", source="sweep"):
+    run_id = db.create_run(name, source=source)
+    db.ensure_cells(run_id, [(key, None)])
+    return run_id
+
+
+class TestSchemaContract:
+    def test_wal_mode_and_user_version(self, db):
+        mode = db.conn.execute("PRAGMA journal_mode").fetchone()[0]
+        assert mode == "wal"
+        assert db.schema_version == SCHEMA_VERSION
+
+    def test_reopen_is_idempotent(self, tmp_path):
+        path = tmp_path / "exp.sqlite"
+        with ResultStore(path) as s:
+            s.create_run("first")
+        with ResultStore(path) as s:
+            assert s.schema_version == SCHEMA_VERSION
+            assert len(s.runs()) == 1
+
+    def test_newer_schema_refused(self, tmp_path):
+        path = tmp_path / "exp.sqlite"
+        ResultStore(path).close()
+        conn = sqlite3.connect(path)
+        conn.execute(f"PRAGMA user_version = {SCHEMA_VERSION + 1}")
+        conn.close()
+        with pytest.raises(StoreVersionError, match="newer|upgrade"):
+            ResultStore(path)
+
+    def test_migration_hook_runs_in_order(self, tmp_path, monkeypatch):
+        path = tmp_path / "exp.sqlite"
+        with ResultStore(path) as s:
+            s.create_run("legacy")
+        applied = []
+
+        def migrate_1(conn):
+            applied.append(1)
+            conn.execute("ALTER TABLE runs ADD COLUMN note TEXT")
+
+        def migrate_2(conn):
+            applied.append(2)
+
+        monkeypatch.setattr(store_mod, "SCHEMA_VERSION", SCHEMA_VERSION + 2)
+        monkeypatch.setattr(store_mod, "MIGRATIONS", {
+            SCHEMA_VERSION: migrate_1,
+            SCHEMA_VERSION + 1: migrate_2,
+        })
+        with ResultStore(path) as s:
+            assert applied == [1, 2]
+            assert s.schema_version == SCHEMA_VERSION + 2
+            # The migrated column exists and old rows survive.
+            row = s.runs()[0]
+            assert row["name"] == "legacy"
+            assert "note" in row
+
+    def test_missing_migration_step_refused(self, tmp_path, monkeypatch):
+        path = tmp_path / "exp.sqlite"
+        ResultStore(path).close()
+        monkeypatch.setattr(store_mod, "SCHEMA_VERSION", SCHEMA_VERSION + 1)
+        monkeypatch.setattr(store_mod, "MIGRATIONS", {})
+        with pytest.raises(StoreVersionError, match="no migration"):
+            ResultStore(path)
+
+
+class TestMetricsRoundTrip:
+    def test_bit_identical_floats(self, db):
+        run_id = _one_cell_run(db)
+        values = {
+            "sum": 0.1 + 0.2,
+            "tiny": 5e-324,
+            "huge": 1.7976931348623157e308,
+            "third": 1.0 / 3.0,
+        }
+        db.record_metrics(run_id, "cell", values)
+        stored = db.metrics_for_cell(run_id, "cell")
+        for name, value in values.items():
+            assert stored[name] == value
+            assert stored[name].hex() == float(value).hex()
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"), -float("inf")])
+    def test_non_finite_rejected(self, db, bad):
+        run_id = _one_cell_run(db)
+        with pytest.raises(ValueError, match="allow_nan"):
+            db.record_metrics(run_id, "cell", {"m": bad})
+
+    @pytest.mark.parametrize("bad", [True, None, "3.0", [1.0]])
+    def test_non_numeric_rejected(self, db, bad):
+        run_id = _one_cell_run(db)
+        with pytest.raises(TypeError, match="must be a number"):
+            db.record_metrics(run_id, "cell", {"m": bad})
+
+    def test_upsert_overwrites_not_duplicates(self, db):
+        run_id = _one_cell_run(db)
+        db.record_metrics(run_id, "cell", {"m": 1.0})
+        db.record_metrics(run_id, "cell", {"m": 2.0})
+        assert db.metrics_for_cell(run_id, "cell") == {"m": 2.0}
+        count = db.conn.execute("SELECT COUNT(*) FROM metrics").fetchone()[0]
+        assert count == 1
+
+    def test_direction_override_beats_heuristic(self, db):
+        run_id = _one_cell_run(db)
+        db.record_metrics(
+            run_id, "cell", {"weird_speedup": 1.0},
+            directions={"weird_speedup": "lower"},
+        )
+        row = db.conn.execute(
+            "SELECT direction FROM metrics WHERE name = 'weird_speedup'"
+        ).fetchone()
+        assert row["direction"] == "lower"
+
+
+class TestCells:
+    def test_ensure_cells_is_idempotent(self, db):
+        run_id = db.create_run("run")
+        cells = [("a", None), ("b", None)]
+        db.ensure_cells(run_id, cells)
+        db.mark_cell(run_id, "a", "done")
+        db.ensure_cells(run_id, cells)  # resume path: re-insert attempt
+        statuses = db.cell_statuses(run_id)
+        assert statuses == {"a": "done", "b": "pending"}
+        count = db.conn.execute("SELECT COUNT(*) FROM cells").fetchone()[0]
+        assert count == 2
+
+    def test_mark_unknown_cell_raises(self, db):
+        run_id = db.create_run("run")
+        with pytest.raises(KeyError):
+            db.mark_cell(run_id, "ghost", "done")
+
+    def test_bad_status_rejected(self, db):
+        run_id = _one_cell_run(db)
+        with pytest.raises(ValueError):
+            db.mark_cell(run_id, "cell", "exploded")
+
+
+class TestArtifacts:
+    def test_round_trip_payload(self, db):
+        run_id = _one_cell_run(db)
+        payload = {"nested": {"values": [1, 2.5, "x"]}, "ok": True}
+        db.record_artifact(run_id, "blob", payload, cell_key="cell")
+        (artifact,) = db.artifacts(run_id)
+        assert artifact["name"] == "blob"
+        assert artifact["payload"] == payload
+
+    def test_nan_payload_rejected(self, db):
+        run_id = db.create_run("run")
+        with pytest.raises(ValueError):
+            db.record_artifact(run_id, "blob", {"x": float("nan")})
+
+
+class TestQueries:
+    def test_latest_metric_prefers_newest_run(self, db):
+        for value in (1.0, 2.0, 3.0):
+            run_id = _one_cell_run(db, name="bench")
+            db.record_metrics(run_id, "cell", {"wall_s": value})
+        assert db.latest_metric("wall_s") == 3.0
+        assert db.latest_metric("wall_s", run_name="bench") == 3.0
+        assert db.latest_metric("wall_s", cell_key="cell") == 3.0
+        assert db.latest_metric("missing") is None
+
+    def test_compare_runs_joins_on_cell_and_metric(self, db):
+        a = _one_cell_run(db, name="bench")
+        db.record_metrics(a, "cell", {"wall_s": 2.0, "only_a": 1.0})
+        b = _one_cell_run(db, name="bench")
+        db.record_metrics(b, "cell", {"wall_s": 3.0, "only_b": 1.0})
+        rows = db.compare_runs(a, b)
+        assert [r["metric"] for r in rows] == ["wall_s"]
+        assert rows[0]["value_a"] == 2.0
+        assert rows[0]["value_b"] == 3.0
+        assert rows[0]["ratio"] == pytest.approx(1.5)
+
+    def test_regressions_direction_aware(self, db):
+        a = _one_cell_run(db, name="bench")
+        db.record_metrics(a, "cell", {"wall_s": 1.0, "speedup": 4.0})
+        b = _one_cell_run(db, name="bench")
+        # Latency doubled (lower-is-better) and speedup halved
+        # (higher-is-better): both must flag.
+        db.record_metrics(b, "cell", {"wall_s": 2.0, "speedup": 2.0})
+        flagged = db.regressions(threshold=0.1)
+        assert sorted(r.metric for r in flagged) == ["speedup", "wall_s"]
+        for r in flagged:
+            assert isinstance(r, Regression)
+            assert r.baseline_run_id == a
+            assert r.latest_run_id == b
+        wall = next(r for r in flagged if r.metric == "wall_s")
+        assert wall.ratio == pytest.approx(2.0)
+
+    def test_regressions_quiet_on_improvement(self, db):
+        a = _one_cell_run(db, name="bench")
+        db.record_metrics(a, "cell", {"wall_s": 2.0, "speedup": 2.0})
+        b = _one_cell_run(db, name="bench")
+        db.record_metrics(b, "cell", {"wall_s": 1.0, "speedup": 4.0})
+        assert db.regressions(threshold=0.1) == []
+
+    def test_regressions_need_history(self, db):
+        run_id = _one_cell_run(db, name="solo")
+        db.record_metrics(run_id, "cell", {"wall_s": 1.0})
+        assert db.regressions() == []
+
+    def test_regressions_within_threshold_quiet(self, db):
+        a = _one_cell_run(db, name="bench")
+        db.record_metrics(a, "cell", {"wall_s": 1.0})
+        b = _one_cell_run(db, name="bench")
+        db.record_metrics(b, "cell", {"wall_s": 1.05})
+        assert db.regressions(threshold=0.1) == []
+        assert len(db.regressions(threshold=0.01)) == 1
+
+    def test_negative_threshold_rejected(self, db):
+        with pytest.raises(ValueError):
+            db.regressions(threshold=-0.1)
+
+
+class TestLocking:
+    def test_store_locked_translation(self, tmp_path):
+        path = tmp_path / "exp.sqlite"
+        ResultStore(path).close()
+        blocker = sqlite3.connect(path)
+        blocker.execute("BEGIN IMMEDIATE")
+        try:
+            with ResultStore(path, timeout_s=0.05) as s:
+                with pytest.raises(StoreLocked, match="locked"):
+                    s.create_run("blocked")
+        finally:
+            blocker.rollback()
+            blocker.close()
+
+
+def test_metric_direction_heuristic():
+    assert metric_direction("headline_speedup") == "higher"
+    assert metric_direction("latency_p99_s") == "lower"
+    assert metric_direction("throughput_rps") == "higher"
+    assert metric_direction("mean_iterations") == "lower"
+    assert metric_direction("convergence_rate") == "higher"

@@ -1,0 +1,130 @@
+"""Property tests: cell-key codec and store round-trips hold for any input.
+
+Two invariants the experiment subsystem leans on everywhere:
+
+* a :class:`ScenarioSpec` survives ``cell_key()`` → ``from_cell_key()``
+  losslessly, for *any* valid spec (the store indexes on these keys, so a
+  lossy codec would silently merge or split histories);
+* finite metric values survive the SQLite store bit-identically (the
+  regression gate compares floats across runs, so storage rounding would
+  manufacture or mask regressions).
+"""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.experiments import ResultStore, ScenarioSpec, SweepSpec
+
+ROBOTS = ("planar-3dof", "planar-4dof", "puma560", "dadu-6dof", "dadu-12dof")
+SOLVERS = ("CCD", "JT-DLS", "JT-Speculation")
+KERNELS = (None, "scalar", "vectorized", "vectorized:float32")
+WORKERS = (None, 1, 2, 4)
+
+finite_floats = st.floats(
+    allow_nan=False, allow_infinity=False, allow_subnormal=True
+).filter(lambda v: not (v == 0.0 and math.copysign(1.0, v) < 0))
+
+
+@st.composite
+def scenarios(draw):
+    robot = draw(st.sampled_from(ROBOTS))
+    workloads = ["batch", "serve"]
+    if robot.startswith("dadu-"):
+        workloads.append("suite")
+    return ScenarioSpec(
+        robot=robot,
+        solver=draw(st.sampled_from(SOLVERS)),
+        kernel=draw(st.sampled_from(KERNELS)),
+        workers=draw(st.sampled_from(WORKERS)),
+        workload=draw(st.sampled_from(workloads)),
+        targets=draw(st.integers(min_value=1, max_value=500)),
+        seed=draw(st.integers(min_value=0, max_value=2**31 - 1)),
+        tolerance=draw(st.one_of(
+            st.none(),
+            st.floats(min_value=1e-12, max_value=1.0, allow_nan=False),
+        )),
+        max_iterations=draw(st.one_of(
+            st.none(), st.integers(min_value=1, max_value=100_000)
+        )),
+    )
+
+
+@st.composite
+def sweeps(draw):
+    return SweepSpec(
+        name=draw(st.text(
+            alphabet="abcdefghijklmnopqrstuvwxyz-0123456789",
+            min_size=1, max_size=20,
+        )),
+        robots=tuple(draw(st.lists(
+            st.sampled_from(ROBOTS), min_size=1, max_size=3, unique=True
+        ))),
+        solvers=tuple(draw(st.lists(
+            st.sampled_from(SOLVERS), min_size=1, max_size=3, unique=True
+        ))),
+        kernels=tuple(draw(st.lists(
+            st.sampled_from(KERNELS), min_size=1, max_size=2, unique=True
+        ))),
+        workers=tuple(draw(st.lists(
+            st.sampled_from(WORKERS), min_size=1, max_size=2, unique=True
+        ))),
+        workloads=tuple(draw(st.lists(
+            st.sampled_from(("batch", "serve")),
+            min_size=1, max_size=2, unique=True,
+        ))),
+        targets=draw(st.integers(min_value=1, max_value=100)),
+        seed=draw(st.integers(min_value=0, max_value=2**31 - 1)),
+    )
+
+
+@settings(max_examples=100, deadline=None)
+@given(scenario=scenarios())
+def test_cell_key_round_trips_losslessly(scenario):
+    decoded = ScenarioSpec.from_cell_key(scenario.cell_key())
+    assert decoded == scenario
+    # And the key itself is a fixed point (canonical form).
+    assert decoded.cell_key() == scenario.cell_key()
+
+
+@settings(max_examples=50, deadline=None)
+@given(spec=sweeps())
+def test_sweep_json_and_keys_round_trip(spec):
+    again = SweepSpec.from_json(spec.to_json())
+    assert again == spec
+    assert again.fingerprint() == spec.fingerprint()
+    keys = spec.cell_keys()
+    assert len(set(keys)) == len(keys)
+    for key, scenario in zip(keys, spec.expand()):
+        assert ScenarioSpec.from_cell_key(key) == scenario
+
+
+@settings(max_examples=50, deadline=None)
+@given(spec=sweeps())
+def test_sweep_keys_survive_the_store(spec):
+    with ResultStore(":memory:") as store:
+        run_id = store.create_run(spec.name, fingerprint=spec.fingerprint())
+        store.ensure_cells(run_id, [(key, None) for key in spec.cell_keys()])
+        stored = set(store.cell_statuses(run_id))
+        assert stored == set(spec.cell_keys())
+        for key in stored:
+            assert ScenarioSpec.from_cell_key(key).cell_key() == key
+
+
+@settings(max_examples=100, deadline=None)
+@given(metrics=st.dictionaries(
+    st.text(min_size=1, max_size=30), finite_floats,
+    min_size=1, max_size=10,
+))
+def test_metrics_round_trip_bit_identically(metrics):
+    with ResultStore(":memory:") as store:
+        run_id = store.create_run("prop")
+        store.ensure_cells(run_id, [("cell", None)])
+        store.record_metrics(run_id, "cell", metrics)
+        stored = store.metrics_for_cell(run_id, "cell")
+        assert set(stored) == set(metrics)
+        for name, value in metrics.items():
+            assert stored[name].hex() == float(value).hex()
